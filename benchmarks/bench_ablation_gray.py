@@ -1,0 +1,103 @@
+"""Ablation: what the Gray ordering buys H-Build (DESIGN.md §4).
+
+The Dynamic HA-Index sorts codes by Gray rank before the windowed
+FLSSeq extraction, leaning on the clustering property (Proposition 2):
+Gray-adjacent codes share more bits, so windows agree on more positions
+and parents absorb more of the distance work.  This ablation rebuilds
+the same index with plain numeric ordering and compares
+
+* the effective bits captured by internal patterns (sharing quality),
+* distance computations per query, and
+* query wall-clock.
+
+Expected shape: Gray ordering captures more pattern bits and does fewer
+XORs per query than numeric ordering; both remain exact.
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic_ha import DynamicHAIndex
+
+from benchmarks.harness import (
+    DEFAULT_THRESHOLD,
+    mean_search_ops,
+    paper_codes,
+    record,
+    render_table,
+    sample_queries,
+    scaled,
+    time_queries,
+)
+
+WORKLOAD_SIZE = 20_000
+DATASETS = ["NUS-WIDE", "Flickr", "DBPedia"]
+
+
+def _build(codes, gray: bool) -> DynamicHAIndex:
+    return DynamicHAIndex.build(codes, gray_order=gray)
+
+
+def _internal_pattern_bits(index: DynamicHAIndex) -> int:
+    return index.stats(include_leaves=False).code_bits
+
+
+def test_gray_order_improves_sharing(benchmark):
+    """Gray ordering captures at least as much pattern sharing."""
+
+    def run():
+        codes = paper_codes("NUS-WIDE", scaled(WORKLOAD_SIZE))
+        queries = sample_queries(codes, 15)
+        gray = _build(codes, True)
+        plain = _build(codes, False)
+        # Both must stay exact regardless of ordering.
+        for query in queries[:5]:
+            assert sorted(gray.search(query, DEFAULT_THRESHOLD)) == sorted(
+                plain.search(query, DEFAULT_THRESHOLD)
+            )
+        return (
+            mean_search_ops(gray, queries, DEFAULT_THRESHOLD),
+            mean_search_ops(plain, queries, DEFAULT_THRESHOLD),
+        )
+
+    gray_ops, plain_ops = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gray_ops <= plain_ops * 1.05
+
+
+def test_ablation_gray_report(benchmark):
+    def run() -> str:
+        rows = []
+        for dataset in DATASETS:
+            codes = paper_codes(dataset, scaled(WORKLOAD_SIZE))
+            queries = sample_queries(codes, 15)
+            for label, gray in (("gray", True), ("numeric", False)):
+                index = _build(codes, gray)
+                rows.append(
+                    [
+                        f"{dataset}/{label}",
+                        _internal_pattern_bits(index),
+                        index.stats(include_leaves=False).nodes,
+                        mean_search_ops(
+                            index, queries, DEFAULT_THRESHOLD
+                        ),
+                        time_queries(index, queries, DEFAULT_THRESHOLD),
+                    ]
+                )
+        return render_table(
+            f"Ablation: Gray vs. numeric ordering in H-Build "
+            f"(n={scaled(WORKLOAD_SIZE)}, h={DEFAULT_THRESHOLD})",
+            [
+                "dataset/order",
+                "pattern bits",
+                "internal nodes",
+                "XOR ops",
+                "query (ms)",
+            ],
+            rows,
+            note=(
+                "pattern bits = effective bits captured by internal "
+                "FLSSeq nodes (more = better sharing)."
+            ),
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablation_gray", table)

@@ -1,0 +1,111 @@
+"""Extension bench: query-shape sensitivity of the select indexes.
+
+The paper queries with dataset members only; production query streams
+mix hot repeats, near misses and novel probes.  This bench sweeps the
+workload shapes of ``repro.data.workloads`` over the three headline
+indexes, reporting wall-clock and distance computations per query.
+
+Expected shape: novel (far-from-data) queries are the HA-Index's best
+case — upper-level patterns disqualify whole subtrees immediately —
+while scan costs are workload-independent by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select import INDEX_FAMILIES
+from repro.data.workloads import (
+    member_queries,
+    near_miss_queries,
+    novel_queries,
+    zipf_queries,
+)
+
+from benchmarks.harness import (
+    DEFAULT_THRESHOLD,
+    mean_search_ops,
+    paper_codes,
+    record,
+    render_table,
+    scaled,
+    time_queries,
+)
+
+WORKLOAD_SIZE = 20_000
+APPROACHES = ["Nested-Loops", "MH-10", "DHA-Index"]
+NUM_QUERIES = 20
+
+
+def _workload_batches(codes):
+    return {
+        "member": member_queries(codes, NUM_QUERIES, seed=1),
+        "zipf": zipf_queries(codes, NUM_QUERIES, seed=2),
+        "near-miss": near_miss_queries(codes, NUM_QUERIES, seed=3),
+        "novel": novel_queries(codes.length, NUM_QUERIES, seed=4),
+    }
+
+
+@pytest.fixture(scope="module")
+def shaped_workload():
+    codes = paper_codes("NUS-WIDE", scaled(WORKLOAD_SIZE))
+    indexes = {name: INDEX_FAMILIES[name](codes) for name in APPROACHES}
+    return codes, indexes
+
+
+@pytest.mark.parametrize("shape", ["member", "novel"])
+def test_dha_query_by_shape(benchmark, shape, shaped_workload):
+    codes, indexes = shaped_workload
+    queries = _workload_batches(codes)[shape]
+    index = indexes["DHA-Index"]
+    benchmark(
+        lambda: [index.search(q, DEFAULT_THRESHOLD) for q in queries]
+    )
+
+
+def test_novel_queries_prune_hardest(benchmark, shaped_workload):
+    """DHA does the least structural work on far-from-data queries."""
+
+    def run():
+        codes, indexes = shaped_workload
+        batches = _workload_batches(codes)
+        index = indexes["DHA-Index"]
+        return (
+            mean_search_ops(index, batches["member"], DEFAULT_THRESHOLD),
+            mean_search_ops(index, batches["novel"], DEFAULT_THRESHOLD),
+        )
+
+    member_ops, novel_ops = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert novel_ops < member_ops
+
+
+def test_workload_shape_report(benchmark, shaped_workload):
+    def run() -> str:
+        codes, indexes = shaped_workload
+        batches = _workload_batches(codes)
+        rows = []
+        for shape, queries in batches.items():
+            for name in APPROACHES:
+                index = indexes[name]
+                rows.append(
+                    [
+                        f"{shape}/{name}",
+                        time_queries(index, queries, DEFAULT_THRESHOLD),
+                        mean_search_ops(
+                            index, queries, DEFAULT_THRESHOLD
+                        ),
+                    ]
+                )
+        return render_table(
+            f"Extension: query-shape sensitivity "
+            f"(NUS-WIDE-like, n={len(codes)}, h={DEFAULT_THRESHOLD})",
+            ["workload/index", "query (ms)", "XOR ops"],
+            rows,
+            note=(
+                "Novel queries are the HA-Index's best case: top-level "
+                "patterns disqualify whole subtrees immediately."
+            ),
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ext_workloads", table)

@@ -1,0 +1,78 @@
+"""Figure 9: running time of the distributed joins vs. data size.
+
+Regenerates Figure 9 (a/b/c): end-to-end modelled cluster time of PGBJ,
+PMH-10, MRHA-Index-A and MRHA-Index-B on the self-join workload as data
+grows.  The modelled time is the per-phase max-over-workers schedule
+(see ``repro.mapreduce.runtime``) plus the centralized phases, measured
+from real execution of the algorithm code.
+
+Expected shape: PGBJ grows superlinearly (per-cell exact kNN in the
+original space) and is slowest; the hashed approaches grow near
+linearly, with the MRHA variants fastest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_fig7_shuffle import (
+    DATASETS,
+    SCALE_FACTORS,
+    run_all_joins,
+)
+from benchmarks.harness import record, render_table
+
+ALGORITHMS = ["PGBJ", "PMH-10", "MRHA-INDEX-A", "MRHA-INDEX-B"]
+
+
+def test_running_time_ordering(benchmark):
+    """PGBJ is slowest at a representative cell."""
+
+    def run():
+        return run_all_joins("NUS-WIDE", 3)
+
+    cell = benchmark.pedantic(run, rounds=1, iterations=1)
+    times = {name: cell[name].total_seconds for name in ALGORITHMS}
+    assert times["PGBJ"] == max(times.values())
+
+
+def test_pgbj_superlinear_growth(benchmark):
+    """PGBJ's time grows faster than the data (quadratic per cell)."""
+
+    def run():
+        small = run_all_joins("NUS-WIDE", 1)
+        large = run_all_joins("NUS-WIDE", 4)
+        return small, large
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    pgbj_growth = large["PGBJ"].total_seconds / small["PGBJ"].total_seconds
+    mrha_growth = (
+        large["MRHA-INDEX-B"].total_seconds
+        / small["MRHA-INDEX-B"].total_seconds
+    )
+    assert pgbj_growth > mrha_growth
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig9_report(benchmark, dataset):
+    def run() -> str:
+        rows = []
+        for factor in SCALE_FACTORS:
+            cell = run_all_joins(dataset, factor)
+            rows.append(
+                [f"x{factor} ({cell['n']})"]
+                + [cell[name].total_seconds for name in ALGORITHMS]
+            )
+        return render_table(
+            f"Figure 9 ({dataset}-like): modelled running time (s) of "
+            "the self-join vs. data size",
+            ["size"] + ALGORITHMS,
+            rows,
+            note=(
+                "Expected shape: PGBJ superlinear and slowest; hashed "
+                "approaches near-linear, MRHA fastest."
+            ),
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(f"fig9_{dataset.lower().replace('-', '')}", table)

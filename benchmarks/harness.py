@@ -1,0 +1,164 @@
+"""Shared benchmark harness: workloads, timing, table rendering.
+
+Every bench module regenerates one table or figure of the paper's
+evaluation (Section 6).  The harness provides:
+
+* cached paper-like workloads (dataset -> spectral codes) at a size
+  controlled by ``REPRO_BENCH_SCALE`` (default 1.0; the paper's corpora
+  are 10-100x larger — see EXPERIMENTS.md for the mapping),
+* single-shot sweep timing (``time_queries``) used inside report benches,
+* fixed-width table rendering and result recording under
+  ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.bitvector import CodeSet
+from repro.core.index_base import HammingIndex
+from repro.data.containers import Dataset
+from repro.data.synthetic import PAPER_DATASETS
+from repro.hashing.spectral import SpectralHash
+
+#: Directory where rendered tables are written for EXPERIMENTS.md.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Default tuple counts, scaled by REPRO_BENCH_SCALE.
+SELECT_WORKLOAD_SIZE = 30_000
+KNN_WORKLOAD_SIZE = 30_000
+JOIN_BASE_SIZE = 400
+
+#: Paper defaults (Section 6): h = 3, k = 50, 32-bit codes.
+DEFAULT_THRESHOLD = 3
+DEFAULT_K = 50
+DEFAULT_BITS = 32
+
+#: Queries averaged per timing cell.
+NUM_QUERIES = 25
+
+
+def scale() -> float:
+    """Workload scale factor from the environment (default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(size: int) -> int:
+    return max(64, int(size * scale()))
+
+
+@lru_cache(maxsize=None)
+def paper_dataset(name: str, n: int, seed: int = 1) -> Dataset:
+    """One of the paper's three dataset substitutes, cached."""
+    return PAPER_DATASETS[name](n, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def paper_codes(name: str, n: int, bits: int = DEFAULT_BITS) -> CodeSet:
+    """Spectral-hash codes of a paper dataset, cached."""
+    dataset = paper_dataset(name, n)
+    hasher = SpectralHash(bits)
+    return dataset.encode(hasher.fit(dataset.vectors))
+
+
+def sample_queries(
+    codes: CodeSet, count: int = NUM_QUERIES, seed: int = 0
+) -> list[int]:
+    """Query codes drawn from the dataset (the paper queries by tuple)."""
+    rng = random.Random(seed)
+    return [codes[rng.randrange(len(codes))] for _ in range(count)]
+
+
+def time_queries(
+    index: HammingIndex, queries: Sequence[int], threshold: int
+) -> float:
+    """Average wall-clock per query in milliseconds."""
+    started = time.perf_counter()
+    for query in queries:
+        index.search(query, threshold)
+    elapsed = time.perf_counter() - started
+    return elapsed / len(queries) * 1000.0
+
+
+def mean_search_ops(
+    index: HammingIndex, queries: Sequence[int], threshold: int
+) -> float:
+    """Average distance computations per query (the paper's real claim:
+    redundant XOR work avoided, independent of constant factors)."""
+    total = 0
+    for query in queries:
+        index.search(query, threshold)
+        total += index.last_search_ops
+    return total / len(queries)
+
+
+def time_update(
+    index: HammingIndex, codes: CodeSet, count: int = 20, seed: int = 3
+) -> float:
+    """Average delete-then-reinsert time in ms (Table 4's update time)."""
+    rng = random.Random(seed)
+    victims = [rng.randrange(len(codes)) for _ in range(count)]
+    ids = codes.ids
+    started = time.perf_counter()
+    for victim in victims:
+        index.delete(codes[victim], ids[victim])
+        index.insert(codes[victim], ids[victim])
+    elapsed = time.perf_counter() - started
+    return elapsed / count * 1000.0
+
+
+def time_call(function: Callable[[], object]) -> tuple[float, object]:
+    """(elapsed seconds, return value) of one call."""
+    started = time.perf_counter()
+    value = function()
+    return time.perf_counter() - started, value
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Fixed-width text table, ready for the terminal and results file."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        )
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def record(name: str, text: str) -> None:
+    """Write a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n{text}")

@@ -1,0 +1,76 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Dynamic HA-Index over Table 2a of the paper, runs the
+Example 1 Hamming-select and Hamming-join, and shows maintenance
+(insert/delete) plus kNN-select — the whole centralized API in one file.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    CodeSet,
+    DynamicHAIndex,
+    hamming_join,
+    hamming_select,
+    knn_select,
+)
+from repro.core.bitvector import code_to_string
+
+# Table 2a of the paper: dataset S, tuples t0..t7.
+TABLE_S = [
+    "001 001 010",  # t0
+    "001 011 101",  # t1
+    "011 001 100",  # t2
+    "101 001 010",  # t3
+    "101 110 110",  # t4
+    "101 011 101",  # t5
+    "101 101 010",  # t6
+    "111 001 100",  # t7
+]
+
+# Table 2b: dataset R, tuples r0..r2.
+TABLE_R = ["101 100 010", "101 010 010", "110 000 010"]
+
+
+def main() -> None:
+    table_s = CodeSet.from_strings(TABLE_S)
+    table_r = CodeSet.from_strings(TABLE_R)
+
+    # --- Hamming-select (Definition 1, Example 1) -----------------------
+    query = table_r[0]  # tq = "101100010"
+    threshold = 3
+    matches = sorted(hamming_select(query, table_s, threshold))
+    print(f"h-select(tq={code_to_string(query, 9)}, S) with h={threshold}:")
+    print(f"  matching tuples: {['t%d' % i for i in matches]}")
+    assert matches == [0, 3, 4, 6], "paper's Example 1 output"
+
+    # --- The same query through a Dynamic HA-Index ----------------------
+    index = DynamicHAIndex.build(table_s, window=2, max_depth=3)
+    print(f"\nDHA-Index over S: {len(index)} tuples, "
+          f"levels {index.level_sizes()}")
+    assert sorted(index.search(query, threshold)) == matches
+
+    # --- Maintenance: delete t3, re-query, insert it back ---------------
+    index.delete(table_s[3], 3)
+    without_t3 = sorted(index.search(query, threshold))
+    print(f"after deleting t3: {['t%d' % i for i in without_t3]}")
+    index.insert(table_s[3], 3)
+    assert sorted(index.search(query, threshold)) == matches
+
+    # --- Hamming-join (Definition 2, Example 1) --------------------------
+    pairs = sorted(hamming_join(table_r, table_s, threshold))
+    print(f"\nh-join(R, S) with h={threshold}:")
+    for r_id, s_id in pairs:
+        print(f"  (r{r_id}, t{s_id})")
+    assert (2, 3) in pairs  # the paper's (r2, t3)
+
+    # --- kNN-select over the index ---------------------------------------
+    nearest = knn_select(query, index, k=3)
+    print(f"\n3 nearest neighbours of tq: "
+          + ", ".join(f"t{i} (distance {d})" for i, d in nearest))
+
+
+if __name__ == "__main__":
+    main()

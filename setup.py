@@ -1,0 +1,10 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+Kept so the package installs in environments without the `wheel` module
+(`pip install -e .` needs it to build editable wheels offline):
+``python setup.py develop`` works with bare setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro: reproduction of the EDBT 2015 HA-Index paper.
+
+Efficient Processing of Hamming-Distance-Based Similarity-Search
+Queries Over MapReduce (Tang, Yu, Aref, Malluhi, Ouzzani).
+
+Public API highlights:
+
+* :class:`repro.core.DynamicHAIndex` / :class:`repro.core.StaticHAIndex`
+  — the paper's indexes;
+* :func:`repro.core.hamming_select` / :func:`repro.core.hamming_join` /
+  :func:`repro.core.knn_select` — query front-ends;
+* :mod:`repro.hashing` — Spectral Hashing and friends;
+* :mod:`repro.mapreduce` — the in-process MapReduce runtime;
+* :func:`repro.distributed.mapreduce_hamming_join` — the three-phase
+  distributed join (Options A and B).
+"""
+
+from repro.core import (
+    CodeSet,
+    DynamicHAIndex,
+    HammingIndex,
+    IndexStats,
+    MaskedPattern,
+    RadixTreeIndex,
+    ReproError,
+    StaticHAIndex,
+    hamming_distance,
+    hamming_join,
+    hamming_select,
+    knn_join,
+    knn_select,
+    hamming_difference,
+    hamming_distinct,
+    hamming_intersect,
+    nested_loops_join,
+    self_join,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodeSet",
+    "DynamicHAIndex",
+    "HammingIndex",
+    "IndexStats",
+    "MaskedPattern",
+    "RadixTreeIndex",
+    "ReproError",
+    "StaticHAIndex",
+    "hamming_distance",
+    "hamming_join",
+    "hamming_select",
+    "knn_join",
+    "knn_select",
+    "hamming_difference",
+    "hamming_distinct",
+    "hamming_intersect",
+    "nested_loops_join",
+    "self_join",
+    "__version__",
+]

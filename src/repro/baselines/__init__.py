@@ -1,0 +1,17 @@
+"""Baseline indexes and comparators from the paper's evaluation."""
+
+from repro.baselines.hengine import HEngineIndex
+from repro.baselines.hmsearch import HmSearchIndex
+from repro.baselines.lsb_tree import LSBTreeIndex
+from repro.baselines.lsh import E2LSHIndex
+from repro.baselines.multi_hash import MultiHashTableIndex
+from repro.baselines.nested_loops import NestedLoopsIndex
+
+__all__ = [
+    "HEngineIndex",
+    "HmSearchIndex",
+    "LSBTreeIndex",
+    "E2LSHIndex",
+    "MultiHashTableIndex",
+    "NestedLoopsIndex",
+]

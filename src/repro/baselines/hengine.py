@@ -1,0 +1,151 @@
+"""HEngine baseline (Liu, Shen, Torng; ICDE 2011).
+
+HEngine improves on the MultiHashTable's memory by cutting the code into
+only ``r = floor(h_max / 2) + 1`` segments: within the threshold, some
+segment carries at most one differing bit, so the query probes each
+segment table with the segment value *and all its one-bit variants* ("it
+needs to generate one-bit differing binary code with each query, then
+carry out several binary searches over sorted hash tables").  Tables are
+kept as sorted arrays probed by binary search, per the original design.
+
+The sensitivity to ``h`` the paper observes is structural: the segment
+count is fixed at build time from ``max_threshold``, so querying beyond it
+forces a larger per-segment probe radius and the variant enumeration
+blows up (Figure 6).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+from repro.baselines.multi_hash import (
+    block_boundaries,
+    probe_count,
+    variants_within,
+)
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.index_base import HammingIndex, IndexStats
+
+#: Paper default threshold; r = floor(3/2) + 1 = 2 segments.
+DEFAULT_MAX_THRESHOLD = 3
+
+
+class HEngineIndex(HammingIndex):
+    """Sorted segment tables with query-side one-bit variant probing.
+
+    Args:
+        code_length: bit length of indexed codes.
+        max_threshold: the Hamming threshold the segmentation is sized
+            for.  Queries beyond it stay exact but probe wider.
+    """
+
+    def __init__(
+        self, code_length: int, max_threshold: int = DEFAULT_MAX_THRESHOLD
+    ) -> None:
+        super().__init__(code_length)
+        if max_threshold < 0:
+            raise InvalidParameterError("max_threshold must be >= 0")
+        segments = min(max_threshold // 2 + 1, code_length)
+        self._boundaries = block_boundaries(code_length, segments)
+        # One sorted array of (segment value, code, tuple id) per segment.
+        self._tables: list[list[tuple[int, int, int]]] = [
+            [] for _ in self._boundaries
+        ]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._tables)
+
+    def _segment(self, code: int, table: int) -> int:
+        shift, width = self._boundaries[table]
+        return (code >> shift) & ((1 << width) - 1)
+
+    def insert(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        for table_index, table in enumerate(self._tables):
+            key = self._segment(code, table_index)
+            insort(table, (key, code, tuple_id))
+        self._size += 1
+
+    def delete(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        probes = []
+        for table_index, table in enumerate(self._tables):
+            key = self._segment(code, table_index)
+            position = bisect_left(table, (key, code, tuple_id))
+            if (
+                position >= len(table)
+                or table[position] != (key, code, tuple_id)
+            ):
+                raise IndexStateError(
+                    f"tuple {tuple_id} with code {code:#x} not present"
+                )
+            probes.append((table, position))
+        for table, position in probes:
+            del table[position]
+        self._size -= 1
+
+    def _bucket(
+        self, table: list[tuple[int, int, int]], key: int
+    ) -> list[tuple[int, int, int]]:
+        """All entries with segment value ``key`` via binary search."""
+        low = bisect_left(table, (key,))
+        high = bisect_right(table, (key, float("inf"), float("inf")))
+        return table[low:high]
+
+    def search(self, query: int, threshold: int) -> list[int]:
+        return [
+            tuple_id
+            for tuple_id, _ in self.search_with_distances(query, threshold)
+        ]
+
+    def search_with_distances(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """(tuple id, distance) pairs; exact for any threshold."""
+        self._check_query(query, threshold)
+        radius = threshold // len(self._tables)
+        widest = max(width for _, width in self._boundaries)
+        if radius and probe_count(widest, radius) > max(self._size, 1):
+            # Enumerating more probes than entries is pointless: scan.
+            return self._scan_all(query, threshold)
+        seen: set[tuple[int, int]] = set()
+        results: list[tuple[int, int]] = []
+        ops = 0
+        for table_index, table in enumerate(self._tables):
+            _, width = self._boundaries[table_index]
+            query_segment = self._segment(query, table_index)
+            for probe in variants_within(query_segment, width, radius):
+                for _, code, tuple_id in self._bucket(table, probe):
+                    if (code, tuple_id) in seen:
+                        continue
+                    seen.add((code, tuple_id))
+                    ops += 1
+                    distance = (code ^ query).bit_count()
+                    if distance <= threshold:
+                        results.append((tuple_id, distance))
+        self.last_search_ops = ops
+        return results
+
+    def _scan_all(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """Probe-degenerate fallback: verify every entry of one table."""
+        results = []
+        ops = 0
+        for _, code, tuple_id in self._tables[0]:
+            ops += 1
+            distance = (code ^ query).bit_count()
+            if distance <= threshold:
+                results.append((tuple_id, distance))
+        self.last_search_ops = ops
+        return results
+
+    def stats(self) -> IndexStats:
+        entries = self._size * len(self._tables)
+        return IndexStats(
+            nodes=len(self._tables),
+            edges=0,
+            entries=entries,
+            code_bits=entries * self._code_length,
+        )

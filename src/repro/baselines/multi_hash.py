@@ -1,0 +1,261 @@
+"""MultiHashTable baseline (Manku, Jain, Das Sarma; WWW 2007).
+
+The state-of-the-art comparator the paper calls MH-4 / MH-10.  Manku's
+design for a distance threshold ``h``: cut the code into ``b = h + c``
+blocks and build one hash table per *combination* of ``c`` blocks, keyed
+by the concatenation of those blocks.  Codes within distance ``h`` leave
+at least ``c`` blocks untouched, so one table finds them with an exact
+key probe; candidates are verified with a full XOR.
+
+The table count is ``C(h + c, c)``: with the paper's default ``h = 3``,
+``c = 1`` gives the 4-table configuration (single-block keys) and
+``c = 2`` the 10-table one (pair keys).  More tables mean longer keys,
+hence smaller buckets and faster queries — and one more full copy of the
+dataset per table, the memory cost Table 4 charges this approach with.
+
+Queries beyond the design threshold stay exact by probing each key
+within a radius derived from the pigeonhole bound (the ``c`` least-
+errored blocks carry at most ``floor(c * T / b)`` differing bits).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.index_base import HammingIndex, IndexStats
+
+#: Paper configurations: "we limit ourselves to just 4 and 10 hash tables".
+DEFAULT_NUM_TABLES = 4
+#: Default design threshold (the paper's h = 3).
+DEFAULT_DESIGN_THRESHOLD = 3
+
+
+def block_boundaries(code_length: int, blocks: int) -> list[tuple[int, int]]:
+    """(shift, width) of each block, most significant block first.
+
+    Widths differ by at most one bit, e.g. 9 bits over 4 blocks gives
+    widths 3, 2, 2, 2.
+    """
+    if not 1 <= blocks <= code_length:
+        raise InvalidParameterError(
+            f"need 1 <= blocks <= code length, got {blocks}/{code_length}"
+        )
+    base, extra = divmod(code_length, blocks)
+    boundaries = []
+    position = 0
+    for index in range(blocks):
+        width = base + (1 if index < extra else 0)
+        shift = code_length - position - width
+        boundaries.append((shift, width))
+        position += width
+    return boundaries
+
+
+def variants_within(value: int, width: int, radius: int) -> list[int]:
+    """All ``width``-bit values within ``radius`` bit flips of ``value``."""
+    results = [value]
+    for flips in range(1, radius + 1):
+        for positions in combinations(range(width), flips):
+            flipped = value
+            for position in positions:
+                flipped ^= 1 << position
+            results.append(flipped)
+    return results
+
+
+def probe_count(width: int, radius: int) -> int:
+    """Size of :func:`variants_within`'s enumeration, without building it.
+
+    Probe-based indexes compare this against their entry count: once a
+    query threshold pushes the enumeration past the number of stored
+    entries, probing is strictly worse than scanning the table, so they
+    degrade to the scan (still exact).  Without the guard, a wide
+    segment at a large threshold would enumerate astronomically many
+    probes (C(64, 15) is ~10^15).
+    """
+    return sum(comb(width, flips) for flips in range(radius + 1))
+
+
+class _Table:
+    """One hash table: the key-block combination and its buckets."""
+
+    __slots__ = ("blocks", "key_width", "buckets")
+
+    def __init__(self, blocks: tuple[int, ...], key_width: int) -> None:
+        self.blocks = blocks
+        self.key_width = key_width
+        self.buckets: dict[int, list[tuple[int, int]]] = {}
+
+
+class MultiHashTableIndex(HammingIndex):
+    """Manku's combination-keyed multi-table index.
+
+    Args:
+        code_length: bit length of indexed codes.
+        num_tables: table budget; the largest combination design
+            ``C(h + c, c) <= num_tables`` is used (4 -> single-block
+            keys, 10 -> pair keys for ``h = 3``).
+        design_threshold: the distance threshold ``h`` the block layout
+            is sized for.
+    """
+
+    def __init__(
+        self,
+        code_length: int,
+        num_tables: int = DEFAULT_NUM_TABLES,
+        design_threshold: int = DEFAULT_DESIGN_THRESHOLD,
+    ) -> None:
+        super().__init__(code_length)
+        if num_tables < 1:
+            raise InvalidParameterError("num_tables must be positive")
+        if design_threshold < 1:
+            raise InvalidParameterError("design_threshold must be positive")
+        self._design = design_threshold
+        key_blocks = self._choose_key_blocks(
+            code_length, num_tables, design_threshold
+        )
+        self._num_blocks = min(design_threshold + key_blocks, code_length)
+        self._boundaries = block_boundaries(code_length, self._num_blocks)
+        key_blocks = min(key_blocks, self._num_blocks)
+        self._tables = [
+            _Table(
+                blocks,
+                sum(self._boundaries[i][1] for i in blocks),
+            )
+            for blocks in combinations(range(self._num_blocks), key_blocks)
+        ]
+
+    @staticmethod
+    def _choose_key_blocks(
+        code_length: int, num_tables: int, design: int
+    ) -> int:
+        """Largest c with C(design + c, c) <= num_tables (at least 1)."""
+        chosen = 1
+        c = 1
+        while design + c + 1 <= code_length and comb(
+            design + c + 1, c + 1
+        ) <= num_tables:
+            c += 1
+            chosen = c
+        return chosen
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    def _key(self, code: int, table: _Table) -> int:
+        key = 0
+        for block in table.blocks:
+            shift, width = self._boundaries[block]
+            key = (key << width) | ((code >> shift) & ((1 << width) - 1))
+        return key
+
+    # -- maintenance -------------------------------------------------------
+
+    def insert(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        entry = (code, tuple_id)
+        for table in self._tables:
+            table.buckets.setdefault(self._key(code, table), []).append(
+                entry
+            )
+        self._size += 1
+
+    def delete(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        entry = (code, tuple_id)
+        first = self._tables[0]
+        if entry not in first.buckets.get(self._key(code, first), []):
+            raise IndexStateError(
+                f"tuple {tuple_id} with code {code:#x} not present"
+            )
+        for table in self._tables:
+            key = self._key(code, table)
+            bucket = table.buckets[key]
+            bucket.remove(entry)
+            if not bucket:
+                del table.buckets[key]
+        self._size -= 1
+
+    # -- search ------------------------------------------------------------
+
+    def _probe_radius(self, threshold: int) -> int:
+        """Per-key probe radius keeping the answer exact.
+
+        Zero within the design threshold (some key combination is
+        untouched); beyond it, the ``c`` least-errored blocks carry at
+        most ``floor(c * T / b)`` differing bits.
+        """
+        if threshold <= self._num_blocks - len(self._tables[0].blocks):
+            return 0
+        key_blocks = len(self._tables[0].blocks)
+        return (key_blocks * threshold) // self._num_blocks
+
+    def search(self, query: int, threshold: int) -> list[int]:
+        return [
+            tuple_id
+            for tuple_id, _ in self.search_with_distances(query, threshold)
+        ]
+
+    def search_with_distances(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """(tuple id, distance) pairs; exact for any threshold."""
+        self._check_query(query, threshold)
+        radius = self._probe_radius(threshold)
+        if radius and probe_count(
+            self._tables[0].key_width, radius
+        ) > len(self._tables) * max(self._size, 1):
+            return self._scan_all(query, threshold)
+        seen: set[tuple[int, int]] = set()
+        results: list[tuple[int, int]] = []
+        ops = 0
+        for table in self._tables:
+            query_key = self._key(query, table)
+            for probe in variants_within(
+                query_key, table.key_width, radius
+            ):
+                for entry in table.buckets.get(probe, ()):
+                    if entry in seen:
+                        continue
+                    seen.add(entry)
+                    code, tuple_id = entry
+                    ops += 1
+                    distance = (code ^ query).bit_count()
+                    if distance <= threshold:
+                        results.append((tuple_id, distance))
+        self.last_search_ops = ops
+        return results
+
+    def _scan_all(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """Probe-degenerate fallback: verify every entry of one table."""
+        results = []
+        ops = 0
+        for bucket in self._tables[0].buckets.values():
+            for code, tuple_id in bucket:
+                ops += 1
+                distance = (code ^ query).bit_count()
+                if distance <= threshold:
+                    results.append((tuple_id, distance))
+        self.last_search_ops = ops
+        return results
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        nodes = sum(len(table.buckets) for table in self._tables)
+        entries = self._size * len(self._tables)
+        return IndexStats(
+            nodes=nodes,
+            edges=entries,
+            entries=entries,
+            code_bits=entries * self._code_length,
+        )

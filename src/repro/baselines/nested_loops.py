@@ -1,0 +1,101 @@
+"""Nested-Loops baseline: vectorized linear scan (Section 6's "naive").
+
+The honest version of the paper's "linearly XOR and count" baseline: all
+codes live in one packed ``uint64`` array and a query is a single
+vectorized XOR + popcount pass.  There is no structure to maintain, so
+inserts and deletes are list operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitvector import (
+    CodeSet,
+    batch_hamming,
+    batch_hamming_wide,
+    pack_codes_wide,
+)
+from repro.core.errors import IndexStateError
+from repro.core.index_base import HammingIndex, IndexStats
+
+
+class NestedLoopsIndex(HammingIndex):
+    """Flat code array scanned in full for every query."""
+
+    def __init__(self, code_length: int) -> None:
+        super().__init__(code_length)
+        self._codes: list[int] = []
+        self._ids: list[int] = []
+        self._packed: np.ndarray | None = None
+
+    def _bulk_load(self, codes: CodeSet) -> None:
+        self._codes = list(codes.codes)
+        self._ids = list(codes.ids)
+        self._size = len(self._codes)
+        self._packed = None
+
+    def _distances(self, query: int) -> np.ndarray:
+        """Vectorized distances from every stored code to ``query``;
+        codes longer than 64 bits use the multi-word kernel."""
+        if self._code_length <= 64:
+            if self._packed is None:
+                self._packed = np.asarray(self._codes, dtype=np.uint64)
+            return batch_hamming(self._packed, query)
+        if self._packed is None:
+            self._packed = pack_codes_wide(self._codes, self._code_length)
+        return batch_hamming_wide(self._packed, query)
+
+    def search(self, query: int, threshold: int) -> list[int]:
+        self._check_query(query, threshold)
+        self.last_search_ops = len(self._codes)
+        if not self._codes:
+            return []
+        distances = self._distances(query)
+        return [
+            self._ids[i] for i in np.flatnonzero(distances <= threshold)
+        ]
+
+    def search_with_distances(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """(tuple id, distance) pairs for the kNN front-end."""
+        self._check_query(query, threshold)
+        self.last_search_ops = len(self._codes)
+        if not self._codes:
+            return []
+        distances = self._distances(query)
+        return [
+            (self._ids[i], int(distances[i]))
+            for i in np.flatnonzero(distances <= threshold)
+        ]
+
+    def insert(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        self._codes.append(code)
+        self._ids.append(tuple_id)
+        self._packed = None
+        self._size += 1
+
+    def delete(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        for position, (stored, stored_id) in enumerate(
+            zip(self._codes, self._ids)
+        ):
+            if stored == code and stored_id == tuple_id:
+                del self._codes[position]
+                del self._ids[position]
+                self._packed = None
+                self._size -= 1
+                return
+        raise IndexStateError(
+            f"tuple {tuple_id} with code {code:#x} not present"
+        )
+
+    def stats(self) -> IndexStats:
+        return IndexStats(
+            nodes=1,
+            edges=0,
+            entries=len(self._codes),
+            code_bits=len(self._codes) * self._code_length,
+        )

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``    — the paper's running example (Table 2, Example 1).
+* ``select``  — Hamming-select on a synthetic paper-like dataset.
+* ``join``    — centralized Hamming self-join with index comparison.
+* ``knn``     — approximate kNN-select through the HA-Index.
+* ``mrjoin``  — the distributed three-phase join with shuffle stats.
+* ``info``    — version, registered index families, dataset generators.
+
+Every command prints a small, self-describing report; sizes stay
+laptop-friendly by default and scale through ``--n``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro import __version__
+from repro.core.bitvector import CodeSet, code_to_string
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.knn import knn_select
+from repro.core.select import INDEX_FAMILIES, hamming_select
+from repro.data.synthetic import PAPER_DATASETS
+from repro.hashing.spectral import SpectralHash
+from repro.metrics import format_bytes
+
+_DATASET_CHOICES = {
+    "nuswide": "NUS-WIDE",
+    "flickr": "Flickr",
+    "dbpedia": "DBPedia",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "HA-Index reproduction (EDBT 2015): Hamming-distance "
+            "similarity search over MapReduce"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the paper's running example")
+    commands.add_parser("info", help="show registered components")
+
+    def add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset",
+            choices=sorted(_DATASET_CHOICES),
+            default="nuswide",
+            help="paper-like synthetic dataset (default: nuswide)",
+        )
+        sub.add_argument(
+            "--n", type=int, default=10_000, help="tuples (default 10000)"
+        )
+        sub.add_argument(
+            "--bits", type=int, default=32, help="code length (default 32)"
+        )
+        sub.add_argument(
+            "--seed", type=int, default=1, help="dataset seed (default 1)"
+        )
+
+    select = commands.add_parser("select", help="Hamming-select demo")
+    add_workload_arguments(select)
+    select.add_argument("--threshold", type=int, default=3)
+    select.add_argument(
+        "--index",
+        choices=sorted(INDEX_FAMILIES),
+        default="DHA-Index",
+    )
+    select.add_argument(
+        "--query-id", type=int, default=0, help="tuple used as the query"
+    )
+
+    join = commands.add_parser("join", help="Hamming self-join demo")
+    add_workload_arguments(join)
+    join.add_argument("--threshold", type=int, default=3)
+
+    knn = commands.add_parser("knn", help="approximate kNN-select demo")
+    add_workload_arguments(knn)
+    knn.add_argument("--k", type=int, default=10)
+    knn.add_argument("--query-id", type=int, default=0)
+
+    mrjoin = commands.add_parser(
+        "mrjoin", help="distributed Hamming-join demo"
+    )
+    add_workload_arguments(mrjoin)
+    mrjoin.add_argument("--threshold", type=int, default=3)
+    mrjoin.add_argument("--workers", type=int, default=16)
+    mrjoin.add_argument(
+        "--option", choices=["A", "B", "auto"], default="auto"
+    )
+
+    verify = commands.add_parser(
+        "verify", help="cross-check every index family against a scan"
+    )
+    add_workload_arguments(verify)
+    return parser
+
+
+def _encoded_workload(args: argparse.Namespace):
+    name = _DATASET_CHOICES[args.dataset]
+    dataset = PAPER_DATASETS[name](args.n, seed=args.seed)
+    hasher = SpectralHash(args.bits)
+    codes = dataset.encode(hasher.fit(dataset.vectors))
+    return dataset, codes
+
+
+def _command_demo() -> int:
+    table_s = CodeSet.from_strings(
+        ["001001010", "001011101", "011001100", "101001010",
+         "101110110", "101011101", "101101010", "111001100"]
+    )
+    query = 0b101100010
+    print("Table 2a codes (t0..t7):")
+    for tuple_id, code in enumerate(table_s):
+        print(f"  t{tuple_id}: {code_to_string(code, 9)}")
+    matches = sorted(hamming_select(query, table_s, 3))
+    print(f"\nh-select({code_to_string(query, 9)}, S) with h=3 -> "
+          + ", ".join(f"t{i}" for i in matches))
+    index = DynamicHAIndex.build(table_s, window=2, max_depth=3)
+    print(f"DHA-Index levels (top->leaves): {index.level_sizes()}")
+    return 0
+
+
+def _command_info() -> int:
+    print(f"repro {__version__}")
+    print("index families:")
+    for name in INDEX_FAMILIES:
+        print(f"  {name}")
+    print("dataset generators:")
+    for alias, name in sorted(_DATASET_CHOICES.items()):
+        print(f"  {alias} -> {name}")
+    return 0
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    _, codes = _encoded_workload(args)
+    builder = INDEX_FAMILIES[args.index]
+    started = time.perf_counter()
+    index = builder(codes)
+    build_seconds = time.perf_counter() - started
+    query = codes[args.query_id % len(codes)]
+    started = time.perf_counter()
+    matches = index.search(query, args.threshold)
+    query_ms = (time.perf_counter() - started) * 1000.0
+    stats = index.stats()
+    print(f"{args.index} over {len(codes)} x {args.bits}-bit codes")
+    print(f"  build: {build_seconds:.2f} s, "
+          f"memory (modelled): {format_bytes(stats.memory_bytes)}")
+    print(f"  h-select(h={args.threshold}): {len(matches)} matches "
+          f"in {query_ms:.3f} ms "
+          f"({index.last_search_ops} distance computations)")
+    return 0
+
+
+def _command_join(args: argparse.Namespace) -> int:
+    from repro.core.join import self_join
+
+    _, codes = _encoded_workload(args)
+    started = time.perf_counter()
+    pairs = self_join(codes, args.threshold)
+    elapsed = time.perf_counter() - started
+    print(f"self h-join over {len(codes)} codes, h={args.threshold}:")
+    print(f"  {len(pairs)} pairs in {elapsed:.2f} s")
+    return 0
+
+
+def _command_knn(args: argparse.Namespace) -> int:
+    _, codes = _encoded_workload(args)
+    index = DynamicHAIndex.build(codes)
+    query = codes[args.query_id % len(codes)]
+    started = time.perf_counter()
+    neighbors = knn_select(query, index, args.k)
+    elapsed = (time.perf_counter() - started) * 1000.0
+    print(f"{args.k}-NN of tuple {args.query_id} in {elapsed:.2f} ms:")
+    for tuple_id, distance in neighbors:
+        print(f"  tuple {tuple_id}  (distance {distance})")
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.core.validation import verify_all_families
+
+    _, codes = _encoded_workload(args)
+    print(f"verifying all index families over {len(codes)} x "
+          f"{args.bits}-bit codes...")
+    for name, report in verify_all_families(codes).items():
+        print(f"  {name:14s} OK - {report}")
+    return 0
+
+
+def _command_mrjoin(args: argparse.Namespace) -> int:
+    from repro.distributed.hamming_join import mapreduce_hamming_join
+    from repro.mapreduce.cluster import Cluster
+    from repro.mapreduce.runtime import MapReduceRuntime
+
+    dataset, _ = _encoded_workload(args)
+    records = list(zip(range(len(dataset)), dataset.vectors))
+    runtime = MapReduceRuntime(Cluster(args.workers))
+    report = mapreduce_hamming_join(
+        runtime, records, records, args.threshold,
+        num_bits=args.bits, option=args.option, exclude_self_pairs=True,
+    )
+    print(f"MRHA-Index-{report.option} self-join over {len(records)} "
+          f"tuples on {args.workers} workers, h={args.threshold}:")
+    print(f"  pairs:           {len(report.pairs)}")
+    print(f"  shuffle volume:  {format_bytes(report.shuffle_bytes)}")
+    print(f"  modelled time:   {report.total_seconds:.2f} s "
+          f"(preprocess {report.preprocess_seconds:.2f}, "
+          f"build {report.build_seconds:.2f}, "
+          f"join {report.join_seconds:.2f})")
+    print(f"  partition sizes: {report.partition_sizes}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _command_demo()
+    if args.command == "info":
+        return _command_info()
+    if args.command == "select":
+        return _command_select(args)
+    if args.command == "join":
+        return _command_join(args)
+    if args.command == "knn":
+        return _command_knn(args)
+    if args.command == "mrjoin":
+        return _command_mrjoin(args)
+    if args.command == "verify":
+        return _command_verify(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

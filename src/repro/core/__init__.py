@@ -1,0 +1,39 @@
+"""Core primitives and the HA-Index family."""
+
+from repro.core.bitvector import CodeSet, hamming_distance
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import ReproError
+from repro.core.index_base import HammingIndex, IndexStats
+from repro.core.join import hamming_join, nested_loops_join, self_join
+from repro.core.knn import knn_join, knn_select
+from repro.core.pattern import MaskedPattern
+from repro.core.radix_tree import RadixTreeIndex
+from repro.core.relational import (
+    hamming_difference,
+    hamming_distinct,
+    hamming_intersect,
+)
+from repro.core.select import INDEX_FAMILIES, hamming_select
+from repro.core.static_ha import StaticHAIndex
+
+__all__ = [
+    "CodeSet",
+    "hamming_distance",
+    "DynamicHAIndex",
+    "ReproError",
+    "HammingIndex",
+    "IndexStats",
+    "hamming_join",
+    "nested_loops_join",
+    "self_join",
+    "knn_join",
+    "knn_select",
+    "MaskedPattern",
+    "RadixTreeIndex",
+    "hamming_difference",
+    "hamming_distinct",
+    "hamming_intersect",
+    "INDEX_FAMILIES",
+    "hamming_select",
+    "StaticHAIndex",
+]

@@ -1,0 +1,247 @@
+"""Binary codes and Hamming-distance primitives.
+
+The paper (Section 3) represents every tuple by a fixed-length binary code
+``U`` produced by a learned similarity hash.  This module provides the two
+representations the rest of the library builds on:
+
+* single codes as plain Python ints (arbitrary length, cheap
+  ``int.bit_count()`` popcounts), always paired with an explicit bit
+  length, and
+* batches of codes as numpy ``uint64`` arrays for the vectorized
+  linear-scan baseline and for bulk index construction.
+
+Bit position 0 is the most significant bit of the code string, matching
+the paper's left-to-right examples (``"101100010"`` has bit 0 = 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import CodeLengthError, InvalidParameterError
+
+#: Maximum code length representable in a packed ``uint64`` batch.
+MAX_PACKED_LENGTH = 64
+
+
+def hamming_distance(code_a: int, code_b: int) -> int:
+    """Return the Hamming distance between two codes of equal length.
+
+    This is the XOR-then-popcount kernel from Section 1 of the paper.
+    Lengths are not checked here (hot path); callers compare codes drawn
+    from the same :class:`CodeSet` or index.
+    """
+    return (code_a ^ code_b).bit_count()
+
+
+def code_from_string(bits: str) -> int:
+    """Parse a code written as a string of ``0``/``1`` characters.
+
+    Spaces are ignored, so the paper's grouped notation
+    ``"001 001 010"`` parses directly.
+
+    >>> code_from_string("001 001 010")
+    74
+    """
+    compact = bits.replace(" ", "")
+    if not compact or any(ch not in "01" for ch in compact):
+        raise InvalidParameterError(f"not a binary string: {bits!r}")
+    return int(compact, 2)
+
+
+def code_to_string(code: int, length: int) -> str:
+    """Render ``code`` as a ``length``-character string of 0s and 1s."""
+    _check_code(code, length)
+    return format(code, f"0{length}b")
+
+
+def bit_at(code: int, position: int, length: int) -> int:
+    """Return the bit of ``code`` at ``position`` (0 = most significant)."""
+    if not 0 <= position < length:
+        raise InvalidParameterError(
+            f"bit position {position} out of range for length {length}"
+        )
+    return (code >> (length - 1 - position)) & 1
+
+
+def _check_code(code: int, length: int) -> None:
+    if code < 0:
+        raise InvalidParameterError("binary codes are non-negative")
+    if code >> length:
+        raise CodeLengthError(
+            f"code {code:#x} does not fit in {length} bits"
+        )
+
+
+def pack_codes(codes: Iterable[int], length: int) -> np.ndarray:
+    """Pack codes into a ``uint64`` array for vectorized operations.
+
+    Raises :class:`CodeLengthError` if any code does not fit in ``length``
+    bits or ``length`` exceeds :data:`MAX_PACKED_LENGTH`.
+    """
+    if not 1 <= length <= MAX_PACKED_LENGTH:
+        raise InvalidParameterError(
+            f"packed length must be in [1, {MAX_PACKED_LENGTH}], got {length}"
+        )
+    values = list(codes)
+    for value in values:
+        _check_code(value, length)
+    return np.asarray(values, dtype=np.uint64)
+
+
+def pack_codes_wide(codes: Iterable[int], length: int) -> np.ndarray:
+    """Pack codes of any length into an (n, words) ``uint64`` matrix.
+
+    Word 0 holds the least-significant 64 bits.  Complements
+    :func:`pack_codes` for code lengths above 64 (e.g. 128-bit GIST
+    signatures); :func:`batch_hamming_wide` consumes the result.
+    """
+    if length < 1:
+        raise InvalidParameterError("length must be positive")
+    values = list(codes)
+    for value in values:
+        _check_code(value, length)
+    words = (length + 63) // 64
+    packed = np.zeros((len(values), words), dtype=np.uint64)
+    mask = (1 << 64) - 1
+    for row, value in enumerate(values):
+        for word in range(words):
+            packed[row, word] = (value >> (word * 64)) & mask
+    return packed
+
+
+def _query_words(query: int, words: int) -> np.ndarray:
+    mask = (1 << 64) - 1
+    return np.asarray(
+        [(query >> (word * 64)) & mask for word in range(words)],
+        dtype=np.uint64,
+    )
+
+
+def batch_hamming_wide(packed: np.ndarray, query: int) -> np.ndarray:
+    """Vectorized distances for wide (multi-word) packed codes."""
+    xor = np.bitwise_xor(packed, _query_words(query, packed.shape[1]))
+    return np.bitwise_count(xor).sum(axis=1).astype(np.uint16)
+
+
+def batch_hamming(packed: np.ndarray, query: int) -> np.ndarray:
+    """Vectorized Hamming distances from every packed code to ``query``.
+
+    Returns a ``uint8`` array of distances; the core of the honest
+    nested-loops baseline (Section 6, "Nested-Loops").
+    """
+    xor = np.bitwise_xor(packed, np.uint64(query))
+    return np.bitwise_count(xor).astype(np.uint8)
+
+
+def batch_select(packed: np.ndarray, query: int, threshold: int) -> np.ndarray:
+    """Indices of packed codes within ``threshold`` of ``query``."""
+    return np.flatnonzero(batch_hamming(packed, query) <= threshold)
+
+
+class CodeSet:
+    """An immutable, length-checked collection of binary codes.
+
+    ``CodeSet`` is the interchange type between the hashing layer (which
+    produces codes), the indexes (which consume them), and the MapReduce
+    jobs (which shuffle them).  Tuple identifiers are positional: code ``i``
+    belongs to tuple ``i`` of the originating dataset unless explicit
+    ``ids`` are supplied.
+    """
+
+    __slots__ = ("_codes", "_length", "_ids")
+
+    def __init__(
+        self,
+        codes: Sequence[int],
+        length: int,
+        ids: Sequence[int] | None = None,
+    ) -> None:
+        if length < 1:
+            raise InvalidParameterError("code length must be positive")
+        for code in codes:
+            _check_code(code, length)
+        if ids is not None and len(ids) != len(codes):
+            raise InvalidParameterError(
+                f"{len(ids)} ids supplied for {len(codes)} codes"
+            )
+        self._codes = tuple(codes)
+        self._length = length
+        self._ids = tuple(ids) if ids is not None else None
+
+    @property
+    def length(self) -> int:
+        """Bit length shared by every code in the set."""
+        return self._length
+
+    @property
+    def codes(self) -> tuple[int, ...]:
+        return self._codes
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        if self._ids is not None:
+            return self._ids
+        return tuple(range(len(self._codes)))
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __iter__(self):
+        return iter(self._codes)
+
+    def __getitem__(self, index: int) -> int:
+        return self._codes[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CodeSet):
+            return NotImplemented
+        return (
+            self._length == other._length
+            and self._codes == other._codes
+            and self.ids == other.ids
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._codes, self.ids))
+
+    def __repr__(self) -> str:
+        return f"CodeSet(n={len(self)}, length={self._length})"
+
+    def packed(self) -> np.ndarray:
+        """The codes as a ``uint64`` numpy array (length must be <= 64)."""
+        return pack_codes(self._codes, self._length)
+
+    def packed_wide(self) -> np.ndarray:
+        """The codes as an (n, words) ``uint64`` matrix, any length."""
+        return pack_codes_wide(self._codes, self._length)
+
+    def with_ids(self, ids: Sequence[int]) -> "CodeSet":
+        """A copy of this set carrying explicit tuple identifiers."""
+        return CodeSet(self._codes, self._length, ids=ids)
+
+    def subset(self, indices: Sequence[int]) -> "CodeSet":
+        """A new ``CodeSet`` of the rows at ``indices`` (ids preserved)."""
+        own_ids = self.ids
+        return CodeSet(
+            [self._codes[i] for i in indices],
+            self._length,
+            ids=[own_ids[i] for i in indices],
+        )
+
+    @classmethod
+    def from_strings(cls, strings: Iterable[str]) -> "CodeSet":
+        """Build a set from equal-length ``0``/``1`` strings.
+
+        >>> CodeSet.from_strings(["001001010", "001011101"]).length
+        9
+        """
+        parsed = [s.replace(" ", "") for s in strings]
+        if not parsed:
+            raise InvalidParameterError("cannot infer length of empty set")
+        lengths = {len(s) for s in parsed}
+        if len(lengths) != 1:
+            raise CodeLengthError(f"mixed code lengths: {sorted(lengths)}")
+        return cls([code_from_string(s) for s in parsed], lengths.pop())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CodeLengthError(ReproError):
+    """A binary code's length does not match what the operation expects."""
+
+
+class InvalidParameterError(ReproError):
+    """A caller-supplied parameter is outside its valid range."""
+
+
+class IndexStateError(ReproError):
+    """An index operation was attempted in an invalid state.
+
+    Examples: searching an index that has not been built, deleting a tuple
+    that is not present, or merging indexes with incompatible code lengths.
+    """
+
+
+class HashNotFittedError(ReproError):
+    """A learned similarity hash was used before :meth:`fit` was called."""
+
+
+class JobConfigurationError(ReproError):
+    """A MapReduce job specification is inconsistent or incomplete."""
+
+
+class JobExecutionError(ReproError):
+    """A MapReduce task kept failing past the retry budget."""

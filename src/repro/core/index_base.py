@@ -1,0 +1,122 @@
+"""Common interface implemented by every Hamming-select index.
+
+All indexes in the library — the paper's Radix-Tree, Static and Dynamic
+HA-Indexes as well as the baselines (nested loops, MultiHashTable,
+HEngine, HmSearch) — expose the same contract so the select/join/kNN
+front-ends and the benchmark harness can treat them interchangeably:
+
+* :meth:`build` constructs the index from a :class:`CodeSet`;
+* :meth:`search` answers ``h-select`` exactly (all tuple ids within the
+  threshold, no false positives or negatives);
+* :meth:`insert` / :meth:`delete` maintain the index (Table 4's "update
+  time" is one delete followed by one insert);
+* :meth:`stats` reports structural size and a modelled memory footprint.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import CodeLengthError, InvalidParameterError
+
+#: Modelled per-object costs (bytes) used by every index's memory estimate.
+#: One cost model across all indexes keeps Table 4's memory column an
+#: apples-to-apples comparison; see DESIGN.md §4.
+NODE_BYTES = 48
+EDGE_BYTES = 8
+ENTRY_BYTES = 16
+CODE_BYTES_PER_BIT = 1 / 8
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Structural size of an index under the shared cost model.
+
+    Attributes:
+        nodes: internal structure nodes (tree/DAG nodes, hash buckets).
+        edges: parent-child or bucket-chain links.
+        entries: stored (code, tuple-id) payload entries, counting
+            duplication (MultiHashTable stores each tuple once per table).
+        code_bits: total bits of code material stored.
+    """
+
+    nodes: int
+    edges: int
+    entries: int
+    code_bits: int
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modelled resident size in bytes."""
+        return int(
+            self.nodes * NODE_BYTES
+            + self.edges * EDGE_BYTES
+            + self.entries * ENTRY_BYTES
+            + self.code_bits * CODE_BYTES_PER_BIT
+        )
+
+
+class HammingIndex(ABC):
+    """Abstract base for exact Hamming-select indexes.
+
+    Besides wall-clock, the paper argues in *distance computations
+    avoided*; every index therefore updates :attr:`last_search_ops` —
+    the number of XOR/popcount distance evaluations its most recent
+    :meth:`search` performed — so benchmarks can compare the structural
+    work independent of constant factors.
+    """
+
+    def __init__(self, code_length: int) -> None:
+        if code_length < 1:
+            raise InvalidParameterError("code length must be positive")
+        self._code_length = code_length
+        self._size = 0
+        #: Distance computations performed by the most recent search.
+        self.last_search_ops = 0
+
+    @property
+    def code_length(self) -> int:
+        """Bit length of the indexed codes."""
+        return self._code_length
+
+    def __len__(self) -> int:
+        """Number of indexed tuples."""
+        return self._size
+
+    @classmethod
+    def build(cls, codes: CodeSet, **params) -> "HammingIndex":
+        """Construct an index over ``codes`` (ids taken from the set)."""
+        index = cls(codes.length, **params)
+        index._bulk_load(codes)
+        return index
+
+    def _bulk_load(self, codes: CodeSet) -> None:
+        """Default bulk load: repeated insert; subclasses may override."""
+        for code, tuple_id in zip(codes.codes, codes.ids):
+            self.insert(code, tuple_id)
+
+    def _check_query(self, query: int, threshold: int) -> None:
+        if query < 0 or query >> self._code_length:
+            raise CodeLengthError(
+                f"query {query:#x} does not fit in {self._code_length} bits"
+            )
+        if threshold < 0:
+            raise InvalidParameterError("threshold must be non-negative")
+
+    @abstractmethod
+    def search(self, query: int, threshold: int) -> list[int]:
+        """Tuple ids whose code is within ``threshold`` of ``query``."""
+
+    @abstractmethod
+    def insert(self, code: int, tuple_id: int) -> None:
+        """Add one (code, tuple id) pair."""
+
+    @abstractmethod
+    def delete(self, code: int, tuple_id: int) -> None:
+        """Remove one (code, tuple id) pair; raises if absent."""
+
+    @abstractmethod
+    def stats(self) -> IndexStats:
+        """Structural size under the shared memory model."""

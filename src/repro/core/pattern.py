@@ -1,0 +1,239 @@
+"""Masked bit patterns: the FLSS / FLSSeq algebra (Definitions 3–4).
+
+A *fixed-length substring* (FLSS) fixes a contiguous run of bit positions
+and leaves the rest free; a *fixed-length subsequence* (FLSSeq) fixes an
+arbitrary subset of positions.  Both are represented here as a
+:class:`MaskedPattern` — a pair ``(bits, mask)`` where set mask bits are
+the *effective* positions and ``bits`` holds their values (non-effective
+bits of ``bits`` are zero).
+
+The partial Hamming distance of a pattern to a query counts differing
+bits at effective positions only, exactly the paper's
+"count the bit difference in the corresponding effective bit positions".
+Proposition 1 (downward closure) then makes the accumulated distance along
+an HA-Index path a lower bound on the true distance, which is what makes
+pruning exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import CodeLengthError, InvalidParameterError
+
+#: Character used for a free ("don't care") position in pattern strings.
+FREE_CHAR = "."
+
+
+@dataclass(frozen=True, slots=True)
+class MaskedPattern:
+    """A fixed-length bit pattern with free positions.
+
+    Attributes:
+        bits: values at effective positions; zero elsewhere.
+        mask: set bits mark the effective positions.
+        length: total pattern length in bits.
+    """
+
+    bits: int
+    mask: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise InvalidParameterError("pattern length must be positive")
+        if self.mask >> self.length:
+            raise CodeLengthError(
+                f"mask {self.mask:#x} does not fit in {self.length} bits"
+            )
+        if self.bits & ~self.mask:
+            raise InvalidParameterError(
+                "pattern bits set outside the effective mask"
+            )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_string(cls, pattern: str) -> "MaskedPattern":
+        """Parse the paper's dotted notation, e.g. ``"...0.1.1."``.
+
+        Spaces are ignored; ``.`` (or ``·``) marks a free position.
+        """
+        compact = pattern.replace(" ", "").replace("·", FREE_CHAR)
+        if not compact:
+            raise InvalidParameterError("empty pattern string")
+        bits = 0
+        mask = 0
+        for ch in compact:
+            bits <<= 1
+            mask <<= 1
+            if ch == "1":
+                bits |= 1
+                mask |= 1
+            elif ch == "0":
+                mask |= 1
+            elif ch != FREE_CHAR:
+                raise InvalidParameterError(
+                    f"invalid pattern character {ch!r} in {pattern!r}"
+                )
+        return cls(bits, mask, len(compact))
+
+    @classmethod
+    def full(cls, code: int, length: int) -> "MaskedPattern":
+        """A pattern with every position effective (a complete code)."""
+        full_mask = (1 << length) - 1
+        if code & ~full_mask:
+            raise CodeLengthError(
+                f"code {code:#x} does not fit in {length} bits"
+            )
+        return cls(code, full_mask, length)
+
+    @classmethod
+    def empty(cls, length: int) -> "MaskedPattern":
+        """A pattern with no effective positions."""
+        return cls(0, 0, length)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def effective_bits(self) -> int:
+        """Number of effective (fixed) positions."""
+        return self.mask.bit_count()
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every position is effective."""
+        return self.mask == (1 << self.length) - 1
+
+    def __str__(self) -> str:
+        chars = []
+        for position in range(self.length - 1, -1, -1):
+            if (self.mask >> position) & 1:
+                chars.append("1" if (self.bits >> position) & 1 else "0")
+            else:
+                chars.append(FREE_CHAR)
+        return "".join(chars)
+
+    # -- the FLSS / FLSSeq relations --------------------------------------
+
+    def matches(self, code: int) -> bool:
+        """True when ``code`` agrees with this pattern at effective bits.
+
+        This is the paper's ``bitmatch`` test (Algorithm 2): the pattern is
+        an FLSSeq of ``code``.
+        """
+        return (code ^ self.bits) & self.mask == 0
+
+    def generalizes(self, other: "MaskedPattern") -> bool:
+        """True when every code matching ``other`` also matches ``self``.
+
+        Equivalent to: ``self``'s effective positions are a subset of
+        ``other``'s and the two agree there.
+        """
+        if self.length != other.length:
+            return False
+        if self.mask & ~other.mask:
+            return False
+        return (self.bits ^ other.bits) & self.mask == 0
+
+    def is_contiguous(self) -> bool:
+        """True when the effective positions form one contiguous run.
+
+        Distinguishes an FLSS (Definition 3) from a general FLSSeq
+        (Definition 4).  The empty pattern counts as contiguous.
+        """
+        if self.mask == 0:
+            return True
+        shifted = self.mask >> ((self.mask & -self.mask).bit_length() - 1)
+        return (shifted & (shifted + 1)) == 0
+
+    # -- distance and composition ------------------------------------------
+
+    def distance(self, code: int) -> int:
+        """Partial Hamming distance to ``code`` over effective positions."""
+        return ((code ^ self.bits) & self.mask).bit_count()
+
+    def distance_to_pattern(self, other: "MaskedPattern") -> int:
+        """Partial distance over positions effective in *both* patterns."""
+        if self.length != other.length:
+            raise CodeLengthError("pattern lengths differ")
+        return ((self.bits ^ other.bits) & self.mask & other.mask).bit_count()
+
+    def combine(self, other: "MaskedPattern") -> "MaskedPattern":
+        """Union of two patterns with disjoint effective positions.
+
+        This is the ``combine`` step of H-Search (Algorithm 3, line 15):
+        a parent pattern and a child residual merge into the pattern of the
+        path so far.  Overlapping masks indicate a construction bug, so
+        they raise.
+        """
+        if self.length != other.length:
+            raise CodeLengthError("pattern lengths differ")
+        if self.mask & other.mask:
+            raise InvalidParameterError(
+                "combine requires disjoint effective positions"
+            )
+        return MaskedPattern(
+            self.bits | other.bits, self.mask | other.mask, self.length
+        )
+
+    def residual(self, code: int) -> "MaskedPattern":
+        """The part of ``code`` not covered by this pattern.
+
+        ``pattern.combine(pattern.residual(code))`` reconstructs the full
+        code; used by H-Build to store child bits relative to a parent.
+        """
+        full_mask = (1 << self.length) - 1
+        free = full_mask & ~self.mask
+        return MaskedPattern(code & free, free, self.length)
+
+
+def common_pattern(
+    codes: Sequence[int], length: int
+) -> MaskedPattern:
+    """Maximal FLSSeq shared by all ``codes`` (the agreement pattern).
+
+    Effective positions are exactly those where every code agrees; this is
+    the maximal common fixed-length subsequence extracted by H-Build's
+    ``extractFLSSeq`` (Algorithm 1, line 5).  Raises on an empty input.
+    """
+    if not codes:
+        raise InvalidParameterError("common_pattern of no codes")
+    ones = codes[0]
+    zeros = ~codes[0]
+    for code in codes[1:]:
+        ones &= code
+        zeros &= ~code
+    full_mask = (1 << length) - 1
+    mask = (ones | zeros) & full_mask
+    return MaskedPattern(ones & mask, mask, length)
+
+
+def common_of_patterns(
+    patterns: Iterable[MaskedPattern],
+) -> MaskedPattern:
+    """Maximal FLSSeq shared by all ``patterns``.
+
+    A position is effective in the result when it is effective in every
+    input pattern and all inputs agree on its value.  This is the upper-
+    level merge step of H-Build (Algorithm 1, lines 21-24), where the
+    "codes" being merged are themselves partial patterns.
+    """
+    iterator = iter(patterns)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise InvalidParameterError("common_of_patterns of no patterns")
+    mask = first.mask
+    ones = first.bits
+    zeros = ~first.bits & first.mask
+    length = first.length
+    for pattern in iterator:
+        if pattern.length != length:
+            raise CodeLengthError("pattern lengths differ")
+        mask &= pattern.mask
+        ones &= pattern.bits
+        zeros &= ~pattern.bits & pattern.mask
+    mask &= ones | zeros
+    return MaskedPattern(ones & mask, mask, length)

@@ -1,0 +1,217 @@
+"""Radix-Tree (PATRICIA trie) approach to Hamming-select (Section 4.2).
+
+Binary codes are stored in a path-compressed binary prefix trie.  Codes
+sharing a prefix share the XOR work for that prefix: search walks the tree
+top-down accumulating the Hamming distance of each edge label against the
+corresponding query bits and prunes a whole subtree as soon as the
+accumulated distance exceeds the threshold (the downward-closure property,
+Proposition 1).
+
+The paper uses this index as the stepping stone to the HA-Index and keeps
+it as a baseline: it is prefix-sensitive, so codes differing early (the
+``t2``/``t7`` example) split into distinct branches and their shared
+suffix work is repeated.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import IndexStateError
+from repro.core.index_base import HammingIndex, IndexStats
+
+
+class _RadixNode:
+    """A trie node whose incoming edge carries ``label_bits``.
+
+    ``label`` is the edge's bit pattern stored as an int of
+    ``label_bits`` bits (most significant bit first, possibly zero bits
+    for the root).  Leaves carry the tuple ids of the full code.
+    """
+
+    __slots__ = ("label", "label_bits", "children", "ids")
+
+    def __init__(self, label: int, label_bits: int) -> None:
+        self.label = label
+        self.label_bits = label_bits
+        self.children: dict[int, _RadixNode] = {}
+        self.ids: list[int] = []
+
+
+class RadixTreeIndex(HammingIndex):
+    """Path-compressed binary trie with Hamming-distance pruning."""
+
+    def __init__(self, code_length: int) -> None:
+        super().__init__(code_length)
+        self._root = _RadixNode(0, 0)
+
+    # -- maintenance -------------------------------------------------------
+
+    def insert(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        node = self._root
+        depth = 0
+        while depth < self._code_length:
+            remaining = self._code_length - depth
+            branch = _bit(code, depth, self._code_length)
+            child = node.children.get(branch)
+            if child is None:
+                leaf = _RadixNode(_suffix(code, depth, remaining), remaining)
+                leaf.ids.append(tuple_id)
+                node.children[branch] = leaf
+                self._size += 1
+                return
+            shared = _common_prefix_length(
+                _suffix(code, depth, remaining),
+                remaining,
+                child.label,
+                child.label_bits,
+            )
+            if shared == child.label_bits:
+                node = child
+                depth += shared
+                continue
+            # Split the child's edge at the divergence point.
+            self._split_edge(node, branch, child, shared)
+            node = node.children[branch]
+            depth += shared
+        node.ids.append(tuple_id)
+        self._size += 1
+
+    def _split_edge(
+        self,
+        parent: _RadixNode,
+        branch: int,
+        child: _RadixNode,
+        shared: int,
+    ) -> None:
+        upper = _RadixNode(child.label >> (child.label_bits - shared), shared)
+        lower_bits = child.label_bits - shared
+        lower_label = child.label & ((1 << lower_bits) - 1)
+        child.label = lower_label
+        child.label_bits = lower_bits
+        lower_branch = (lower_label >> (lower_bits - 1)) & 1
+        upper.children[lower_branch] = child
+        parent.children[branch] = upper
+
+    def delete(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        path: list[tuple[_RadixNode, int]] = []
+        node = self._root
+        depth = 0
+        while depth < self._code_length:
+            branch = _bit(code, depth, self._code_length)
+            child = node.children.get(branch)
+            if child is None or not _edge_matches(code, depth, child, self._code_length):
+                raise IndexStateError(
+                    f"code {code:#x} not present in radix tree"
+                )
+            path.append((node, branch))
+            node = child
+            depth += child.label_bits
+        if tuple_id not in node.ids:
+            raise IndexStateError(
+                f"tuple {tuple_id} not stored under code {code:#x}"
+            )
+        node.ids.remove(tuple_id)
+        self._size -= 1
+        self._prune_empty(path, node)
+
+    def _prune_empty(
+        self, path: list[tuple[_RadixNode, int]], leaf: _RadixNode
+    ) -> None:
+        node = leaf
+        for parent, branch in reversed(path):
+            if node.ids or node.children:
+                break
+            del parent.children[branch]
+            node = parent
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: int, threshold: int) -> list[int]:
+        return [
+            tuple_id
+            for tuple_id, _ in self.search_with_distances(query, threshold)
+        ]
+
+    def search_with_distances(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """(tuple id, exact distance) pairs; the accumulated edge
+        distance at a leaf is the full Hamming distance."""
+        self._check_query(query, threshold)
+        results: list[tuple[int, int]] = []
+        ops = 0
+        stack: list[tuple[_RadixNode, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, depth, accumulated = stack.pop()
+            if depth == self._code_length:
+                results.extend(
+                    (tuple_id, accumulated) for tuple_id in node.ids
+                )
+                continue
+            for child in node.children.values():
+                ops += 1
+                distance = _edge_distance(
+                    query, depth, child, self._code_length
+                )
+                total = accumulated + distance
+                if total <= threshold:
+                    stack.append((child, depth + child.label_bits, total))
+        self.last_search_ops = ops
+        return results
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        nodes = 0
+        edges = 0
+        entries = 0
+        code_bits = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            edges += len(node.children)
+            entries += len(node.ids)
+            code_bits += node.label_bits
+            stack.extend(node.children.values())
+        return IndexStats(nodes, edges, entries, code_bits)
+
+
+def _bit(code: int, depth: int, length: int) -> int:
+    return (code >> (length - 1 - depth)) & 1
+
+
+def _suffix(code: int, depth: int, bits: int) -> int:
+    return code & ((1 << bits) - 1)
+
+
+def _common_prefix_length(
+    a: int, a_bits: int, b: int, b_bits: int
+) -> int:
+    """Length of the shared leading bits of two right-aligned labels."""
+    width = min(a_bits, b_bits)
+    a_top = a >> (a_bits - width)
+    b_top = b >> (b_bits - width)
+    xor = a_top ^ b_top
+    if xor == 0:
+        return width
+    return width - xor.bit_length()
+
+
+def _edge_matches(
+    code: int, depth: int, child: _RadixNode, length: int
+) -> bool:
+    segment = (code >> (length - depth - child.label_bits)) & (
+        (1 << child.label_bits) - 1
+    )
+    return segment == child.label
+
+
+def _edge_distance(
+    query: int, depth: int, child: _RadixNode, length: int
+) -> int:
+    segment = (query >> (length - depth - child.label_bits)) & (
+        (1 << child.label_bits) - 1
+    )
+    return (segment ^ child.label).bit_count()

@@ -1,0 +1,113 @@
+"""Similarity-aware relational operators over binary codes.
+
+The paper's concluding remark points at extending Hamming-distance
+similarity to relational operators, citing the similarity-aware
+intersection operator of Marri et al. (SISAP 2014).  This module
+implements that extension family on top of the HA-Index:
+
+* :func:`hamming_intersect` — tuples of ``R`` that have at least one
+  ``S`` tuple within the threshold (similarity semi-join / intersection);
+* :func:`hamming_difference` — tuples of ``R`` with **no** ``S`` tuple
+  within the threshold (similarity anti-join);
+* :func:`hamming_distinct` — a similarity-aware duplicate elimination:
+  greedily keeps a tuple only when no already-kept tuple is within the
+  threshold (the classic near-duplicate "canonical set").
+
+All three build one Dynamic HA-Index over the probed side and run
+H-Search per outer tuple, so they inherit the index's exactness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.index_base import HammingIndex
+
+
+def _build_index(
+    codes: CodeSet,
+    index_builder: Callable[[CodeSet], HammingIndex] | None,
+) -> HammingIndex:
+    if index_builder is None:
+        return DynamicHAIndex.build(codes)
+    return index_builder(codes)
+
+
+def hamming_intersect(
+    left: CodeSet,
+    right: CodeSet,
+    threshold: int,
+    index_builder: Callable[[CodeSet], HammingIndex] | None = None,
+) -> list[int]:
+    """Ids of ``left`` tuples with a similar tuple in ``right``.
+
+    The similarity-aware intersection: ``t in R`` qualifies iff
+    ``h-select(t, S)`` is non-empty.  Exact-duplicate semantics fall out
+    at ``threshold = 0``.
+    """
+    if left.length != right.length:
+        raise InvalidParameterError(
+            f"code lengths differ: {left.length} vs {right.length}"
+        )
+    index = _build_index(right, index_builder)
+    exists = _existence_probe(index)
+    return [
+        left_id
+        for code, left_id in zip(left.codes, left.ids)
+        if exists(code, threshold)
+    ]
+
+
+def _existence_probe(index: HammingIndex):
+    """Early-exit membership test when the index supports it."""
+    probe = getattr(index, "contains_within", None)
+    if probe is not None:
+        return probe
+    return lambda code, threshold: bool(index.search(code, threshold))
+
+
+def hamming_difference(
+    left: CodeSet,
+    right: CodeSet,
+    threshold: int,
+    index_builder: Callable[[CodeSet], HammingIndex] | None = None,
+) -> list[int]:
+    """Ids of ``left`` tuples with **no** similar tuple in ``right``.
+
+    The similarity anti-join; complements :func:`hamming_intersect`, so
+    the two partition ``left`` for any threshold.
+    """
+    if left.length != right.length:
+        raise InvalidParameterError(
+            f"code lengths differ: {left.length} vs {right.length}"
+        )
+    index = _build_index(right, index_builder)
+    exists = _existence_probe(index)
+    return [
+        left_id
+        for code, left_id in zip(left.codes, left.ids)
+        if not exists(code, threshold)
+    ]
+
+
+def hamming_distinct(codes: CodeSet, threshold: int) -> list[int]:
+    """Similarity-aware DISTINCT: a maximal near-duplicate-free prefix.
+
+    Scans tuples in id order and keeps a tuple only when no previously
+    kept tuple lies within the threshold, yielding a canonical
+    representative set (every dropped tuple is within the threshold of
+    some kept one).  ``threshold = 0`` is plain duplicate elimination.
+    """
+    if threshold < 0:
+        raise InvalidParameterError("threshold must be non-negative")
+    kept = DynamicHAIndex(codes.length)
+    kept_ids: list[int] = []
+    for code, tuple_id in zip(codes.codes, codes.ids):
+        if kept.search(code, threshold):
+            continue
+        kept.insert(code, tuple_id)
+        kept_ids.append(tuple_id)
+    return kept_ids

@@ -1,0 +1,90 @@
+"""Hamming-select front-end (Definition 1) and the index registry.
+
+``hamming_select`` evaluates ``h-select(tq, S)`` either against a prebuilt
+:class:`HammingIndex` or directly against a :class:`CodeSet` (in which
+case a vectorized linear scan is used).  ``INDEX_FAMILIES`` names every
+index implementation compared in the paper's Table 4 so benchmarks and
+examples can construct them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bitvector import CodeSet, batch_hamming_wide, batch_select
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.index_base import HammingIndex
+from repro.core.radix_tree import RadixTreeIndex
+from repro.core.static_ha import StaticHAIndex
+
+
+def hamming_select(
+    query: int,
+    target: HammingIndex | CodeSet,
+    threshold: int,
+) -> list[int]:
+    """Tuple ids of ``target`` within Hamming distance ``threshold``.
+
+    >>> codes = CodeSet.from_strings(
+    ...     ["001001010", "001011101", "011001100", "101001010",
+    ...      "101110110", "101011101", "101101010", "111001100"])
+    >>> sorted(hamming_select(0b101100010, codes, 3))
+    [0, 3, 4, 6]
+
+    (The paper's Example 1: the query ``"101100010"`` with ``h = 3``
+    selects tuples ``t0, t3, t4, t6`` of Table 2a.)
+    """
+    if isinstance(target, HammingIndex):
+        return target.search(query, threshold)
+    ids = target.ids
+    if target.length <= 64:
+        matches = batch_select(target.packed(), query, threshold)
+    else:
+        distances = batch_hamming_wide(target.packed_wide(), query)
+        matches = (distances <= threshold).nonzero()[0]
+    return [ids[i] for i in matches]
+
+
+def _build_nested_loops(codes: CodeSet) -> HammingIndex:
+    from repro.baselines.nested_loops import NestedLoopsIndex
+
+    return NestedLoopsIndex.build(codes)
+
+
+def _build_multi_hash(tables: int) -> Callable[[CodeSet], HammingIndex]:
+    def builder(codes: CodeSet) -> HammingIndex:
+        from repro.baselines.multi_hash import MultiHashTableIndex
+
+        return MultiHashTableIndex.build(codes, num_tables=tables)
+
+    return builder
+
+
+def _build_hengine(codes: CodeSet) -> HammingIndex:
+    from repro.baselines.hengine import HEngineIndex
+
+    return HEngineIndex.build(codes)
+
+
+def _build_radix(codes: CodeSet) -> HammingIndex:
+    return RadixTreeIndex.build(codes)
+
+
+def _build_static(codes: CodeSet) -> HammingIndex:
+    return StaticHAIndex.build(codes)
+
+
+def _build_dynamic(codes: CodeSet) -> HammingIndex:
+    return DynamicHAIndex.build(codes)
+
+
+#: Builders for every approach of Table 4, keyed by the paper's names.
+INDEX_FAMILIES: dict[str, Callable[[CodeSet], HammingIndex]] = {
+    "Nested-Loops": _build_nested_loops,
+    "MH-4": _build_multi_hash(4),
+    "MH-10": _build_multi_hash(10),
+    "HEngine": _build_hengine,
+    "Radix-Tree": _build_radix,
+    "SHA-Index": _build_static,
+    "DHA-Index": _build_dynamic,
+}

@@ -1,0 +1,196 @@
+"""Static HA-Index: fixed-length segment sharing (Section 4.3).
+
+Codes are cut into fixed-length contiguous segments ("static bit
+segmentation").  Each *distinct* segment value of each layer exists once —
+the shared vertex nodes N1..N12 of Figure 2 — and a code is the path
+through its segment values.  During search, the Hamming distance between
+the query and each distinct (layer, value) node is computed **once** and
+memoized for the whole query, which is exactly the sharing the paper
+illustrates with tuples ``t2`` and ``t7`` both crossing nodes N6 and N11.
+
+The path structure is a trie over segment values, so the accumulated
+distance along a path is a lower bound of the full distance and subtree
+pruning is exact (Proposition 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.index_base import HammingIndex, IndexStats
+
+#: Default segment width; the paper's Figure 2 uses 3-bit segments.
+DEFAULT_SEGMENT_BITS = 8
+
+
+class _SegmentNode:
+    """A trie node keyed by the next segment value."""
+
+    __slots__ = ("children", "ids", "count")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _SegmentNode] = {}
+        self.ids: list[int] = []
+        self.count = 0
+
+
+class StaticHAIndex(HammingIndex):
+    """Fixed-segmentation HA-Index with per-query memoized segment XORs.
+
+    Args:
+        code_length: bit length of the indexed codes.
+        segment_bits: width of each segment; the last segment may be
+            shorter when ``code_length`` is not a multiple.
+    """
+
+    def __init__(
+        self, code_length: int, segment_bits: int = DEFAULT_SEGMENT_BITS
+    ) -> None:
+        super().__init__(code_length)
+        if segment_bits < 1:
+            raise InvalidParameterError("segment_bits must be positive")
+        self._segment_bits = min(segment_bits, code_length)
+        self._boundaries = _segment_boundaries(
+            code_length, self._segment_bits
+        )
+        self._root = _SegmentNode()
+
+    @property
+    def segment_bits(self) -> int:
+        return self._segment_bits
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._boundaries)
+
+    # -- maintenance -------------------------------------------------------
+
+    def _segments(self, code: int) -> list[int]:
+        """Split ``code`` into its per-layer segment values."""
+        return [
+            (code >> shift) & mask for shift, mask in self._boundaries
+        ]
+
+    def insert(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        node = self._root
+        node.count += 1
+        for value in self._segments(code):
+            child = node.children.get(value)
+            if child is None:
+                child = _SegmentNode()
+                node.children[value] = child
+            node = child
+            node.count += 1
+        node.ids.append(tuple_id)
+        self._size += 1
+
+    def delete(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        path: list[tuple[_SegmentNode, int]] = []
+        node = self._root
+        for value in self._segments(code):
+            child = node.children.get(value)
+            if child is None:
+                raise IndexStateError(
+                    f"code {code:#x} not present in static HA-index"
+                )
+            path.append((node, value))
+            node = child
+        if tuple_id not in node.ids:
+            raise IndexStateError(
+                f"tuple {tuple_id} not stored under code {code:#x}"
+            )
+        node.ids.remove(tuple_id)
+        self._size -= 1
+        self._root.count -= 1
+        child = node
+        for parent, value in reversed(path):
+            child.count -= 1
+            if child.count == 0:
+                del parent.children[value]
+            child = parent
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: int, threshold: int) -> list[int]:
+        return [
+            tuple_id
+            for tuple_id, _ in self.search_with_distances(query, threshold)
+        ]
+
+    def search_with_distances(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """(tuple id, exact distance) pairs; the leaf's accumulated
+        per-segment distance is the full Hamming distance."""
+        self._check_query(query, threshold)
+        query_segments = self._segments(query)
+        # One distance computation per distinct (layer, segment value):
+        # the static HA-Index's node sharing.
+        memo: list[dict[int, int]] = [{} for _ in self._boundaries]
+        results: list[tuple[int, int]] = []
+        ops = 0
+        stack: list[tuple[_SegmentNode, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, layer, accumulated = stack.pop()
+            if layer == len(self._boundaries):
+                results.extend(
+                    (tuple_id, accumulated) for tuple_id in node.ids
+                )
+                continue
+            layer_memo = memo[layer]
+            query_value = query_segments[layer]
+            for value, child in node.children.items():
+                distance = layer_memo.get(value)
+                if distance is None:
+                    # A memo miss is the one real XOR for this distinct
+                    # (layer, value) node — the index's sharing at work.
+                    ops += 1
+                    distance = (value ^ query_value).bit_count()
+                    layer_memo[value] = distance
+                total = accumulated + distance
+                if total <= threshold:
+                    stack.append((child, layer + 1, total))
+        self.last_search_ops = ops
+        return results
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        nodes = 0
+        edges = 0
+        entries = 0
+        # Distinct (layer, value) pairs hold the code material once.
+        distinct: list[set[int]] = [set() for _ in self._boundaries]
+        stack: list[tuple[_SegmentNode, int]] = [(self._root, 0)]
+        while stack:
+            node, layer = stack.pop()
+            nodes += 1
+            edges += len(node.children)
+            entries += len(node.ids)
+            for value, child in node.children.items():
+                distinct[layer].add(value)
+                stack.append((child, layer + 1))
+        code_bits = sum(
+            len(values) * _mask_bits(self._boundaries[layer][1])
+            for layer, values in enumerate(distinct)
+        )
+        return IndexStats(nodes, edges, entries, code_bits)
+
+
+def _segment_boundaries(
+    code_length: int, segment_bits: int
+) -> list[tuple[int, int]]:
+    """(shift, mask) pairs for each segment, most significant first."""
+    boundaries = []
+    position = 0
+    while position < code_length:
+        width = min(segment_bits, code_length - position)
+        shift = code_length - position - width
+        boundaries.append((shift, (1 << width) - 1))
+        position += width
+    return boundaries
+
+
+def _mask_bits(mask: int) -> int:
+    return mask.bit_length()

@@ -1,0 +1,110 @@
+"""Index verification against the brute-force oracle.
+
+A downstream user swapping parameters (window sizes, segment widths,
+custom hash functions) wants a one-call check that an index still
+answers exactly.  :func:`verify_index` replays a query sample against a
+vectorized linear scan and raises on the first divergence;
+:func:`verify_all_families` sweeps every registered index family.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.bitvector import CodeSet, batch_hamming_wide, batch_select
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.index_base import HammingIndex
+
+
+@dataclass(frozen=True, slots=True)
+class VerificationReport:
+    """Outcome of a verification run."""
+
+    queries_checked: int
+    thresholds: tuple[int, ...]
+    total_matches: int
+
+    def __str__(self) -> str:
+        return (
+            f"verified {self.queries_checked} queries x "
+            f"thresholds {list(self.thresholds)} "
+            f"({self.total_matches} matches cross-checked)"
+        )
+
+
+def _oracle(codes: CodeSet, query: int, threshold: int) -> list[int]:
+    ids = codes.ids
+    if codes.length <= 64:
+        positions = batch_select(codes.packed(), query, threshold)
+    else:
+        distances = batch_hamming_wide(codes.packed_wide(), query)
+        positions = (distances <= threshold).nonzero()[0]
+    return sorted(ids[i] for i in positions)
+
+
+def verify_index(
+    index: HammingIndex,
+    codes: CodeSet,
+    num_queries: int = 20,
+    thresholds: tuple[int, ...] = (0, 2, 4),
+    seed: int = 0,
+) -> VerificationReport:
+    """Cross-check ``index.search`` against a linear scan of ``codes``.
+
+    Queries are half dataset members, half uniform random.  Raises
+    :class:`IndexStateError` on the first mismatch; returns a report
+    when everything agrees.
+    """
+    if num_queries < 1:
+        raise InvalidParameterError("num_queries must be positive")
+    if index.code_length != codes.length:
+        raise IndexStateError(
+            f"index is {index.code_length}-bit but codes are "
+            f"{codes.length}-bit"
+        )
+    rng = random.Random(seed)
+    queries = []
+    for position in range(num_queries):
+        if position % 2 == 0 and len(codes):
+            queries.append(codes[rng.randrange(len(codes))])
+        else:
+            queries.append(rng.getrandbits(codes.length))
+    total_matches = 0
+    for query in queries:
+        for threshold in thresholds:
+            expected = _oracle(codes, query, threshold)
+            got = sorted(index.search(query, threshold))
+            if got != expected:
+                missing = set(expected) - set(got)
+                spurious = set(got) - set(expected)
+                raise IndexStateError(
+                    f"{type(index).__name__} diverged at "
+                    f"query={query:#x} h={threshold}: "
+                    f"{len(missing)} missing, {len(spurious)} spurious"
+                )
+            total_matches += len(expected)
+    return VerificationReport(
+        queries_checked=num_queries,
+        thresholds=tuple(thresholds),
+        total_matches=total_matches,
+    )
+
+
+def verify_all_families(
+    codes: CodeSet,
+    num_queries: int = 10,
+    thresholds: tuple[int, ...] = (0, 2, 4),
+    seed: int = 0,
+) -> dict[str, VerificationReport]:
+    """Build and verify every registered index family over ``codes``."""
+    from repro.core.select import INDEX_FAMILIES
+
+    reports = {}
+    for name, builder in INDEX_FAMILIES.items():
+        index = builder(codes)
+        reports[name] = verify_index(
+            index, codes,
+            num_queries=num_queries, thresholds=thresholds, seed=seed,
+        )
+    return reports

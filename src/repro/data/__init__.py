@@ -1,0 +1,22 @@
+"""Datasets: containers, synthetic generators, paper-style scaling."""
+
+from repro.data.containers import Dataset
+from repro.data.scaling import scale_dataset, shift_to_next_larger
+from repro.data.synthetic import (
+    PAPER_DATASETS,
+    dbpedia_like,
+    flickr_like,
+    nuswide_like,
+    random_codes,
+)
+
+__all__ = [
+    "Dataset",
+    "scale_dataset",
+    "shift_to_next_larger",
+    "PAPER_DATASETS",
+    "dbpedia_like",
+    "flickr_like",
+    "nuswide_like",
+    "random_codes",
+]

@@ -1,0 +1,113 @@
+"""Dataset container tying feature vectors to binary codes.
+
+A :class:`Dataset` is an ordered collection of ``d``-dimensional feature
+vectors with stable integer tuple ids.  Encoding a dataset with a fitted
+similarity hash yields the :class:`~repro.core.bitvector.CodeSet` that the
+indexes operate on; the vectors themselves are retained for the kNN
+baselines (LSH, LSB-Tree, PGBJ) which work in the original space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import InvalidParameterError
+from repro.hashing.base import SimilarityHash
+
+
+class Dataset:
+    """Feature vectors plus optional cached binary codes.
+
+    Args:
+        vectors: an (n, d) float matrix, one row per tuple.
+        name: human-readable label used in benchmark output.
+        ids: explicit tuple ids; defaults to ``0..n-1``.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        name: str = "dataset",
+        ids: Sequence[int] | None = None,
+    ) -> None:
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise InvalidParameterError("vectors must form a 2-D matrix")
+        if ids is not None and len(ids) != matrix.shape[0]:
+            raise InvalidParameterError(
+                f"{len(ids)} ids for {matrix.shape[0]} rows"
+            )
+        self._vectors = matrix
+        self._name = name
+        self._ids = tuple(ids) if ids is not None else None
+        self._codes: CodeSet | None = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def vectors(self) -> np.ndarray:
+        return self._vectors
+
+    @property
+    def dimensions(self) -> int:
+        return self._vectors.shape[1]
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        if self._ids is not None:
+            return self._ids
+        return tuple(range(len(self)))
+
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self._name!r}, n={len(self)}, d={self.dimensions})"
+        )
+
+    def encode(self, hasher: SimilarityHash, cache: bool = True) -> CodeSet:
+        """Binary codes of all rows under ``hasher`` (cached by default)."""
+        codes = hasher.encode(self._vectors).with_ids(self.ids)
+        if cache:
+            self._codes = codes
+        return codes
+
+    @property
+    def codes(self) -> CodeSet:
+        """The cached codes; raises if :meth:`encode` has not run."""
+        if self._codes is None:
+            raise InvalidParameterError(
+                f"dataset {self._name!r} has no cached codes; call encode()"
+            )
+        return self._codes
+
+    def sample(self, fraction: float, seed: int = 0) -> "Dataset":
+        """A uniform random sample (without replacement) of the rows."""
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidParameterError("fraction must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        count = max(1, int(round(fraction * len(self))))
+        chosen = np.sort(rng.choice(len(self), size=count, replace=False))
+        own_ids = self.ids
+        return Dataset(
+            self._vectors[chosen],
+            name=f"{self._name}-sample",
+            ids=[own_ids[i] for i in chosen],
+        )
+
+    def take(self, count: int) -> "Dataset":
+        """The first ``count`` rows as a new dataset."""
+        if count < 0:
+            raise InvalidParameterError("count must be non-negative")
+        count = min(count, len(self))
+        return Dataset(
+            self._vectors[:count],
+            name=self._name,
+            ids=self.ids[:count],
+        )

@@ -1,0 +1,153 @@
+"""Dataset and code-set persistence, plus CSV import/export.
+
+Downstream users bring their own feature vectors; this module gives the
+library a stable on-disk story:
+
+* datasets round-trip through ``.npz`` (vectors + ids + name);
+* code sets round-trip through ``.npz`` in the multi-word packed layout,
+  so any code length survives;
+* feature matrices load from delimited text files, and join/select
+  results export to CSV for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bitvector import CodeSet, pack_codes_wide
+from repro.core.errors import InvalidParameterError
+from repro.data.containers import Dataset
+
+_DATASET_FORMAT = "repro-dataset-v1"
+_CODES_FORMAT = "repro-codes-v1"
+
+
+def save_dataset(dataset: Dataset, path) -> None:
+    """Write a dataset to ``path`` as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        format=np.asarray(_DATASET_FORMAT),
+        name=np.asarray(dataset.name),
+        vectors=dataset.vectors,
+        ids=np.asarray(dataset.ids, dtype=np.int64),
+    )
+
+
+def load_dataset(path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if str(archive.get("format", "")) != _DATASET_FORMAT:
+            raise InvalidParameterError(
+                f"{path!s} is not a saved repro dataset"
+            )
+        return Dataset(
+            archive["vectors"],
+            name=str(archive["name"]),
+            ids=archive["ids"].tolist(),
+        )
+
+
+def save_codes(codes: CodeSet, path) -> None:
+    """Write a code set to ``path``; any code length is supported."""
+    np.savez_compressed(
+        path,
+        format=np.asarray(_CODES_FORMAT),
+        length=np.asarray(codes.length, dtype=np.int64),
+        words=pack_codes_wide(codes.codes, codes.length),
+        ids=np.asarray(codes.ids, dtype=np.int64),
+    )
+
+
+def load_codes(path) -> CodeSet:
+    """Read a code set written by :func:`save_codes`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if str(archive.get("format", "")) != _CODES_FORMAT:
+            raise InvalidParameterError(
+                f"{path!s} is not a saved repro code set"
+            )
+        length = int(archive["length"])
+        words = archive["words"]
+        codes = []
+        for row in words:
+            code = 0
+            for word_index in range(words.shape[1] - 1, -1, -1):
+                code = (code << 64) | int(row[word_index])
+            codes.append(code)
+        return CodeSet(codes, length, ids=archive["ids"].tolist())
+
+
+def load_vectors_csv(
+    path,
+    delimiter: str = ",",
+    has_header: bool = False,
+    id_column: int | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """Load a feature matrix from a delimited text file.
+
+    Args:
+        path: the file to read.
+        delimiter: field separator.
+        has_header: skip the first row.
+        id_column: optional column holding integer tuple ids; the
+            remaining columns are the features.
+        name: dataset label; defaults to the file stem.
+    """
+    path = Path(path)
+    ids: list[int] = []
+    rows: list[list[float]] = []
+    with open(path, newline="") as stream:
+        reader = csv.reader(stream, delimiter=delimiter)
+        for row_index, row in enumerate(reader):
+            if has_header and row_index == 0:
+                continue
+            if not row:
+                continue
+            fields = list(row)
+            if id_column is not None:
+                ids.append(int(fields.pop(id_column)))
+            rows.append([float(field) for field in fields])
+    if not rows:
+        raise InvalidParameterError(f"{path!s} holds no data rows")
+    return Dataset(
+        np.asarray(rows, dtype=np.float64),
+        name=name or path.stem,
+        ids=ids if id_column is not None else None,
+    )
+
+
+def export_pairs_csv(
+    pairs: Iterable[tuple[int, int]],
+    path,
+    header: Sequence[str] = ("left_id", "right_id"),
+) -> int:
+    """Write join pairs to CSV; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(header)
+        for left_id, right_id in pairs:
+            writer.writerow([left_id, right_id])
+            count += 1
+    return count
+
+
+def export_matches_csv(
+    matches: dict[int, list[int]],
+    path,
+    header: Sequence[str] = ("query_id", "match_id"),
+) -> int:
+    """Write per-query select/kNN matches to CSV; returns rows written."""
+    count = 0
+    with open(path, "w", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(header)
+        for query_id in sorted(matches):
+            for match_id in matches[query_id]:
+                writer.writerow([query_id, match_id])
+                count += 1
+    return count

@@ -1,0 +1,126 @@
+"""Query workload generators for benchmarks and soak tests.
+
+The paper queries with tuples drawn from the dataset; real deployments
+see richer mixes.  These generators produce the standard shapes:
+
+* :func:`member_queries` — uniform draws from the indexed codes (the
+  paper's methodology);
+* :func:`zipf_queries` — popularity-skewed repeats of a few hot codes
+  (search-engine query logs are Zipfian);
+* :func:`near_miss_queries` — indexed codes with a few random bit flips
+  (a novel image similar to known ones: the common select workload);
+* :func:`novel_queries` — uniform random codes (the adversarial case:
+  far from the data, maximal pruning opportunity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import InvalidParameterError
+
+
+def _require(codes: CodeSet, count: int) -> None:
+    if count < 1:
+        raise InvalidParameterError("count must be positive")
+    if len(codes) == 0:
+        raise InvalidParameterError("cannot draw queries from no codes")
+
+
+def member_queries(
+    codes: CodeSet, count: int, seed: int = 0
+) -> list[int]:
+    """Uniform draws (with replacement) from the dataset's codes."""
+    _require(codes, count)
+    rng = random.Random(seed)
+    return [codes[rng.randrange(len(codes))] for _ in range(count)]
+
+
+def zipf_queries(
+    codes: CodeSet,
+    count: int,
+    seed: int = 0,
+    exponent: float = 1.2,
+    distinct: int = 32,
+) -> list[int]:
+    """Popularity-skewed queries: few hot codes dominate the stream.
+
+    ``distinct`` codes are sampled as the candidate pool and repeated
+    with Zipf(``exponent``) frequencies.
+    """
+    _require(codes, count)
+    if exponent <= 0 or distinct < 1:
+        raise InvalidParameterError(
+            "need exponent > 0 and distinct >= 1"
+        )
+    rng = random.Random(seed)
+    pool_size = min(distinct, len(codes))
+    pool = [codes[rng.randrange(len(codes))] for _ in range(pool_size)]
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(pool_size)]
+    return rng.choices(pool, weights=weights, k=count)
+
+
+def near_miss_queries(
+    codes: CodeSet, count: int, flips: int = 2, seed: int = 0
+) -> list[int]:
+    """Dataset codes perturbed by ``flips`` random bit flips each."""
+    _require(codes, count)
+    if flips < 0 or flips > codes.length:
+        raise InvalidParameterError(
+            f"flips must be in [0, {codes.length}]"
+        )
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        code = codes[rng.randrange(len(codes))]
+        for position in rng.sample(range(codes.length), flips):
+            code ^= 1 << position
+        queries.append(code)
+    return queries
+
+
+def novel_queries(length: int, count: int, seed: int = 0) -> list[int]:
+    """Uniform random codes, unrelated to any dataset."""
+    if length < 1 or count < 1:
+        raise InvalidParameterError("length and count must be positive")
+    rng = random.Random(seed)
+    return [rng.getrandbits(length) for _ in range(count)]
+
+
+#: Named generators for sweep-style benches; all take (codes, count, seed).
+WORKLOAD_SHAPES = {
+    "member": member_queries,
+    "zipf": zipf_queries,
+    "near-miss": near_miss_queries,
+}
+
+
+def mixed_workload(
+    codes: CodeSet,
+    count: int,
+    seed: int = 0,
+    shares: Sequence[tuple[str, float]] = (
+        ("member", 0.4),
+        ("zipf", 0.3),
+        ("near-miss", 0.3),
+    ),
+) -> list[int]:
+    """A blend of the named shapes in the given proportions."""
+    _require(codes, count)
+    total_share = sum(share for _, share in shares)
+    if total_share <= 0:
+        raise InvalidParameterError("shares must sum to a positive value")
+    queries: list[int] = []
+    for offset, (name, share) in enumerate(shares):
+        if name not in WORKLOAD_SHAPES:
+            raise InvalidParameterError(f"unknown workload shape {name!r}")
+        portion = int(round(count * share / total_share))
+        if portion:
+            queries.extend(
+                WORKLOAD_SHAPES[name](codes, portion, seed + offset)
+            )
+    rng = random.Random(seed)
+    rng.shuffle(queries)
+    return queries[:count] if len(queries) >= count else queries

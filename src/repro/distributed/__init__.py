@@ -1,0 +1,49 @@
+"""Distributed (MapReduce) Hamming-join and its comparators."""
+
+from repro.distributed.global_index import (
+    CACHE_GLOBAL_INDEX,
+    CACHE_HASH,
+    CACHE_PIVOTS,
+    GlobalIndexResult,
+    build_global_index,
+)
+from repro.distributed.hamming_join import (
+    HammingJoinReport,
+    mapreduce_hamming_join,
+    preprocess,
+)
+from repro.distributed.hamming_select import (
+    HammingSelectReport,
+    mapreduce_hamming_select,
+)
+from repro.distributed.pgbj import PGBJReport, pgbj_knn_join
+from repro.distributed.pivots import (
+    gray_range_partitioner,
+    partition_balance,
+    partition_of,
+    select_pivots,
+)
+from repro.distributed.pmh import PMHReport, pmh_hamming_join
+from repro.distributed.sampling import reservoir_sample
+
+__all__ = [
+    "CACHE_GLOBAL_INDEX",
+    "CACHE_HASH",
+    "CACHE_PIVOTS",
+    "GlobalIndexResult",
+    "build_global_index",
+    "HammingJoinReport",
+    "mapreduce_hamming_join",
+    "preprocess",
+    "HammingSelectReport",
+    "mapreduce_hamming_select",
+    "PGBJReport",
+    "pgbj_knn_join",
+    "gray_range_partitioner",
+    "partition_balance",
+    "partition_of",
+    "select_pivots",
+    "PMHReport",
+    "pmh_hamming_join",
+    "reservoir_sample",
+]

@@ -1,0 +1,99 @@
+"""Global HA-Index construction over MapReduce (Section 5.2).
+
+The first MapReduce job of Figure 5: mappers hash each tuple of R to its
+binary code (hash function and pivots come from the distributed cache)
+and route it to its Gray-range partition; each reducer runs H-Build over
+its partition, emitting a local HA-Index; a post-processing step merges
+the local indexes into the global HA-Index that the join phase
+broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import IndexStateError
+from repro.distributed.pivots import partition_of
+from repro.hashing.base import SimilarityHash
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.partitioner import RangePartitioner
+from repro.mapreduce.runtime import JobResult, MapReduceRuntime
+
+#: Distributed-cache keys shared by the build and join jobs.
+CACHE_HASH = "hamming.hash"
+CACHE_PIVOTS = "hamming.pivots"
+CACHE_GLOBAL_INDEX = "hamming.global-index"
+
+
+@dataclass
+class GlobalIndexResult:
+    """Output of the build phase."""
+
+    index: DynamicHAIndex
+    job: JobResult
+    partition_sizes: list[int]
+
+
+def _encode_partition_mapper(
+    key: Any, value: Any, context: TaskContext
+) -> Iterator[tuple[int, tuple[int, int]]]:
+    """(tuple id, vector) -> (partition id, (code, tuple id))."""
+    hasher: SimilarityHash = context.cached(CACHE_HASH)
+    partitioner: RangePartitioner = context.cached(CACHE_PIVOTS)
+    code = hasher.encode(np.asarray(value)).codes[0]
+    yield partition_of(code, partitioner), (code, key)
+
+
+def _make_build_reducer(window: int, max_depth: int):
+    def reducer(
+        key: Any, values: list[Any], context: TaskContext
+    ) -> Iterator[tuple[int, DynamicHAIndex]]:
+        hasher: SimilarityHash = context.cached(CACHE_HASH)
+        codes = CodeSet(
+            [code for code, _ in values],
+            hasher.num_bits,
+            ids=[tuple_id for _, tuple_id in values],
+        )
+        local = DynamicHAIndex.build(
+            codes, window=window, max_depth=max_depth
+        )
+        yield key, local
+
+    return reducer
+
+
+def build_global_index(
+    runtime: MapReduceRuntime,
+    records: list[tuple[int, np.ndarray]],
+    window: int = 8,
+    max_depth: int = 6,
+) -> GlobalIndexResult:
+    """Run the build job and merge the local indexes.
+
+    ``records`` are (tuple id, feature vector) pairs of dataset R.  The
+    hash function and the Gray-range partitioner must already be in the
+    cluster's distributed cache under :data:`CACHE_HASH` and
+    :data:`CACHE_PIVOTS` (the preprocessing phase puts them there).
+    """
+    partitioner: RangePartitioner = runtime.cluster.cached(CACHE_PIVOTS)
+    job = MapReduceJob(
+        name="ha-index-build",
+        mapper=_encode_partition_mapper,
+        reducer=_make_build_reducer(window, max_depth),
+        # Keys are partition ids already.
+        partitioner=lambda key, n: key % n,
+        num_reducers=partitioner.num_partitions,
+    )
+    result = runtime.run(job, records)
+    locals_by_partition = dict(result.output)
+    if not locals_by_partition:
+        raise IndexStateError("build job produced no local indexes")
+    local_indexes = list(locals_by_partition.values())
+    merged = DynamicHAIndex.merge(local_indexes)
+    sizes = [len(index) for index in local_indexes]
+    return GlobalIndexResult(index=merged, job=result, partition_sizes=sizes)

@@ -1,0 +1,306 @@
+"""MapReduce Hamming-join: the paper's three-phase pipeline (Figure 5).
+
+Phase 1 — *preprocessing*: reservoir-sample R and S, learn the similarity
+hash on the sample, build the Gray-order histogram and select pivots for
+balanced range partitioning; broadcast hash and pivots.
+
+Phase 2 — *global HA-Index building*: one MapReduce job partitions R by
+Gray range and H-Builds a local HA-Index per partition; the locals merge
+into the global index (``repro.distributed.global_index``).
+
+Phase 3 — *Hamming-join*: a second MapReduce job partitions S and joins
+each partition against the broadcast index.
+
+Two variants of phase 3 (Section 5.3):
+
+* **Option A** — R is small: the global index keeps its leaf id tables
+  and reducers emit (r id, s id) pairs directly.
+* **Option B** — R is large: only the leaf-less index is broadcast
+  (``DynamicHAIndex.strip_ids``); reducers emit qualifying *codes*, and a
+  post-processing join (in-memory when R fits, MapReduce hash join
+  otherwise) recovers the tuple ids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
+from repro.distributed.global_index import (
+    CACHE_GLOBAL_INDEX,
+    CACHE_HASH,
+    CACHE_PIVOTS,
+    build_global_index,
+)
+from repro.distributed.pivots import partition_of, select_pivots
+from repro.distributed.sampling import reservoir_sample
+from repro.hashing.base import SimilarityHash
+from repro.hashing.spectral import SpectralHash
+from repro.mapreduce.hashjoin import mapreduce_hash_join
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.partitioner import RangePartitioner
+from repro.mapreduce.runtime import MapReduceRuntime
+
+#: Tuple-count limit for the in-memory id-recovery join of Option B.
+DEFAULT_IN_MEMORY_LIMIT = 100_000
+#: R size beyond which option "auto" switches from A to B.
+DEFAULT_OPTION_B_CUTOFF = 50_000
+DEFAULT_SAMPLE_SIZE = 1_000
+
+Record = tuple[int, np.ndarray]
+
+
+@dataclass
+class HammingJoinReport:
+    """Result pairs plus the per-phase accounting the benches read."""
+
+    pairs: list[tuple[int, int]]
+    option: str
+    sample_seconds: float = 0.0
+    learn_hash_seconds: float = 0.0
+    pivot_seconds: float = 0.0
+    build_seconds: float = 0.0
+    join_seconds: float = 0.0
+    postprocess_seconds: float = 0.0
+    broadcast_seconds: float = 0.0
+    build_shuffle_bytes: int = 0
+    join_shuffle_bytes: int = 0
+    broadcast_bytes: int = 0
+    index_broadcast_bytes: int = 0
+    partition_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def preprocess_seconds(self) -> float:
+        return (
+            self.sample_seconds
+            + self.learn_hash_seconds
+            + self.pivot_seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end modelled time of the pipeline."""
+        return (
+            self.preprocess_seconds
+            + self.build_seconds
+            + self.join_seconds
+            + self.postprocess_seconds
+            + self.broadcast_seconds
+        )
+
+    @property
+    def shuffle_bytes(self) -> int:
+        """Total shuffled + broadcast bytes of the whole pipeline."""
+        return (
+            self.build_shuffle_bytes
+            + self.join_shuffle_bytes
+            + self.broadcast_bytes
+        )
+
+    @property
+    def data_shuffle_bytes(self) -> int:
+        """Data-dependent shuffle: record shuffles plus the index
+        broadcast, excluding the hash/pivot broadcast that every
+        approach pays identically (the Figure 7 metric)."""
+        return (
+            self.build_shuffle_bytes
+            + self.join_shuffle_bytes
+            + self.index_broadcast_bytes
+        )
+
+
+def preprocess(
+    runtime: MapReduceRuntime,
+    left_records: list[Record],
+    right_records: list[Record],
+    num_bits: int = 32,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+    report: HammingJoinReport | None = None,
+) -> tuple[SimilarityHash, RangePartitioner]:
+    """Phase 1: sample, learn the hash, pick pivots, broadcast both."""
+    started = time.perf_counter()
+    vectors = [vector for _, vector in left_records]
+    vectors.extend(vector for _, vector in right_records)
+    sample = reservoir_sample(vectors, sample_size, seed=seed)
+    sampled = np.asarray(sample, dtype=np.float64)
+    sample_done = time.perf_counter()
+
+    hasher = SpectralHash(num_bits)
+    sample_codes = hasher.fit_encode(sampled)
+    learn_done = time.perf_counter()
+
+    pivots = select_pivots(
+        sample_codes.codes, runtime.cluster.num_workers
+    )
+    partitioner = RangePartitioner(pivots)
+    runtime.cluster.broadcast(CACHE_HASH, hasher)
+    runtime.cluster.broadcast(CACHE_PIVOTS, partitioner)
+    pivot_done = time.perf_counter()
+
+    if report is not None:
+        report.sample_seconds = sample_done - started
+        report.learn_hash_seconds = learn_done - sample_done
+        report.pivot_seconds = pivot_done - learn_done
+    return hasher, partitioner
+
+
+def _make_probe_mapper():
+    def mapper(
+        key: Any, value: Any, context: TaskContext
+    ) -> Iterator[tuple[int, tuple[int, int]]]:
+        """(s id, vector) -> (partition, (s code, s id))."""
+        hasher: SimilarityHash = context.cached(CACHE_HASH)
+        partitioner: RangePartitioner = context.cached(CACHE_PIVOTS)
+        code = hasher.encode(np.asarray(value)).codes[0]
+        yield partition_of(code, partitioner), (code, key)
+
+    return mapper
+
+
+def _join_reducer_option_a(
+    key: Any, values: list[Any], context: TaskContext
+) -> Iterator[tuple[int, int]]:
+    index: DynamicHAIndex = context.cached(CACHE_GLOBAL_INDEX)
+    threshold: int = context.cached("hamming.threshold")
+    for code, s_id in values:
+        for r_id in index.search(code, threshold):
+            yield r_id, s_id
+
+
+def _join_reducer_option_b(
+    key: Any, values: list[Any], context: TaskContext
+) -> Iterator[tuple[int, int]]:
+    index: DynamicHAIndex = context.cached(CACHE_GLOBAL_INDEX)
+    threshold: int = context.cached("hamming.threshold")
+    for code, s_id in values:
+        for r_code in index.search_codes(code, threshold):
+            yield r_code, s_id
+
+
+def mapreduce_hamming_join(
+    runtime: MapReduceRuntime,
+    left_records: list[Record],
+    right_records: list[Record],
+    threshold: int,
+    num_bits: int = 32,
+    option: str = "auto",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    window: int = 8,
+    max_depth: int = 6,
+    in_memory_limit: int = DEFAULT_IN_MEMORY_LIMIT,
+    exclude_self_pairs: bool = False,
+    seed: int = 0,
+) -> HammingJoinReport:
+    """Full distributed ``h-join(R, S)``; returns pairs and accounting.
+
+    ``left_records`` is R (indexed side), ``right_records`` is S (probe
+    side).  ``option`` is ``"A"``, ``"B"`` or ``"auto"``.  With
+    ``exclude_self_pairs=True`` (self-joins), pairs are deduplicated to
+    ``r id < s id``.
+    """
+    if option not in ("A", "B", "auto"):
+        raise InvalidParameterError(f"unknown join option {option!r}")
+    if option == "auto":
+        option = "B" if len(left_records) > DEFAULT_OPTION_B_CUTOFF else "A"
+
+    report = HammingJoinReport(pairs=[], option=option)
+    cluster = runtime.cluster
+    broadcast_before = cluster.counters.get("broadcast.bytes")
+
+    preprocess(
+        runtime,
+        left_records,
+        right_records,
+        num_bits=num_bits,
+        sample_size=sample_size,
+        seed=seed,
+        report=report,
+    )
+
+    build_started = time.perf_counter()
+    build = build_global_index(
+        runtime, left_records, window=window, max_depth=max_depth
+    )
+    merge_seconds = time.perf_counter() - build_started
+    merge_seconds -= sum(build.job.map_task_seconds)
+    merge_seconds -= sum(build.job.reduce_task_seconds)
+    report.build_seconds = build.job.simulated_seconds + max(
+        merge_seconds, 0.0
+    )
+    report.build_shuffle_bytes = build.job.counters.get("shuffle.bytes")
+    report.partition_sizes = build.partition_sizes
+
+    global_index = build.index
+    index_broadcast_before = cluster.counters.get("broadcast.bytes")
+    if option == "A":
+        cluster.broadcast(CACHE_GLOBAL_INDEX, global_index)
+        reducer = _join_reducer_option_a
+    else:
+        cluster.broadcast(CACHE_GLOBAL_INDEX, global_index.strip_ids())
+        reducer = _join_reducer_option_b
+    report.index_broadcast_bytes = (
+        cluster.counters.get("broadcast.bytes") - index_broadcast_before
+    )
+    cluster.broadcast("hamming.threshold", threshold)
+
+    join_job = MapReduceJob(
+        name=f"hamming-join-{option}",
+        mapper=_make_probe_mapper(),
+        reducer=reducer,
+        partitioner=lambda key, n: key % n,
+        num_reducers=cluster.num_workers,
+    )
+    join_result = runtime.run(join_job, right_records)
+    report.join_seconds = join_result.simulated_seconds
+    report.join_shuffle_bytes = join_result.counters.get("shuffle.bytes")
+
+    if option == "A":
+        pairs = list(join_result.output)
+    else:
+        pairs = _recover_ids(
+            runtime, global_index, join_result.output, in_memory_limit, report
+        )
+    if exclude_self_pairs:
+        pairs = sorted({(a, b) for a, b in pairs if a < b})
+    report.pairs = pairs
+    report.broadcast_bytes = (
+        cluster.counters.get("broadcast.bytes") - broadcast_before
+    )
+    report.broadcast_seconds = cluster.transfer_seconds(
+        report.broadcast_bytes
+    )
+    return report
+
+
+def _recover_ids(
+    runtime: MapReduceRuntime,
+    global_index: DynamicHAIndex,
+    qualifying: list[tuple[int, int]],
+    in_memory_limit: int,
+    report: HammingJoinReport,
+) -> list[tuple[int, int]]:
+    """Option B post-processing: (r code, s id) -> (r id, s id)."""
+    started = time.perf_counter()
+    if len(global_index) <= in_memory_limit:
+        pairs = []
+        for r_code, s_id in qualifying:
+            for r_id in global_index.ids_for_code(r_code):
+                pairs.append((r_id, s_id))
+        report.postprocess_seconds = time.perf_counter() - started
+        return pairs
+    left = [
+        (code, r_id)
+        for code, r_id in global_index.code_id_pairs()
+    ]
+    join = mapreduce_hash_join(
+        runtime, left, qualifying, name="option-b-id-recovery"
+    )
+    report.postprocess_seconds = time.perf_counter() - started
+    report.join_shuffle_bytes += join.counters.get("shuffle.bytes")
+    return [(r_id, s_id) for _, (r_id, s_id) in join.output]

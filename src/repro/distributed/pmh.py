@@ -1,0 +1,149 @@
+"""PMH: Parallel Hamming-join via MultiHashTable (Manku et al. [4]).
+
+The paper's distributed comparator: "[4] extends the sequential approach
+to MapReduce by broadcasting Table R into each server, then applying a
+sequential algorithm between R and S.  This approach is subject to a very
+heavy shuffling cost" (Section 2).  Concretely:
+
+* the full code table of R is broadcast to every worker (``O(m N)``
+  shuffle — the term that dominates Figure 7's PMH curve),
+* S is hash-partitioned, and each reducer builds a MultiHashTable over
+  the broadcast R codes and probes it with its S partition.
+
+``num_tables`` is the PMH-10 knob of Section 6.2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.baselines.multi_hash import MultiHashTableIndex
+from repro.core.bitvector import CodeSet
+from repro.distributed.hamming_join import Record, preprocess
+from repro.hashing.base import SimilarityHash
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.runtime import MapReduceRuntime
+
+_CACHE_R_INDEX = "pmh.r-index"
+_CACHE_THRESHOLD = "pmh.threshold"
+
+
+@dataclass
+class PMHReport:
+    """PMH join output and accounting, comparable to HammingJoinReport."""
+
+    pairs: list[tuple[int, int]]
+    preprocess_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    join_seconds: float = 0.0
+    shuffle_bytes: int = 0
+    table_broadcast_bytes: int = 0
+    probe_shuffle_bytes: int = 0
+    broadcast_seconds: float = 0.0
+    partition_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.preprocess_seconds
+            + self.encode_seconds
+            + self.join_seconds
+            + self.broadcast_seconds
+        )
+
+    @property
+    def data_shuffle_bytes(self) -> int:
+        """Data-dependent shuffle: the replicated-table broadcast plus
+        the probe-side record shuffle (excludes the hash broadcast every
+        approach pays identically; the Figure 7 metric)."""
+        return self.table_broadcast_bytes + self.probe_shuffle_bytes
+
+
+def _encode_mapper(key: Any, value: Any, context: TaskContext):
+    hasher: SimilarityHash = context.cached("hamming.hash")
+    code = hasher.encode(np.asarray(value)).codes[0]
+    yield key % context.cached("pmh.num-partitions"), (code, key)
+
+
+def _pmh_reducer(
+    key: Any, values: list[Any], context: TaskContext
+) -> Iterator[tuple[int, int]]:
+    index: MultiHashTableIndex = context.cached(_CACHE_R_INDEX)
+    threshold: int = context.cached(_CACHE_THRESHOLD)
+    for code, s_id in values:
+        for r_id in index.search(code, threshold):
+            yield r_id, s_id
+
+
+def pmh_hamming_join(
+    runtime: MapReduceRuntime,
+    left_records: list[Record],
+    right_records: list[Record],
+    threshold: int,
+    num_bits: int = 32,
+    num_tables: int = 10,
+    sample_size: int = 1_000,
+    exclude_self_pairs: bool = False,
+    seed: int = 0,
+) -> PMHReport:
+    """Distributed ``h-join`` via broadcast R + per-worker MultiHashTable."""
+    report = PMHReport(pairs=[])
+    cluster = runtime.cluster
+    shuffle_before = cluster.counters.total_shuffle_bytes
+
+    started = time.perf_counter()
+    hasher, _ = preprocess(
+        runtime,
+        left_records,
+        right_records,
+        num_bits=num_bits,
+        sample_size=sample_size,
+        seed=seed,
+    )
+    report.preprocess_seconds = time.perf_counter() - started
+
+    # Encode R centrally, build the replicated multi-table structure and
+    # broadcast it whole — the design Section 2 criticizes: "rearranging
+    # multiple indexes and multiple versions of the same data can be
+    # quite inefficient" under MapReduce.  Every entry is duplicated once
+    # per hash table, so PMH-10 ships ~10x the data volume.
+    started = time.perf_counter()
+    vectors = np.asarray([vector for _, vector in left_records])
+    r_codes = hasher.encode(vectors).with_ids(
+        [r_id for r_id, _ in left_records]
+    )
+    r_index = MultiHashTableIndex.build(r_codes, num_tables=num_tables)
+    report.encode_seconds = time.perf_counter() - started
+    table_broadcast_before = cluster.counters.get("broadcast.bytes")
+    cluster.broadcast(_CACHE_R_INDEX, r_index)
+    report.table_broadcast_bytes = (
+        cluster.counters.get("broadcast.bytes") - table_broadcast_before
+    )
+    cluster.broadcast(_CACHE_THRESHOLD, threshold)
+    cluster.broadcast("pmh.num-partitions", cluster.num_workers)
+
+    job = MapReduceJob(
+        name="pmh-join",
+        mapper=_encode_mapper,
+        reducer=_pmh_reducer,
+        partitioner=lambda key, n: key % n,
+        num_reducers=cluster.num_workers,
+    )
+    result = runtime.run(job, right_records)
+    report.join_seconds = result.simulated_seconds
+    report.probe_shuffle_bytes = result.counters.get("shuffle.bytes")
+    report.shuffle_bytes = (
+        cluster.counters.total_shuffle_bytes - shuffle_before
+    )
+    report.broadcast_seconds = cluster.transfer_seconds(
+        report.table_broadcast_bytes
+    )
+    pairs = list(result.output)
+    if exclude_self_pairs:
+        pairs = sorted({(a, b) for a, b in pairs if a < b})
+    report.pairs = pairs
+    return report

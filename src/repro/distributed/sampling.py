@@ -1,0 +1,39 @@
+"""Reservoir sampling (Vitter, 1985) — the paper's preprocessing sampler.
+
+"To learn the hash function, we utilize a random sample obtained from
+both R and S using reservoir sampling [22]" (Section 5.1).  The reservoir
+runs in one pass over an iterable of unknown length and keeps each item
+with equal probability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, TypeVar
+
+from repro.core.errors import InvalidParameterError
+
+T = TypeVar("T")
+
+
+def reservoir_sample(
+    items: Iterable[T], capacity: int, seed: int = 0
+) -> list[T]:
+    """A uniform random sample of ``capacity`` items from ``items``.
+
+    Returns all items when there are fewer than ``capacity``.  The order
+    of the returned sample is the reservoir's internal order, not the
+    input order.
+    """
+    if capacity < 1:
+        raise InvalidParameterError("capacity must be positive")
+    rng = random.Random(seed)
+    reservoir: list[T] = []
+    for count, item in enumerate(items):
+        if count < capacity:
+            reservoir.append(item)
+            continue
+        slot = rng.randint(0, count)
+        if slot < capacity:
+            reservoir[slot] = item
+    return reservoir

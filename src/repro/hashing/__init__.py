@@ -1,0 +1,14 @@
+"""Similarity hash functions mapping vectors to binary codes."""
+
+from repro.hashing.base import SimilarityHash
+from repro.hashing.hyperplane import HyperplaneHash
+from repro.hashing.spectral import SpectralHash
+from repro.hashing.zorder import ZOrderMapper, interleave_bits
+
+__all__ = [
+    "SimilarityHash",
+    "HyperplaneHash",
+    "SpectralHash",
+    "ZOrderMapper",
+    "interleave_bits",
+]

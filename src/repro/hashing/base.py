@@ -1,0 +1,85 @@
+"""Similarity-hash interface: vectors in, binary codes out.
+
+The paper assumes a learned similarity hash ``H`` mapping each
+``d``-dimensional tuple to an ``L``-bit binary code (Section 3).  All hash
+families here implement the same two-phase protocol: :meth:`fit` learns
+parameters from (a sample of) the data, :meth:`encode` maps a matrix of
+row vectors to a :class:`~repro.core.bitvector.CodeSet`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import HashNotFittedError, InvalidParameterError
+
+
+class SimilarityHash(ABC):
+    """Base class for learned similarity hash functions."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 1:
+            raise InvalidParameterError("num_bits must be positive")
+        self._num_bits = num_bits
+        self._fitted = False
+
+    @property
+    def num_bits(self) -> int:
+        """Length ``L`` of the produced binary codes."""
+        return self._num_bits
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, data: np.ndarray) -> "SimilarityHash":
+        """Learn hash parameters from sample rows; returns ``self``."""
+        matrix = _as_matrix(data)
+        self._fit(matrix)
+        self._fitted = True
+        return self
+
+    def encode(self, data: np.ndarray) -> CodeSet:
+        """Map rows of ``data`` to binary codes."""
+        if not self._fitted:
+            raise HashNotFittedError(
+                f"{type(self).__name__}.encode called before fit"
+            )
+        matrix = _as_matrix(data)
+        signs = self._project(matrix)
+        return CodeSet(_signs_to_codes(signs), self._num_bits)
+
+    def fit_encode(self, data: np.ndarray) -> CodeSet:
+        """Convenience: fit on ``data`` and encode the same rows."""
+        return self.fit(data).encode(data)
+
+    @abstractmethod
+    def _fit(self, matrix: np.ndarray) -> None:
+        """Learn parameters from a 2-D sample matrix."""
+
+    @abstractmethod
+    def _project(self, matrix: np.ndarray) -> np.ndarray:
+        """Return a boolean (n, num_bits) matrix of hash bits."""
+
+
+def _as_matrix(data: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2:
+        raise InvalidParameterError(
+            f"expected a 2-D data matrix, got ndim={matrix.ndim}"
+        )
+    return matrix
+
+
+def _signs_to_codes(bits: np.ndarray) -> list[int]:
+    """Pack a boolean (n, L) matrix into ints, column 0 most significant."""
+    n, num_bits = bits.shape
+    codes = np.zeros(n, dtype=object)
+    for column in range(num_bits):
+        codes = (codes << 1) | bits[:, column].astype(int)
+    return [int(code) for code in codes]

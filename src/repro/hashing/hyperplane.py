@@ -1,0 +1,47 @@
+"""Random-hyperplane (simhash) similarity hashing (Charikar, STOC '02).
+
+The data-independent hash used for the document-deduplication use case the
+paper motivates with Manku et al. [4]: each bit is the sign of a random
+projection, so the Hamming distance between codes estimates the angular
+distance between the original vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.hashing.base import SimilarityHash
+
+
+class HyperplaneHash(SimilarityHash):
+    """Sign-of-random-projection hashing.
+
+    The hyperplanes are drawn i.i.d. Gaussian at :meth:`fit` time (only the
+    dimensionality is learned from the data); ``seed`` makes the family
+    reproducible.  Data is mean-centered so that splits are balanced even
+    for non-centered inputs.
+    """
+
+    def __init__(self, num_bits: int, seed: int = 0) -> None:
+        super().__init__(num_bits)
+        self._seed = seed
+        self._planes: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    def _fit(self, matrix: np.ndarray) -> None:
+        if matrix.shape[0] < 1:
+            raise InvalidParameterError("cannot fit on an empty sample")
+        rng = np.random.default_rng(self._seed)
+        dimensions = matrix.shape[1]
+        self._planes = rng.standard_normal((dimensions, self._num_bits))
+        self._mean = matrix.mean(axis=0)
+
+    def _project(self, matrix: np.ndarray) -> np.ndarray:
+        assert self._planes is not None and self._mean is not None
+        if matrix.shape[1] != self._planes.shape[0]:
+            raise InvalidParameterError(
+                f"expected {self._planes.shape[0]}-d rows, "
+                f"got {matrix.shape[1]}-d"
+            )
+        return (matrix - self._mean) @ self._planes > 0.0

@@ -1,0 +1,113 @@
+"""Z-order (Morton) curve mapping for the LSB-Tree baseline.
+
+The LSB-Tree (Tao et al., TODS 2010) maps each high-dimensional point to a
+one-dimensional Z-value — the bit-interleaving of its quantized
+coordinates, after a random shift — and indexes the Z-values in a B-tree.
+This module provides the quantization and interleaving kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+
+class ZOrderMapper:
+    """Quantize points onto a grid and interleave coordinate bits.
+
+    Args:
+        bits_per_dimension: grid resolution per axis.
+        seed: seed of the random shift vector (``None`` disables the
+            shift, giving the plain Morton code).
+    """
+
+    def __init__(self, bits_per_dimension: int, seed: int | None = None) -> None:
+        if bits_per_dimension < 1:
+            raise InvalidParameterError("bits_per_dimension must be positive")
+        self._bits = bits_per_dimension
+        self._seed = seed
+        self._low: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._shift: np.ndarray | None = None
+
+    @property
+    def bits_per_dimension(self) -> int:
+        return self._bits
+
+    def fit(self, data: np.ndarray) -> "ZOrderMapper":
+        """Learn the bounding box (and draw the random shift)."""
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 1:
+            raise InvalidParameterError("fit expects a non-empty 2-D matrix")
+        low = matrix.min(axis=0)
+        high = matrix.max(axis=0)
+        extent = np.maximum(high - low, 1e-12)
+        if self._seed is not None:
+            rng = np.random.default_rng(self._seed)
+            shift = rng.uniform(0.0, extent)
+        else:
+            shift = np.zeros_like(extent)
+        # After shifting, coordinates live in [low, high + extent].
+        self._low = low
+        self._scale = ((1 << self._bits) - 1) / (2.0 * extent)
+        self._shift = shift
+        return self
+
+    def z_values(self, data: np.ndarray) -> list[int]:
+        """Morton codes of the rows of ``data``."""
+        if self._low is None or self._scale is None or self._shift is None:
+            raise InvalidParameterError("ZOrderMapper used before fit")
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.shape[1] != self._low.shape[0]:
+            raise InvalidParameterError(
+                f"expected {self._low.shape[0]}-d rows, got {matrix.shape[1]}-d"
+            )
+        cells = (matrix - self._low + self._shift) * self._scale
+        max_cell = (1 << self._bits) - 1
+        grid = np.clip(cells, 0, max_cell).astype(np.int64)
+        return [interleave_bits(row.tolist(), self._bits) for row in grid]
+
+
+def interleave_matrix(grid: np.ndarray, bits_per_dimension: int) -> np.ndarray:
+    """Vectorized Morton codes for a whole (n, d) integer grid.
+
+    Returns a ``uint64`` array; requires ``d * bits_per_dimension <= 64``.
+    Bit layout matches :func:`interleave_bits`.
+    """
+    cells = np.asarray(grid, dtype=np.uint64)
+    if cells.ndim != 2 or cells.shape[1] == 0:
+        raise InvalidParameterError("expected a non-empty 2-D grid")
+    dimensions = cells.shape[1]
+    if dimensions * bits_per_dimension > 64:
+        raise InvalidParameterError(
+            f"{dimensions} dims x {bits_per_dimension} bits exceeds 64"
+        )
+    codes = np.zeros(cells.shape[0], dtype=np.uint64)
+    one = np.uint64(1)
+    for bit in range(bits_per_dimension - 1, -1, -1):
+        shift = np.uint64(bit)
+        for dimension in range(dimensions):
+            codes = (codes << one) | (
+                (cells[:, dimension] >> shift) & one
+            )
+    return codes
+
+
+def interleave_bits(coordinates: list[int], bits_per_dimension: int) -> int:
+    """Bit-interleave integer coordinates into a single Morton code.
+
+    Bit ``b`` of coordinate ``i`` lands at position
+    ``b * d + (d - 1 - i)`` from the least-significant end, so the most
+    significant interleaved bits come from the highest coordinate bits.
+    """
+    dimensions = len(coordinates)
+    if dimensions == 0:
+        raise InvalidParameterError("no coordinates to interleave")
+    code = 0
+    for bit in range(bits_per_dimension - 1, -1, -1):
+        for coordinate in coordinates:
+            code = (code << 1) | ((coordinate >> bit) & 1)
+    return code

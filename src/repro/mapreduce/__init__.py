@@ -1,0 +1,37 @@
+"""An in-process MapReduce runtime with honest shuffle metering."""
+
+from repro.mapreduce.cluster import DEFAULT_NUM_WORKERS, Cluster
+from repro.mapreduce.counters import (
+    BROADCAST_BYTES,
+    MAP_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    Counters,
+)
+from repro.mapreduce.hashjoin import mapreduce_hash_join
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.partitioner import RangePartitioner, hash_partitioner
+from repro.mapreduce.runtime import JobResult, MapReduceRuntime
+from repro.mapreduce.types import InputSplit, make_splits, record_bytes
+
+__all__ = [
+    "DEFAULT_NUM_WORKERS",
+    "Cluster",
+    "BROADCAST_BYTES",
+    "MAP_INPUT_RECORDS",
+    "REDUCE_OUTPUT_RECORDS",
+    "SHUFFLE_BYTES",
+    "SHUFFLE_RECORDS",
+    "Counters",
+    "mapreduce_hash_join",
+    "MapReduceJob",
+    "TaskContext",
+    "RangePartitioner",
+    "hash_partitioner",
+    "JobResult",
+    "MapReduceRuntime",
+    "InputSplit",
+    "make_splits",
+    "record_bytes",
+]

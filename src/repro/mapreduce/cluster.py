@@ -1,0 +1,78 @@
+"""Simulated cluster: workers and the distributed cache.
+
+The paper runs on "a cluster of 16 nodes"; here a :class:`Cluster` is a
+worker count plus a distributed cache.  Broadcasting an object through
+the cache (the pivots, the learned hash function, the global HA-Index)
+charges its serialized size once per worker to the job counters —
+matching the paper's accounting, where duplicating table R to each server
+costs ``O(m N d)`` shuffle (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import InvalidParameterError
+from repro.mapreduce.counters import BROADCAST_BYTES, Counters
+from repro.mapreduce.types import object_bytes
+
+#: The paper's cluster size.
+DEFAULT_NUM_WORKERS = 16
+
+#: Modelled effective shuffle/broadcast throughput.  Hadoop-era shuffles
+#: spill to disk and cross a shared network; 10 MiB/s of effective
+#: cluster-wide throughput (the paper's Hadoop 0.22 on 2007 Xeons) is
+#: the knob that turns metered bytes into the transfer component of the
+#: simulated wall clock.
+DEFAULT_BANDWIDTH_BYTES_PER_SECOND = 10 * 1024 * 1024
+
+
+class Cluster:
+    """A fixed pool of simulated workers with a distributed cache."""
+
+    def __init__(
+        self,
+        num_workers: int = DEFAULT_NUM_WORKERS,
+        bandwidth_bytes_per_second: float = DEFAULT_BANDWIDTH_BYTES_PER_SECOND,
+    ) -> None:
+        if num_workers < 1:
+            raise InvalidParameterError("num_workers must be positive")
+        if bandwidth_bytes_per_second <= 0:
+            raise InvalidParameterError("bandwidth must be positive")
+        self._num_workers = num_workers
+        self._bandwidth = bandwidth_bytes_per_second
+        self._cache: dict[str, Any] = {}
+        self.counters = Counters()
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def bandwidth_bytes_per_second(self) -> float:
+        return self._bandwidth
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Modelled time to move ``num_bytes`` through the cluster."""
+        return num_bytes / self._bandwidth
+
+    def broadcast(self, name: str, obj: Any) -> None:
+        """Place ``obj`` in the distributed cache of every worker.
+
+        The serialized size is charged once per worker.
+        """
+        self._cache[name] = obj
+        self.counters.add(
+            BROADCAST_BYTES, object_bytes(obj) * self._num_workers
+        )
+
+    def cached(self, name: str) -> Any:
+        """Fetch a broadcast object by name; raises if absent."""
+        if name not in self._cache:
+            raise InvalidParameterError(
+                f"nothing broadcast under {name!r}"
+            )
+        return self._cache[name]
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,56 @@
+"""Job counters, Hadoop-style.
+
+Counters accumulate named integer metrics during a job run.  The standard
+names below cover what the paper's evaluation reads off its cluster: the
+shuffle volume between mappers and reducers (Figure 7) plus broadcast
+(distributed-cache) traffic, which the paper's cost analysis folds into
+shuffling cost (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+#: Bytes of mapper output shuffled to reducers.
+SHUFFLE_BYTES = "shuffle.bytes"
+#: Records of mapper output shuffled to reducers.
+SHUFFLE_RECORDS = "shuffle.records"
+#: Bytes broadcast to every worker through the distributed cache.
+BROADCAST_BYTES = "broadcast.bytes"
+#: Records read by all map tasks.
+MAP_INPUT_RECORDS = "map.input.records"
+#: Records produced by all reduce tasks.
+REDUCE_OUTPUT_RECORDS = "reduce.output.records"
+#: Task attempts that failed and were retried.
+TASK_RETRIES = "task.retries"
+
+
+class Counters:
+    """A named-counter map with merge support."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._values.items())
+        )
+        return f"Counters({inner})"
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        """Shuffled plus broadcast bytes: the paper's shuffle-cost metric."""
+        return self.get(SHUFFLE_BYTES) + self.get(BROADCAST_BYTES)

@@ -1,0 +1,76 @@
+"""MapReduce job specification.
+
+A job is a mapper, an optional combiner, a reducer and a partitioner.
+Mappers and reducers are generator functions receiving a
+:class:`TaskContext`, which exposes the cluster's distributed cache and
+per-task counters — the same facilities the paper's jobs rely on
+("the selected pivots Pv and the learned hash function H are loaded into
+memory in each mapper via distributed cache").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.errors import JobConfigurationError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.partitioner import Partitioner, hash_partitioner
+from repro.mapreduce.types import KeyValue
+
+
+class TaskContext:
+    """What a running map/reduce task can see."""
+
+    def __init__(self, cache_lookup: Callable[[str], Any]) -> None:
+        self._cache_lookup = cache_lookup
+        self.counters = Counters()
+
+    def cached(self, name: str) -> Any:
+        """Read a distributed-cache object by name."""
+        return self._cache_lookup(name)
+
+
+#: mapper(key, value, context) -> iterable of (key, value)
+Mapper = Callable[[Any, Any, TaskContext], Iterable[KeyValue]]
+#: reducer(key, values, context) -> iterable of (key, value)
+Reducer = Callable[[Any, list[Any], TaskContext], Iterable[KeyValue]]
+
+
+def identity_mapper(key: Any, value: Any, _: TaskContext) -> Iterator[KeyValue]:
+    yield key, value
+
+
+def identity_reducer(
+    key: Any, values: list[Any], _: TaskContext
+) -> Iterator[KeyValue]:
+    for value in values:
+        yield key, value
+
+
+@dataclass
+class MapReduceJob:
+    """Declarative description of one MapReduce round.
+
+    Attributes:
+        name: label used in counters and timing reports.
+        mapper: the map function.
+        reducer: the reduce function.
+        combiner: optional map-side pre-aggregation, run per map task on
+            its grouped output before the shuffle.
+        partitioner: key -> reducer assignment; defaults to hash.
+        num_reducers: reduce-task count; defaults to the cluster width.
+    """
+
+    name: str
+    mapper: Mapper = identity_mapper
+    reducer: Reducer = identity_reducer
+    combiner: Reducer | None = None
+    partitioner: Partitioner = field(default=hash_partitioner)
+    num_reducers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise JobConfigurationError("job needs a non-empty name")
+        if self.num_reducers is not None and self.num_reducers < 1:
+            raise JobConfigurationError("num_reducers must be positive")

@@ -1,0 +1,270 @@
+"""The MapReduce execution engine and its cluster-time model.
+
+The runtime executes real mapper/reducer code in-process, one task at a
+time, while keeping the bookkeeping a physical cluster would produce:
+
+* every mapper-output record is charged its pickled size to the shuffle
+  counters (``Counters.SHUFFLE_BYTES``) — nothing is modelled here, the
+  records really are the shuffle payload;
+* every task's CPU time is measured with ``perf_counter`` and attributed
+  to the worker the task is scheduled on (map tasks round-robin over
+  input splits, reduce tasks over partitions);
+* the *simulated wall clock* of a phase is the maximum over workers of
+  the sum of their task times — the "slowest mapper or reducer determines
+  the job running time" observation that motivates the paper's load
+  balancing (Section 5).
+
+Shapes are therefore preserved faithfully: a skewed partitioning shows up
+as one overloaded worker stretching the simulated wall clock, and a heavy
+broadcast shows up in the shuffle counters, exactly the two effects
+Figures 7 and 9 measure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.errors import JobConfigurationError, JobExecutionError
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.counters import (
+    MAP_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    TASK_RETRIES,
+    Counters,
+)
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.types import InputSplit, KeyValue, make_splits, record_bytes
+
+#: Modelled fixed per-job startup overhead (seconds of simulated time);
+#: Hadoop jobs pay scheduling/JVM costs that an in-process simulator
+#: would otherwise hide entirely.
+JOB_OVERHEAD_SECONDS = 0.02
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produces."""
+
+    name: str
+    output: list[KeyValue]
+    counters: Counters
+    map_task_seconds: list[float] = field(default_factory=list)
+    reduce_task_seconds: list[float] = field(default_factory=list)
+    map_wall_seconds: float = 0.0
+    reduce_wall_seconds: float = 0.0
+    shuffle_transfer_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Modelled cluster wall clock for the whole job.
+
+        Overhead + map wave + shuffle transfer (metered bytes over the
+        cluster's modelled bandwidth) + reduce wave.
+        """
+        return (
+            JOB_OVERHEAD_SECONDS
+            + self.map_wall_seconds
+            + self.shuffle_transfer_seconds
+            + self.reduce_wall_seconds
+        )
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self.counters.total_shuffle_bytes
+
+
+def _wall_clock(task_seconds: list[float], num_workers: int) -> float:
+    """Max-over-workers schedule length under round-robin placement."""
+    loads = [0.0] * num_workers
+    for position, seconds in enumerate(task_seconds):
+        loads[position % num_workers] += seconds
+    return max(loads, default=0.0)
+
+
+#: Default task retry budget, mirroring Hadoop's
+#: ``mapreduce.map.maxattempts`` of 4 attempts total.
+DEFAULT_MAX_TASK_ATTEMPTS = 4
+
+
+class MapReduceRuntime:
+    """Runs :class:`MapReduceJob` specifications on a :class:`Cluster`.
+
+    Tasks are retried on failure (MapReduce's fault-tolerance story:
+    mappers and reducers are pure functions of their input, so a failed
+    attempt is simply re-executed).  A task that keeps failing past
+    ``max_task_attempts`` aborts the job with
+    :class:`~repro.core.errors.JobExecutionError`, like a Hadoop job
+    exceeding its attempt budget.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        max_task_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
+    ) -> None:
+        if max_task_attempts < 1:
+            raise JobConfigurationError(
+                "max_task_attempts must be positive"
+            )
+        self._cluster = cluster
+        self._max_attempts = max_task_attempts
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    def _attempt_task(
+        self, job_name: str, kind: str, task, counters: Counters
+    ):
+        """Run a task callable with retries; returns its result."""
+        failures = []
+        for attempt in range(self._max_attempts):
+            try:
+                return task()
+            except Exception as error:  # noqa: BLE001 - task code is user code
+                failures.append(error)
+                counters.add(TASK_RETRIES)
+        raise JobExecutionError(
+            f"{kind} task of job {job_name!r} failed "
+            f"{self._max_attempts} times; last error: {failures[-1]!r}"
+        ) from failures[-1]
+
+    def run(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[KeyValue] | list[InputSplit],
+        num_splits: int | None = None,
+    ) -> JobResult:
+        """Execute one job and return its outputs plus bookkeeping.
+
+        ``inputs`` may be raw records (split automatically, one split per
+        worker unless ``num_splits`` says otherwise) or prebuilt splits.
+        """
+        splits = self._as_splits(inputs, num_splits)
+        num_reducers = job.num_reducers or self._cluster.num_workers
+        counters = Counters()
+        result = JobResult(job.name, [], counters)
+
+        partitions: list[list[KeyValue]] = [[] for _ in range(num_reducers)]
+        for split in splits:
+            elapsed = self._run_map_task(
+                job, split, partitions, num_reducers, counters
+            )
+            result.map_task_seconds.append(elapsed)
+
+        for partition in partitions:
+            elapsed = self._run_reduce_task(
+                job, partition, result.output, counters
+            )
+            result.reduce_task_seconds.append(elapsed)
+
+        workers = self._cluster.num_workers
+        result.map_wall_seconds = _wall_clock(result.map_task_seconds, workers)
+        result.reduce_wall_seconds = _wall_clock(
+            result.reduce_task_seconds, workers
+        )
+        result.shuffle_transfer_seconds = self._cluster.transfer_seconds(
+            counters.get(SHUFFLE_BYTES)
+        )
+        self._cluster.counters.merge(counters)
+        return result
+
+    def _as_splits(
+        self,
+        inputs: Iterable[KeyValue] | list[InputSplit],
+        num_splits: int | None,
+    ) -> list[InputSplit]:
+        materialized = list(inputs)
+        if materialized and isinstance(materialized[0], InputSplit):
+            if not all(isinstance(s, InputSplit) for s in materialized):
+                raise JobConfigurationError(
+                    "mix of raw records and InputSplits"
+                )
+            return materialized  # type: ignore[return-value]
+        return make_splits(
+            materialized,  # type: ignore[arg-type]
+            num_splits or self._cluster.num_workers,
+        )
+
+    def _run_map_task(
+        self,
+        job: MapReduceJob,
+        split: InputSplit,
+        partitions: list[list[KeyValue]],
+        num_reducers: int,
+        counters: Counters,
+    ) -> float:
+        def attempt() -> tuple[list[KeyValue], TaskContext, float]:
+            context = TaskContext(self._cluster.cached)
+            started = time.perf_counter()
+            emitted: list[KeyValue] = []
+            for key, value in split:
+                emitted.extend(job.mapper(key, value, context))
+            if job.combiner is not None:
+                emitted = self._combine(job, emitted, context)
+            return emitted, context, time.perf_counter() - started
+
+        # The attempt is side-effect free (emits into a local list), so a
+        # failed try leaves no partial records behind — the re-execution
+        # fault-tolerance model of MapReduce.
+        emitted, context, elapsed = self._attempt_task(
+            job.name, "map", attempt, counters
+        )
+        counters.add(MAP_INPUT_RECORDS, len(split))
+        for record in emitted:
+            counters.add(SHUFFLE_RECORDS)
+            counters.add(SHUFFLE_BYTES, record_bytes(record))
+            partitions[job.partitioner(record[0], num_reducers)].append(
+                record
+            )
+        counters.merge(context.counters)
+        return elapsed
+
+    def _combine(
+        self, job: MapReduceJob, emitted: list[KeyValue], context: TaskContext
+    ) -> list[KeyValue]:
+        assert job.combiner is not None
+        grouped = _group_by_key(emitted)
+        combined: list[KeyValue] = []
+        for key, values in grouped:
+            combined.extend(job.combiner(key, values, context))
+        return combined
+
+    def _run_reduce_task(
+        self,
+        job: MapReduceJob,
+        partition: list[KeyValue],
+        output: list[KeyValue],
+        counters: Counters,
+    ) -> float:
+        def attempt() -> tuple[list[KeyValue], TaskContext, float]:
+            context = TaskContext(self._cluster.cached)
+            started = time.perf_counter()
+            produced: list[KeyValue] = []
+            for key, values in _group_by_key(partition):
+                produced.extend(job.reducer(key, values, context))
+            return produced, context, time.perf_counter() - started
+
+        produced, context, elapsed = self._attempt_task(
+            job.name, "reduce", attempt, counters
+        )
+        counters.add(REDUCE_OUTPUT_RECORDS, len(produced))
+        output.extend(produced)
+        counters.merge(context.counters)
+        return elapsed
+
+
+def _group_by_key(records: list[KeyValue]) -> list[tuple[Any, list[Any]]]:
+    """Sort-and-group, as the shuffle does between map and reduce."""
+    grouped: dict[Any, list[Any]] = {}
+    for key, value in records:
+        grouped.setdefault(key, []).append(value)
+    try:
+        ordered_keys = sorted(grouped)
+    except TypeError:
+        ordered_keys = sorted(grouped, key=repr)
+    return [(key, grouped[key]) for key in ordered_keys]

@@ -1,0 +1,63 @@
+"""Record types and size accounting for the MapReduce substrate.
+
+The simulator moves plain ``(key, value)`` pairs.  Shuffle-cost metering —
+the quantity Figure 7 plots — needs a byte size for every record crossing
+the mapper/reducer boundary; :func:`record_bytes` uses the pickled size,
+which is what a Hadoop job would serialize to disk between phases.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterable, Iterator
+
+#: A (key, value) pair as produced by mappers and reducers.
+KeyValue = tuple[Any, Any]
+
+
+def record_bytes(record: KeyValue) -> int:
+    """Serialized size in bytes of one key-value record."""
+    return len(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def object_bytes(obj: Any) -> int:
+    """Serialized size in bytes of an arbitrary broadcast object."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class InputSplit:
+    """A contiguous chunk of job input processed by one map task."""
+
+    __slots__ = ("split_id", "records")
+
+    def __init__(self, split_id: int, records: list[KeyValue]) -> None:
+        self.split_id = split_id
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"InputSplit(id={self.split_id}, n={len(self.records)})"
+
+
+def make_splits(
+    records: Iterable[KeyValue], num_splits: int
+) -> list[InputSplit]:
+    """Partition ``records`` into ``num_splits`` balanced input splits.
+
+    Round-robin assignment keeps split sizes within one record of each
+    other regardless of input order.
+    """
+    materialized = list(records)
+    num_splits = max(1, min(num_splits, max(1, len(materialized))))
+    buckets: list[list[KeyValue]] = [[] for _ in range(num_splits)]
+    for position, record in enumerate(materialized):
+        buckets[position % num_splits].append(record)
+    return [
+        InputSplit(split_id, bucket)
+        for split_id, bucket in enumerate(buckets)
+    ]

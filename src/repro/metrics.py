@@ -1,0 +1,90 @@
+"""Evaluation metrics: precision/recall and formatting helpers.
+
+Figure 10b reports precision and recall of the approximate (hash-based)
+kNN-join against the exact join; these helpers compute both for pair sets
+and for per-query neighbour lists, plus the brute-force ground truths the
+comparisons need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+
+def precision_recall(
+    predicted: Iterable[tuple[int, int]],
+    actual: Iterable[tuple[int, int]],
+) -> tuple[float, float]:
+    """Precision and recall of a predicted pair set vs. the truth.
+
+    Both default to 1.0 on empty denominators (no predictions made /
+    nothing to find).
+    """
+    predicted_set = set(predicted)
+    actual_set = set(actual)
+    hits = len(predicted_set & actual_set)
+    precision = hits / len(predicted_set) if predicted_set else 1.0
+    recall = hits / len(actual_set) if actual_set else 1.0
+    return precision, recall
+
+
+def knn_precision_recall(
+    predicted: Mapping[int, Sequence[tuple[int, float]]],
+    actual: Mapping[int, Sequence[tuple[int, float]]],
+) -> tuple[float, float]:
+    """Average per-query precision/recall of kNN neighbour lists.
+
+    Queries absent from ``predicted`` count as empty answers.
+    """
+    if not actual:
+        return 1.0, 1.0
+    precisions = []
+    recalls = []
+    for query_id, truth in actual.items():
+        truth_ids = {neighbor for neighbor, _ in truth}
+        predicted_ids = {
+            neighbor for neighbor, _ in predicted.get(query_id, ())
+        }
+        hits = len(truth_ids & predicted_ids)
+        precisions.append(hits / len(predicted_ids) if predicted_ids else 1.0)
+        recalls.append(hits / len(truth_ids) if truth_ids else 1.0)
+    return float(np.mean(precisions)), float(np.mean(recalls))
+
+
+def exact_knn_join(
+    left: Sequence[tuple[int, np.ndarray]],
+    right: Sequence[tuple[int, np.ndarray]],
+    k: int,
+) -> dict[int, list[tuple[int, float]]]:
+    """Brute-force Euclidean kNN join: the Figure 10b ground truth."""
+    if k < 1:
+        raise InvalidParameterError("k must be positive")
+    right_matrix = np.vstack([vector for _, vector in right])
+    right_ids = [tuple_id for tuple_id, _ in right]
+    result: dict[int, list[tuple[int, float]]] = {}
+    for left_id, vector in left:
+        distances = np.linalg.norm(right_matrix - vector, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        result[left_id] = [
+            (right_ids[i], float(distances[i])) for i in order
+        ]
+    return result
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count (``1.50 GB`` style)."""
+    size = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if size < 1024.0 or unit == "TB":
+            return f"{size:.2f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def megabytes(num_bytes: int) -> float:
+    """Bytes to MiB, for table output."""
+    return num_bytes / (1024.0 * 1024.0)

@@ -1,0 +1,78 @@
+"""Shared fixtures: the paper's running example and random workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.data.synthetic import random_codes
+
+#: Table 2a of the paper: dataset S as binary strings (t0..t7).
+TABLE_S = [
+    "001001010",
+    "001011101",
+    "011001100",
+    "101001010",
+    "101110110",
+    "101011101",
+    "101101010",
+    "111001100",
+]
+
+#: Table 2b of the paper: dataset R (r0..r2).
+TABLE_R = [
+    "101100010",
+    "101010010",
+    "110000010",
+]
+
+#: The paper's Example 1 query tuple code.
+EXAMPLE_QUERY = 0b101100010
+
+#: Expected h-select output of Example 1 (h = 3): {t0, t3, t4, t6}.
+EXAMPLE_SELECT_IDS = [0, 3, 4, 6]
+
+#: Expected h-join output of Example 1 (h = 3).
+EXAMPLE_JOIN_PAIRS = [
+    (0, 0), (0, 3), (0, 4), (0, 6),
+    (1, 0), (1, 3), (1, 4), (1, 6),
+    (2, 3),
+]
+
+
+@pytest.fixture
+def table_s() -> CodeSet:
+    return CodeSet.from_strings(TABLE_S)
+
+
+@pytest.fixture
+def table_r() -> CodeSet:
+    return CodeSet.from_strings(TABLE_R)
+
+
+@pytest.fixture
+def random_codeset() -> CodeSet:
+    """2000 random (non-distinct) 32-bit codes."""
+    return CodeSet(random_codes(2000, 32, seed=42), 32)
+
+
+@pytest.fixture
+def clustered_codeset() -> CodeSet:
+    """Codes with heavy duplication and clustering (skewed workload)."""
+    rng = random.Random(7)
+    centers = [rng.getrandbits(32) for _ in range(20)]
+    codes = []
+    for _ in range(1500):
+        center = rng.choice(centers)
+        noise = 0
+        for _ in range(rng.randint(0, 3)):
+            noise |= 1 << rng.randrange(32)
+        codes.append(center ^ noise)
+    return CodeSet(codes, 32)
+
+
+@pytest.fixture
+def query_rng() -> random.Random:
+    return random.Random(1234)

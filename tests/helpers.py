@@ -1,0 +1,28 @@
+"""Shared test helpers: brute-force oracles for index verification."""
+
+from __future__ import annotations
+
+from repro.core.bitvector import CodeSet
+
+
+def brute_force_select(
+    codeset: CodeSet, query: int, threshold: int
+) -> list[int]:
+    """Ground-truth h-select by full scan, sorted tuple ids."""
+    return sorted(
+        tuple_id
+        for code, tuple_id in zip(codeset.codes, codeset.ids)
+        if (code ^ query).bit_count() <= threshold
+    )
+
+
+def assert_search_exact(index, codeset: CodeSet, queries, thresholds):
+    """Assert ``index.search`` equals the brute-force oracle everywhere."""
+    for query in queries:
+        for threshold in thresholds:
+            expected = brute_force_select(codeset, query, threshold)
+            got = sorted(index.search(query, threshold))
+            assert got == expected, (
+                f"{type(index).__name__} wrong at query={query:#x} "
+                f"h={threshold}: {len(got)} vs {len(expected)} results"
+            )

@@ -1,0 +1,246 @@
+"""Unit tests for the Hamming-select baselines.
+
+Nested-Loops, MultiHashTable (Manku), HEngine and HmSearch all implement
+the same exact-search contract; shared behaviour is exercised through a
+parametrized fixture and structure-specific behaviour in per-class tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hengine import HEngineIndex
+from repro.baselines.hmsearch import HmSearchIndex
+from repro.baselines.multi_hash import (
+    MultiHashTableIndex,
+    block_boundaries,
+    variants_within,
+)
+from repro.baselines.nested_loops import NestedLoopsIndex
+from repro.core.bitvector import CodeSet
+from repro.core.errors import IndexStateError, InvalidParameterError
+
+from .conftest import EXAMPLE_QUERY, EXAMPLE_SELECT_IDS
+from .helpers import assert_search_exact, brute_force_select
+
+BASELINE_BUILDERS = [
+    pytest.param(lambda cs: NestedLoopsIndex.build(cs), id="nested-loops"),
+    pytest.param(
+        lambda cs: MultiHashTableIndex.build(cs, num_tables=4), id="mh-4"
+    ),
+    pytest.param(
+        lambda cs: MultiHashTableIndex.build(cs, num_tables=10), id="mh-10"
+    ),
+    pytest.param(lambda cs: HEngineIndex.build(cs), id="hengine"),
+    pytest.param(
+        lambda cs: HEngineIndex.build(cs, max_threshold=6), id="hengine-6"
+    ),
+    pytest.param(lambda cs: HmSearchIndex.build(cs), id="hmsearch"),
+]
+
+
+@pytest.mark.parametrize("builder", BASELINE_BUILDERS)
+class TestBaselineContract:
+    def test_paper_example(self, builder, table_s):
+        index = builder(table_s)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+    def test_exact_on_random(self, builder, random_codeset, query_rng):
+        index = builder(random_codeset)
+        queries = [query_rng.getrandbits(32) for _ in range(6)]
+        assert_search_exact(index, random_codeset, queries, [0, 3, 6])
+
+    def test_exact_beyond_design_threshold(
+        self, builder, clustered_codeset
+    ):
+        """Thresholds past the build-time h stay exact (wider probes)."""
+        index = builder(clustered_codeset)
+        query = clustered_codeset[9]
+        for threshold in (7, 9):
+            assert sorted(index.search(query, threshold)) == (
+                brute_force_select(clustered_codeset, query, threshold)
+            )
+
+    def test_update_roundtrip(self, builder, table_s):
+        index = builder(table_s)
+        index.delete(table_s[4], 4)
+        assert 4 not in index.search(EXAMPLE_QUERY, 3)
+        index.insert(table_s[4], 4)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+        assert len(index) == 8
+
+    def test_delete_absent_raises(self, builder, table_s):
+        index = builder(table_s)
+        with pytest.raises(IndexStateError):
+            index.delete(0b101010101, 77)
+
+    def test_duplicates(self, builder):
+        codeset = CodeSet([3, 3, 12], 4, ids=[7, 8, 9])
+        index = builder(codeset)
+        assert sorted(index.search(3, 0)) == [7, 8]
+
+    def test_search_with_distances_when_available(self, builder, table_s):
+        index = builder(table_s)
+        search = getattr(index, "search_with_distances", None)
+        if search is None:
+            pytest.skip("index has no distance-reporting search")
+        for tuple_id, distance in search(EXAMPLE_QUERY, 3):
+            assert distance == (
+                table_s[tuple_id] ^ EXAMPLE_QUERY
+            ).bit_count()
+
+
+class TestBlockBoundaries:
+    def test_even_split(self):
+        assert block_boundaries(9, 3) == [(6, 3), (3, 3), (0, 3)]
+
+    def test_uneven_split_spreads_extra_bits(self):
+        # 9 bits over 4 blocks: widths 3, 2, 2, 2.
+        widths = [w for _, w in block_boundaries(9, 4)]
+        assert widths == [3, 2, 2, 2]
+        assert sum(widths) == 9
+
+    def test_rejects_too_many_blocks(self):
+        with pytest.raises(InvalidParameterError):
+            block_boundaries(4, 5)
+
+    def test_blocks_partition_the_code(self):
+        code = 0b110101101
+        parts = [
+            (code >> shift) & ((1 << width) - 1)
+            for shift, width in block_boundaries(9, 3)
+        ]
+        rebuilt = 0
+        for part, (_, width) in zip(parts, block_boundaries(9, 3)):
+            rebuilt = (rebuilt << width) | part
+        assert rebuilt == code
+
+
+class TestVariantsWithin:
+    def test_radius_zero(self):
+        assert variants_within(0b101, 3, 0) == [0b101]
+
+    def test_radius_one_count(self):
+        variants = variants_within(0b101, 3, 1)
+        assert len(variants) == 1 + 3
+        assert len(set(variants)) == 4
+
+    def test_radius_two_distances(self):
+        for variant in variants_within(0b1100, 4, 2):
+            assert (variant ^ 0b1100).bit_count() <= 2
+
+
+class TestMultiHashSpecifics:
+    def test_memory_replicates_per_table(self, random_codeset):
+        mh4 = MultiHashTableIndex.build(random_codeset, num_tables=4)
+        mh10 = MultiHashTableIndex.build(random_codeset, num_tables=10)
+        assert mh4.stats().entries == 4 * len(random_codeset)
+        assert mh10.stats().entries == 10 * len(random_codeset)
+        assert mh10.stats().memory_bytes > mh4.stats().memory_bytes
+
+    def test_tables_clamped_to_code_length(self):
+        index = MultiHashTableIndex(4, num_tables=10)
+        assert index.num_tables == 4
+
+    def test_rejects_zero_tables(self):
+        with pytest.raises(InvalidParameterError):
+            MultiHashTableIndex(8, num_tables=0)
+
+
+class TestHEngineSpecifics:
+    def test_segment_count_from_threshold(self):
+        # r = floor(h/2) + 1 (Liu et al.).
+        assert HEngineIndex(32, max_threshold=3).num_segments == 2
+        assert HEngineIndex(32, max_threshold=4).num_segments == 3
+        assert HEngineIndex(32, max_threshold=7).num_segments == 4
+
+    def test_less_memory_than_multihash(self, random_codeset):
+        hengine = HEngineIndex.build(random_codeset).stats()
+        mh4 = MultiHashTableIndex.build(
+            random_codeset, num_tables=4
+        ).stats()
+        assert hengine.memory_bytes < mh4.memory_bytes
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            HEngineIndex(8, max_threshold=-1)
+
+
+class TestHmSearchSpecifics:
+    def test_index_side_signature_blowup(self, random_codeset):
+        """HmSearch stores one-bit variants: entries >> dataset size."""
+        hmsearch = HmSearchIndex.build(random_codeset).stats()
+        hengine = HEngineIndex.build(random_codeset).stats()
+        assert hmsearch.entries > 5 * len(random_codeset)
+        assert hmsearch.memory_bytes > hengine.memory_bytes
+
+    def test_delete_removes_all_signatures(self):
+        codeset = CodeSet([0b1010], 4)
+        index = HmSearchIndex.build(codeset)
+        index.delete(0b1010, 0)
+        assert index.stats().entries == 0
+
+
+class TestNestedLoopsSpecifics:
+    def test_empty(self):
+        index = NestedLoopsIndex(8)
+        assert index.search(0, 8) == []
+
+    def test_insert_invalidates_packed_cache(self):
+        index = NestedLoopsIndex(8)
+        index.insert(1, 0)
+        assert index.search(1, 0) == [0]
+        index.insert(2, 1)
+        assert sorted(index.search(3, 1)) == [0, 1]
+
+
+class TestProbeDegeneracyFallback:
+    """Large thresholds on wide segments must not enumerate probes.
+
+    Regression: HEngine at 128-bit codes and h=30 would enumerate
+    C(64, 15) ~ 10^15 probe variants and OOM; past the degeneracy
+    point the indexes scan their stored entries instead (still exact).
+    """
+
+    def test_probe_count_formula(self):
+        from math import comb
+
+        from repro.baselines.multi_hash import probe_count
+
+        assert probe_count(8, 0) == 1
+        assert probe_count(8, 1) == 9
+        assert probe_count(64, 15) == sum(
+            comb(64, k) for k in range(16)
+        )
+
+    def test_hengine_wide_large_threshold_fast_and_exact(self):
+        from repro.data.synthetic import random_codes
+
+        codes = CodeSet(random_codes(300, 128, seed=91), 128)
+        index = HEngineIndex.build(codes)
+        query = codes[0]
+        got = sorted(index.search(query, 40))
+        expected = brute_force_select(codes, query, 40)
+        assert got == expected
+        # The fallback scans entries, never more XORs than the table.
+        assert index.last_search_ops <= len(codes)
+
+    def test_multihash_wide_large_threshold_fast_and_exact(self):
+        from repro.data.synthetic import random_codes
+
+        codes = CodeSet(random_codes(300, 128, seed=92), 128)
+        index = MultiHashTableIndex.build(codes, num_tables=4)
+        query = codes[1]
+        got = sorted(index.search(query, 48))
+        assert got == brute_force_select(codes, query, 48)
+        assert index.last_search_ops <= len(codes)
+
+    def test_hmsearch_wide_large_threshold_fast_and_exact(self):
+        from repro.data.synthetic import random_codes
+
+        codes = CodeSet(random_codes(200, 128, seed=93), 128)
+        index = HmSearchIndex.build(codes)
+        query = codes[2]
+        got = sorted(index.search(query, 40))
+        assert got == brute_force_select(codes, query, 40)
+        assert index.last_search_ops <= len(codes)

@@ -1,0 +1,96 @@
+"""Tests for the benchmark harness and the EXPERIMENTS.md assembler."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks import collect_experiments, harness  # noqa: E402
+from repro.core.bitvector import CodeSet  # noqa: E402
+from repro.core.dynamic_ha import DynamicHAIndex  # noqa: E402
+from repro.data.synthetic import random_codes  # noqa: E402
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = harness.render_table(
+            "Title", ["a", "bb"], [[1, 2.5], ["x", 0.001]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "2.50" in text and "0.001" in text
+
+    def test_note_appended(self):
+        text = harness.render_table("T", ["c"], [[1]], note="a note")
+        assert text.rstrip().endswith("a note")
+
+    def test_wide_cells_align(self):
+        text = harness.render_table(
+            "T", ["col"], [["a-very-long-cell"], [1]]
+        )
+        rows = text.splitlines()
+        assert len(rows[2]) == len(rows[3])  # header vs separator width
+
+
+class TestWorkloadHelpers:
+    def test_scaled_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert harness.scaled(30_000) == 64
+
+    def test_scaled_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert harness.scaled(100) == 100
+
+    def test_paper_dataset_cached(self):
+        first = harness.paper_dataset("NUS-WIDE", 64)
+        second = harness.paper_dataset("NUS-WIDE", 64)
+        assert first is second
+
+    def test_sample_queries_come_from_codes(self):
+        codes = CodeSet(random_codes(50, 16, seed=1), 16)
+        pool = set(codes.codes)
+        for query in harness.sample_queries(codes, 10):
+            assert query in pool
+
+    def test_mean_search_ops(self):
+        codes = CodeSet(random_codes(100, 16, seed=2), 16)
+        index = DynamicHAIndex.build(codes)
+        ops = harness.mean_search_ops(index, [codes[0], codes[1]], 2)
+        assert ops > 0
+
+    def test_record_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        harness.record("unit", "hello table\n")
+        assert (tmp_path / "unit.txt").read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+
+class TestCollectExperiments:
+    def test_build_mentions_every_exhibit(self):
+        text = collect_experiments.build()
+        for exhibit in (
+            "Table 4", "Table 5", "Figure 6", "Figure 7",
+            "Figure 8", "Figure 9", "Figure 10",
+        ):
+            assert exhibit in text
+
+    def test_missing_table_noted(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(collect_experiments, "RESULTS", tmp_path)
+        text = collect_experiments.build()
+        assert "missing" in text
+
+    def test_embeds_existing_results(self):
+        if not (collect_experiments.RESULTS / "table4_nuswide.txt").exists():
+            pytest.skip("bench results not generated yet")
+        text = collect_experiments.build()
+        assert "DHA-Index" in text
+
+    def test_main_stdout(self, capsys):
+        assert collect_experiments.main(["--stdout"]) == 0
+        assert "EXPERIMENTS" in capsys.readouterr().out

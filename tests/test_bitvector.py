@@ -1,0 +1,163 @@
+"""Unit tests for binary-code primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import (
+    CodeSet,
+    batch_hamming,
+    batch_select,
+    bit_at,
+    code_from_string,
+    code_to_string,
+    hamming_distance,
+    pack_codes,
+)
+from repro.core.errors import (
+    CodeLengthError,
+    InvalidParameterError,
+)
+
+
+class TestHammingDistance:
+    def test_identical_codes(self):
+        assert hamming_distance(0b1010, 0b1010) == 0
+
+    def test_all_bits_differ(self):
+        assert hamming_distance(0b1111, 0b0000) == 4
+
+    def test_single_bit(self):
+        assert hamming_distance(0b1000, 0b0000) == 1
+
+    def test_symmetry(self):
+        assert hamming_distance(37, 91) == hamming_distance(91, 37)
+
+    def test_paper_example(self):
+        # ||t0, tq|| where t0 = "001001010", tq = "101100010" is 3.
+        t0 = code_from_string("001001010")
+        tq = code_from_string("101100010")
+        assert hamming_distance(t0, tq) == 3
+
+
+class TestCodeStrings:
+    def test_parse_plain(self):
+        assert code_from_string("101") == 5
+
+    def test_parse_with_spaces(self):
+        assert code_from_string("001 001 010") == 0b001001010
+
+    def test_parse_rejects_other_chars(self):
+        with pytest.raises(InvalidParameterError):
+            code_from_string("10a")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            code_from_string("  ")
+
+    def test_roundtrip(self):
+        assert code_to_string(code_from_string("0101"), 4) == "0101"
+
+    def test_to_string_pads(self):
+        assert code_to_string(1, 5) == "00001"
+
+    def test_to_string_rejects_overflow(self):
+        with pytest.raises(CodeLengthError):
+            code_to_string(16, 4)
+
+    def test_bit_at_msb_first(self):
+        code = code_from_string("1000")
+        assert bit_at(code, 0, 4) == 1
+        assert bit_at(code, 3, 4) == 0
+
+    def test_bit_at_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            bit_at(0, 4, 4)
+
+
+class TestPackedBatches:
+    def test_pack_and_distance(self):
+        packed = pack_codes([0b0000, 0b1111, 0b1010], 4)
+        distances = batch_hamming(packed, 0b0000)
+        assert distances.tolist() == [0, 4, 2]
+
+    def test_batch_select(self):
+        packed = pack_codes([0b0000, 0b1111, 0b1010], 4)
+        assert batch_select(packed, 0b0000, 2).tolist() == [0, 2]
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(CodeLengthError):
+            pack_codes([16], 4)
+
+    def test_pack_rejects_bad_length(self):
+        with pytest.raises(InvalidParameterError):
+            pack_codes([0], 65)
+
+    def test_pack_64_bit_boundary(self):
+        top = (1 << 64) - 1
+        packed = pack_codes([top, 0], 64)
+        assert batch_hamming(packed, 0).tolist() == [64, 0]
+
+    def test_batch_matches_scalar(self):
+        codes = [0, 1, 255, 170, 85]
+        packed = pack_codes(codes, 8)
+        query = 0b1100_0011
+        expected = [hamming_distance(c, query) for c in codes]
+        assert batch_hamming(packed, query).tolist() == expected
+
+
+class TestCodeSet:
+    def test_from_strings(self, table_s):
+        assert len(table_s) == 8
+        assert table_s.length == 9
+
+    def test_from_strings_rejects_mixed_lengths(self):
+        with pytest.raises(CodeLengthError):
+            CodeSet.from_strings(["101", "10"])
+
+    def test_from_strings_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            CodeSet.from_strings([])
+
+    def test_default_ids_positional(self, table_s):
+        assert table_s.ids == tuple(range(8))
+
+    def test_with_ids(self, table_s):
+        relabeled = table_s.with_ids(range(100, 108))
+        assert relabeled.ids == tuple(range(100, 108))
+        assert relabeled.codes == table_s.codes
+
+    def test_with_ids_wrong_count(self, table_s):
+        with pytest.raises(InvalidParameterError):
+            table_s.with_ids([1, 2])
+
+    def test_subset_preserves_ids(self, table_s):
+        subset = table_s.with_ids(range(10, 18)).subset([0, 3])
+        assert subset.ids == (10, 13)
+        assert subset.codes == (table_s[0], table_s[3])
+
+    def test_rejects_code_overflow(self):
+        with pytest.raises(CodeLengthError):
+            CodeSet([8], 3)
+
+    def test_rejects_negative_code(self):
+        with pytest.raises(InvalidParameterError):
+            CodeSet([-1], 3)
+
+    def test_equality_and_hash(self, table_s):
+        again = CodeSet.from_strings(
+            ["001001010", "001011101", "011001100", "101001010",
+             "101110110", "101011101", "101101010", "111001100"]
+        )
+        assert table_s == again
+        assert hash(table_s) == hash(again)
+
+    def test_inequality_on_ids(self, table_s):
+        assert table_s != table_s.with_ids(range(1, 9))
+
+    def test_packed_roundtrip(self, table_s):
+        assert table_s.packed().tolist() == list(table_s.codes)
+
+    def test_iteration(self, table_s):
+        assert list(table_s) == list(table_s.codes)

@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["select", "--index", "nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["select"])
+        assert args.dataset == "nuswide"
+        assert args.threshold == 3
+        assert args.index == "DHA-Index"
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "t0: 001001010" in out
+        assert "t0, t3, t4, t6" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "DHA-Index" in out
+        assert "nuswide -> NUS-WIDE" in out
+
+    def test_select_small(self, capsys):
+        assert main(
+            ["select", "--n", "300", "--bits", "16", "--threshold", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert "distance computations" in out
+
+    def test_select_every_family(self, capsys):
+        for family in ("Nested-Loops", "MH-4", "SHA-Index"):
+            assert main(
+                ["select", "--n", "200", "--bits", "16",
+                 "--index", family]
+            ) == 0
+
+    def test_join_small(self, capsys):
+        assert main(["join", "--n", "250", "--bits", "16"]) == 0
+        assert "pairs in" in capsys.readouterr().out
+
+    def test_knn_small(self, capsys):
+        assert main(
+            ["knn", "--n", "300", "--bits", "16", "--k", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("tuple ") >= 5
+
+    def test_mrjoin_small(self, capsys):
+        assert main(
+            ["mrjoin", "--n", "200", "--bits", "16", "--workers", "4",
+             "--option", "B"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MRHA-Index-B" in out
+        assert "shuffle volume" in out
+
+    def test_mrjoin_auto_resolves(self, capsys):
+        assert main(
+            ["mrjoin", "--n", "150", "--bits", "16", "--workers", "4"]
+        ) == 0
+        assert "MRHA-Index-A" in capsys.readouterr().out
+
+    def test_verify_command(self, capsys):
+        assert main(["verify", "--n", "200", "--bits", "16"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 7

@@ -1,0 +1,70 @@
+"""Cross-component consistency: the distributed operators agree.
+
+The batched Hamming-select and the Hamming-join are independent
+pipelines over the same preprocessing (same sample seed -> same learned
+hash -> same codes), so a self-join's pairs must be derivable from a
+batch select of every tuple against the dataset.  Divergence would
+indicate the pipelines see different code populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import nuswide_like
+from repro.distributed.hamming_join import mapreduce_hamming_join
+from repro.distributed.hamming_select import mapreduce_hamming_select
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.runtime import MapReduceRuntime
+
+THRESHOLD = 3
+NUM_BITS = 20
+SAMPLE = 120
+
+
+@pytest.fixture(scope="module")
+def consistent_runs():
+    dataset = nuswide_like(240, seed=95)
+    records = list(zip(range(len(dataset)), dataset.vectors))
+    join_runtime = MapReduceRuntime(Cluster(4))
+    join = mapreduce_hamming_join(
+        join_runtime, records, records, THRESHOLD,
+        num_bits=NUM_BITS, option="A", sample_size=SAMPLE, seed=0,
+    )
+    select_runtime = MapReduceRuntime(Cluster(4))
+    select = mapreduce_hamming_select(
+        select_runtime, records,
+        [(record_id, vector) for record_id, vector in records],
+        THRESHOLD, num_bits=NUM_BITS, sample_size=SAMPLE, seed=0,
+    )
+    return records, join, select
+
+
+class TestJoinSelectAgreement:
+    def test_same_hash_learned(self, consistent_runs):
+        records, join, select = consistent_runs
+        # Same seed + same records -> identical preprocessing output.
+        assert len(join.pairs) > 0
+        assert sum(len(v) for v in select.matches.values()) > 0
+
+    def test_join_pairs_equal_select_matches(self, consistent_runs):
+        records, join, select = consistent_runs
+        from_select = {
+            (r_id, s_id)
+            for s_id, matched in select.matches.items()
+            for r_id in matched
+        }
+        assert set(join.pairs) == from_select
+
+    def test_select_is_reflexive(self, consistent_runs):
+        """Every tuple matches itself at any non-negative threshold."""
+        records, _, select = consistent_runs
+        for record_id, _ in records:
+            assert record_id in select.matches[record_id]
+
+    def test_select_matches_symmetric(self, consistent_runs):
+        """h-select of every tuple against the dataset is symmetric."""
+        _, _, select = consistent_runs
+        for query_id, matched in select.matches.items():
+            for other in matched:
+                assert query_id in select.matches[other]

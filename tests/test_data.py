@@ -1,0 +1,190 @@
+"""Unit tests for dataset containers, generators and paper-style scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.data.containers import Dataset
+from repro.data.scaling import scale_dataset, shift_to_next_larger
+from repro.data.synthetic import (
+    DBPEDIA_DIMENSIONS,
+    FLICKR_DIMENSIONS,
+    NUSWIDE_DIMENSIONS,
+    PAPER_DATASETS,
+    dbpedia_like,
+    flickr_like,
+    nuswide_like,
+    random_codes,
+)
+from repro.hashing.hyperplane import HyperplaneHash
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = Dataset(np.zeros((5, 3)), name="toy")
+        assert len(ds) == 5
+        assert ds.dimensions == 3
+        assert ds.ids == (0, 1, 2, 3, 4)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(np.zeros(5))
+
+    def test_custom_ids(self):
+        ds = Dataset(np.zeros((2, 2)), ids=[7, 9])
+        assert ds.ids == (7, 9)
+        with pytest.raises(InvalidParameterError):
+            Dataset(np.zeros((2, 2)), ids=[1])
+
+    def test_encode_caches_codes(self):
+        ds = Dataset(np.random.default_rng(0).normal(size=(20, 4)))
+        hasher = HyperplaneHash(8, seed=1).fit(ds.vectors)
+        codes = ds.encode(hasher)
+        assert ds.codes is codes
+        assert codes.ids == ds.ids
+
+    def test_codes_before_encode_raises(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(np.zeros((2, 2))).codes
+
+    def test_sample_fraction(self):
+        ds = Dataset(np.arange(100, dtype=float).reshape(50, 2))
+        sample = ds.sample(0.2, seed=3)
+        assert len(sample) == 10
+        # Sampled ids refer to original rows.
+        for row, tuple_id in zip(sample.vectors, sample.ids):
+            assert np.array_equal(row, ds.vectors[tuple_id])
+
+    def test_sample_rejects_bad_fraction(self):
+        ds = Dataset(np.zeros((5, 2)))
+        with pytest.raises(InvalidParameterError):
+            ds.sample(0.0)
+        with pytest.raises(InvalidParameterError):
+            ds.sample(1.5)
+
+    def test_take(self):
+        ds = Dataset(np.zeros((10, 2)))
+        assert len(ds.take(3)) == 3
+        assert len(ds.take(99)) == 10
+        with pytest.raises(InvalidParameterError):
+            ds.take(-1)
+
+
+class TestSyntheticGenerators:
+    def test_paper_dimensionalities(self):
+        assert nuswide_like(10).dimensions == NUSWIDE_DIMENSIONS == 225
+        assert flickr_like(10).dimensions == FLICKR_DIMENSIONS == 512
+        assert dbpedia_like(10).dimensions == DBPEDIA_DIMENSIONS == 250
+
+    def test_registry_names(self):
+        assert set(PAPER_DATASETS) == {"NUS-WIDE", "Flickr", "DBPedia"}
+
+    def test_deterministic_by_seed(self):
+        a = nuswide_like(20, seed=5).vectors
+        b = nuswide_like(20, seed=5).vectors
+        assert np.array_equal(a, b)
+        c = nuswide_like(20, seed=6).vectors
+        assert not np.array_equal(a, c)
+
+    def test_dbpedia_rows_on_simplex(self):
+        ds = dbpedia_like(15)
+        sums = ds.vectors.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+        assert (ds.vectors >= 0).all()
+
+    def test_dbpedia_rows_sparse_topics(self):
+        """LDA-like rows concentrate mass on a few topics."""
+        ds = dbpedia_like(15)
+        top10 = np.sort(ds.vectors, axis=1)[:, -10:].sum(axis=1)
+        assert (top10 > 0.5).mean() > 0.8
+
+    def test_image_generators_are_clustered(self):
+        """Mixture data has lower NN distances than uniform noise."""
+        ds = nuswide_like(200, seed=1)
+        rng = np.random.default_rng(0)
+        uniform = rng.uniform(-1, 1, size=ds.vectors.shape)
+
+        def mean_nn(matrix):
+            total = 0.0
+            for i in range(0, 50):
+                distances = np.linalg.norm(matrix - matrix[i], axis=1)
+                distances[i] = np.inf
+                total += distances.min()
+            return total / 50
+
+        assert mean_nn(ds.vectors) < mean_nn(uniform)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(InvalidParameterError):
+            nuswide_like(0)
+        with pytest.raises(InvalidParameterError):
+            dbpedia_like(0)
+
+
+class TestRandomCodes:
+    def test_length_bound(self):
+        codes = random_codes(100, 12, seed=0)
+        assert len(codes) == 100
+        assert all(0 <= code < (1 << 12) for code in codes)
+
+    def test_distinct(self):
+        codes = random_codes(200, 10, seed=1, distinct=True)
+        assert len(set(codes)) == 200
+
+    def test_distinct_overflow_raises(self):
+        with pytest.raises(InvalidParameterError):
+            random_codes(20, 4, distinct=True)
+
+    def test_distinct_long_codes(self):
+        codes = random_codes(50, 48, seed=2, distinct=True)
+        assert len(set(codes)) == 50
+
+
+class TestScaling:
+    def test_shift_replaces_with_next_larger(self):
+        matrix = np.array([[1.0], [3.0], [2.0]])
+        shifted = shift_to_next_larger(matrix)
+        assert shifted.tolist() == [[2.0], [3.0], [3.0]]
+
+    def test_column_max_maps_to_itself(self):
+        matrix = np.array([[5.0, 1.0], [2.0, 4.0]])
+        shifted = shift_to_next_larger(matrix)
+        assert shifted[0, 0] == 5.0  # already the max
+        assert shifted[1, 1] == 4.0
+
+    def test_scale_factor_grows_dataset(self):
+        ds = nuswide_like(30, seed=2)
+        grown = scale_dataset(ds, 4)
+        assert len(grown) == 120
+        assert grown.dimensions == ds.dimensions
+        assert grown.name.endswith("-x4")
+
+    def test_scale_one_is_identity(self):
+        ds = nuswide_like(10)
+        assert scale_dataset(ds, 1) is ds
+
+    def test_scale_preserves_distribution_shape(self):
+        """Per-dimension mean and std stay close (same distribution)."""
+        ds = flickr_like(100, seed=3)
+        grown = scale_dataset(ds, 5)
+        original_mean = ds.vectors.mean(axis=0)
+        grown_mean = grown.vectors.mean(axis=0)
+        spread = ds.vectors.std(axis=0) + 1e-9
+        assert np.abs(original_mean - grown_mean).max() < spread.max()
+
+    def test_copies_are_distinct_tuples(self):
+        ds = nuswide_like(20, seed=4)
+        grown = scale_dataset(ds, 2)
+        original = grown.vectors[:20]
+        copy = grown.vectors[20:]
+        assert not np.array_equal(original, copy)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(InvalidParameterError):
+            scale_dataset(nuswide_like(5), 0)
+
+    def test_shift_rejects_non_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            shift_to_next_larger(np.zeros(4))

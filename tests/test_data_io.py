@@ -1,0 +1,124 @@
+"""Tests for dataset / code-set persistence and CSV import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import InvalidParameterError
+from repro.data.containers import Dataset
+from repro.data.io import (
+    export_matches_csv,
+    export_pairs_csv,
+    load_codes,
+    load_dataset,
+    load_vectors_csv,
+    save_codes,
+    save_dataset,
+)
+from repro.data.synthetic import random_codes
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = Dataset(
+            np.random.default_rng(1).normal(size=(20, 5)),
+            name="roundtrip",
+            ids=range(100, 120),
+        )
+        path = tmp_path / "data.npz"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.ids == original.ids
+        assert np.array_equal(loaded.vectors, original.vectors)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(InvalidParameterError):
+            load_dataset(path)
+
+
+class TestCodesRoundtrip:
+    def test_roundtrip_short_codes(self, tmp_path):
+        codes = CodeSet(random_codes(50, 24, seed=2), 24, ids=range(50))
+        path = tmp_path / "codes.npz"
+        save_codes(codes, path)
+        assert load_codes(path) == codes
+
+    def test_roundtrip_wide_codes(self, tmp_path):
+        codes = CodeSet(random_codes(30, 130, seed=3), 130)
+        path = tmp_path / "wide.npz"
+        save_codes(codes, path)
+        loaded = load_codes(path)
+        assert loaded.length == 130
+        assert loaded.codes == codes.codes
+
+    def test_rejects_dataset_file(self, tmp_path):
+        dataset = Dataset(np.zeros((2, 2)))
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        with pytest.raises(InvalidParameterError):
+            load_codes(path)
+
+
+class TestCsv:
+    def test_load_plain_matrix(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        dataset = load_vectors_csv(path)
+        assert dataset.vectors.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        assert dataset.name == "plain"
+
+    def test_load_with_header_and_ids(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("id,x,y\n7,1.5,2.5\n9,3.5,4.5\n")
+        dataset = load_vectors_csv(path, has_header=True, id_column=0)
+        assert dataset.ids == (7, 9)
+        assert dataset.vectors.tolist() == [[1.5, 2.5], [3.5, 4.5]]
+
+    def test_load_custom_delimiter(self, tmp_path):
+        path = tmp_path / "tabs.tsv"
+        path.write_text("1\t2\n")
+        dataset = load_vectors_csv(path, delimiter="\t")
+        assert dataset.dimensions == 2
+
+    def test_load_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InvalidParameterError):
+            load_vectors_csv(path)
+
+    def test_export_pairs(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        written = export_pairs_csv([(1, 2), (3, 4)], path)
+        assert written == 2
+        assert path.read_text().splitlines() == [
+            "left_id,right_id", "1,2", "3,4",
+        ]
+
+    def test_export_matches(self, tmp_path):
+        path = tmp_path / "matches.csv"
+        written = export_matches_csv({2: [5], 1: [3, 4]}, path)
+        assert written == 3
+        lines = path.read_text().splitlines()
+        assert lines[0] == "query_id,match_id"
+        assert lines[1:] == ["1,3", "1,4", "2,5"]
+
+    def test_csv_to_pipeline(self, tmp_path):
+        """CSV -> Dataset -> hash -> index, end to end."""
+        from repro.core.dynamic_ha import DynamicHAIndex
+        from repro.hashing.hyperplane import HyperplaneHash
+
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(40, 6))
+        path = tmp_path / "features.csv"
+        path.write_text(
+            "\n".join(",".join(f"{v:.6f}" for v in row) for row in matrix)
+        )
+        dataset = load_vectors_csv(path)
+        codes = dataset.encode(HyperplaneHash(16, seed=1).fit(dataset.vectors))
+        index = DynamicHAIndex.build(codes)
+        assert len(index) == 40

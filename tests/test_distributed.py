@@ -1,0 +1,149 @@
+"""Unit tests for the distributed layer: sampling, pivots, global index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.gray import gray_rank
+from repro.data.synthetic import nuswide_like, random_codes
+from repro.distributed.global_index import (
+    CACHE_HASH,
+    CACHE_PIVOTS,
+    build_global_index,
+)
+from repro.distributed.pivots import (
+    gray_range_partitioner,
+    partition_balance,
+    partition_of,
+    select_pivots,
+)
+from repro.distributed.sampling import reservoir_sample
+from repro.hashing.spectral import SpectralHash
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+class TestReservoirSample:
+    def test_small_input_returned_whole(self):
+        assert sorted(reservoir_sample(range(5), 10)) == [0, 1, 2, 3, 4]
+
+    def test_capacity_respected(self):
+        sample = reservoir_sample(range(1000), 50, seed=1)
+        assert len(sample) == 50
+        assert len(set(sample)) == 50
+
+    def test_deterministic_by_seed(self):
+        a = reservoir_sample(range(1000), 20, seed=7)
+        b = reservoir_sample(range(1000), 20, seed=7)
+        assert a == b
+
+    def test_approximately_uniform(self):
+        """Each item appears with probability ~ capacity / n."""
+        hits = [0] * 100
+        for seed in range(200):
+            for item in reservoir_sample(range(100), 10, seed=seed):
+                hits[item] += 1
+        # Expected 20 hits each; allow a generous band.
+        assert min(hits) > 5
+        assert max(hits) < 45
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            reservoir_sample(range(5), 0)
+
+
+class TestPivots:
+    def test_pivot_count(self):
+        codes = random_codes(500, 16, seed=0)
+        pivots = select_pivots(codes, 8)
+        assert len(pivots) == 7
+        assert pivots == sorted(pivots)
+
+    def test_balanced_partitions_on_skewed_codes(self):
+        """Equi-depth pivots balance even heavily skewed populations."""
+        import random as stdlib_random
+
+        rng = stdlib_random.Random(5)
+        # 80% of codes in a tiny corner of the space.
+        codes = [rng.getrandbits(8) for _ in range(200)]
+        codes += [0b11110000 ^ rng.getrandbits(2) for _ in range(800)]
+        pivots = select_pivots(codes, 8)
+        partitioner = gray_range_partitioner(pivots)
+        counts = [0] * partitioner.num_partitions
+        for code in codes:
+            counts[partition_of(code, partitioner)] += 1
+        assert partition_balance(counts) < 2.5
+
+    def test_single_partition_no_pivots(self):
+        assert select_pivots([1, 2, 3], 1) == []
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(InvalidParameterError):
+            select_pivots([], 4)
+
+    def test_partition_of_uses_gray_rank(self):
+        pivots = [10]
+        partitioner = gray_range_partitioner(pivots)
+        low_code = 0  # gray rank 0
+        assert partition_of(low_code, partitioner) == 0
+        high_code = 0b1000000  # large gray rank
+        assert gray_rank(high_code) > 10
+        assert partition_of(high_code, partitioner) == 1
+
+    def test_partition_balance_edge_cases(self):
+        assert partition_balance([]) == 1.0
+        assert partition_balance([0, 0]) == 1.0
+        assert partition_balance([4, 4, 4, 4]) == 1.0
+        assert partition_balance([8, 0, 0, 0]) == 4.0
+
+
+class TestGlobalIndexBuild:
+    def _prepared_runtime(self, records, num_bits=16, workers=4):
+        cluster = Cluster(workers)
+        runtime = MapReduceRuntime(cluster)
+        vectors = [vector for _, vector in records]
+        hasher = SpectralHash(num_bits)
+        sample_codes = hasher.fit_encode(vectors)
+        partitioner = gray_range_partitioner(
+            select_pivots(sample_codes.codes, workers)
+        )
+        cluster.broadcast(CACHE_HASH, hasher)
+        cluster.broadcast(CACHE_PIVOTS, partitioner)
+        return runtime, hasher
+
+    def test_global_equals_centralized(self):
+        dataset = nuswide_like(300, seed=2)
+        records = list(zip(range(len(dataset)), dataset.vectors))
+        runtime, hasher = self._prepared_runtime(records)
+        result = build_global_index(runtime, records)
+        codes = hasher.encode(dataset.vectors)
+        central = DynamicHAIndex.build(codes)
+        for probe in (codes[0], codes[150]):
+            assert sorted(result.index.search(probe, 3)) == sorted(
+                central.search(probe, 3)
+            )
+
+    def test_partitions_cover_everything(self):
+        dataset = nuswide_like(200, seed=3)
+        records = list(zip(range(len(dataset)), dataset.vectors))
+        runtime, _ = self._prepared_runtime(records)
+        result = build_global_index(runtime, records)
+        assert sum(result.partition_sizes) == len(dataset)
+        assert len(result.index) == len(dataset)
+
+    def test_partitions_reasonably_balanced(self):
+        dataset = nuswide_like(400, seed=4)
+        records = list(zip(range(len(dataset)), dataset.vectors))
+        runtime, _ = self._prepared_runtime(records)
+        result = build_global_index(runtime, records)
+        assert partition_balance(result.partition_sizes) < 3.0
+
+    def test_build_charges_shuffle(self):
+        dataset = nuswide_like(100, seed=5)
+        records = list(zip(range(len(dataset)), dataset.vectors))
+        runtime, _ = self._prepared_runtime(records)
+        result = build_global_index(runtime, records)
+        assert result.job.counters.get("shuffle.bytes") > 0
+        assert result.job.counters.get("shuffle.records") == len(dataset)

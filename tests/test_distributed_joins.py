@@ -1,0 +1,220 @@
+"""Integration tests for the distributed joins: MRHA A/B, PMH, PGBJ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import InvalidParameterError
+from repro.core.join import nested_loops_join
+from repro.data.synthetic import flickr_like, nuswide_like
+from repro.distributed.hamming_join import (
+    mapreduce_hamming_join,
+)
+from repro.distributed.pgbj import pgbj_knn_join
+from repro.distributed.pmh import pmh_hamming_join
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.metrics import exact_knn_join, knn_precision_recall
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = nuswide_like(300, seed=8)
+    records = list(zip(range(len(dataset)), dataset.vectors))
+    return records
+
+
+def _fresh_runtime(workers: int = 4) -> MapReduceRuntime:
+    return MapReduceRuntime(Cluster(workers))
+
+
+def _reference_pairs(runtime, report):
+    """Recompute the join centrally with the pipeline's own hash."""
+    hasher = runtime.cluster.cached("hamming.hash")
+    return hasher
+
+
+class TestMRHAJoin:
+    def test_option_a_matches_centralized(self, workload):
+        runtime = _fresh_runtime()
+        report = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150,
+        )
+        hasher = runtime.cluster.cached("hamming.hash")
+        vectors = np.asarray([v for _, v in workload])
+        codes = hasher.encode(vectors)
+        expected = sorted(nested_loops_join(codes, codes, 3))
+        assert sorted(report.pairs) == expected
+
+    def test_option_b_matches_option_a(self, workload):
+        runtime = _fresh_runtime()
+        a = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150,
+        )
+        b = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="B", sample_size=150,
+        )
+        assert sorted(a.pairs) == sorted(b.pairs)
+
+    def test_option_b_mapreduce_id_recovery(self, workload):
+        """Tiny in-memory limit forces the MapReduce hash-join path."""
+        runtime = _fresh_runtime()
+        a = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=2, num_bits=20,
+            option="A", sample_size=150,
+        )
+        b = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=2, num_bits=20,
+            option="B", sample_size=150, in_memory_limit=1,
+        )
+        assert sorted(a.pairs) == sorted(b.pairs)
+
+    def test_option_b_broadcast_smaller(self, workload):
+        runtime = _fresh_runtime()
+        a = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150,
+        )
+        b = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="B", sample_size=150,
+        )
+        assert b.broadcast_bytes < a.broadcast_bytes
+
+    def test_exclude_self_pairs(self, workload):
+        runtime = _fresh_runtime()
+        report = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150, exclude_self_pairs=True,
+        )
+        assert all(a < b for a, b in report.pairs)
+        assert report.pairs == sorted(set(report.pairs))
+
+    def test_rejects_unknown_option(self, workload):
+        with pytest.raises(InvalidParameterError):
+            mapreduce_hamming_join(
+                _fresh_runtime(), workload, workload, threshold=1,
+                option="C",
+            )
+
+    def test_report_phases_populated(self, workload):
+        runtime = _fresh_runtime()
+        report = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150,
+        )
+        assert report.learn_hash_seconds > 0
+        assert report.build_seconds > 0
+        assert report.join_seconds > 0
+        assert report.total_seconds >= (
+            report.preprocess_seconds + report.build_seconds
+        )
+        assert report.shuffle_bytes > 0
+        assert sum(report.partition_sizes) == len(workload)
+
+    def test_asymmetric_r_and_s(self):
+        r_data = nuswide_like(120, seed=1)
+        s_data = nuswide_like(250, seed=2)
+        r_records = list(zip(range(len(r_data)), r_data.vectors))
+        s_records = [
+            (1000 + i, v) for i, v in enumerate(s_data.vectors)
+        ]
+        runtime = _fresh_runtime()
+        report = mapreduce_hamming_join(
+            runtime, r_records, s_records, threshold=3, num_bits=20,
+            option="A", sample_size=150,
+        )
+        hasher = runtime.cluster.cached("hamming.hash")
+        r_codes = hasher.encode(r_data.vectors)
+        s_codes = hasher.encode(s_data.vectors).with_ids(
+            [s_id for s_id, _ in s_records]
+        )
+        expected = sorted(nested_loops_join(r_codes, s_codes, 3))
+        assert sorted(report.pairs) == expected
+
+
+class TestPMH:
+    def test_matches_mrha(self, workload):
+        runtime = _fresh_runtime()
+        mrha = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150, exclude_self_pairs=True, seed=3,
+        )
+        pmh = pmh_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            sample_size=150, exclude_self_pairs=True, seed=3,
+        )
+        assert pmh.pairs == mrha.pairs
+
+    def test_shuffles_more_than_mrha(self, workload):
+        """PMH ships the replicated multi-table structure (Figure 7)."""
+        runtime = _fresh_runtime()
+        mrha = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150, seed=3,
+        )
+        pmh = pmh_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            num_tables=10, sample_size=150, seed=3,
+        )
+        assert pmh.shuffle_bytes > mrha.shuffle_bytes
+
+    def test_report_fields(self, workload):
+        runtime = _fresh_runtime()
+        report = pmh_hamming_join(
+            runtime, workload, workload, threshold=2, num_bits=20,
+            sample_size=150,
+        )
+        assert report.total_seconds > 0
+        assert report.shuffle_bytes > 0
+
+
+class TestPGBJ:
+    def test_exact_on_clustered_data(self, workload):
+        runtime = _fresh_runtime()
+        report = pgbj_knn_join(
+            runtime, workload, workload, k=5, sample_size=150,
+            bound_slack=3.0,
+        )
+        truth = exact_knn_join(workload, workload, 5)
+        precision, recall = knn_precision_recall(report.neighbors, truth)
+        assert recall > 0.95
+        assert precision > 0.95
+
+    def test_shuffles_vectors_heavily(self, workload):
+        """PGBJ shuffle carries the d-dim vectors: far above MRHA."""
+        runtime = _fresh_runtime()
+        mrha = mapreduce_hamming_join(
+            runtime, workload, workload, threshold=3, num_bits=20,
+            option="A", sample_size=150,
+        )
+        pgbj = pgbj_knn_join(
+            runtime, workload, workload, k=5, sample_size=150
+        )
+        assert pgbj.shuffle_bytes > 3 * mrha.shuffle_bytes
+
+    def test_replication_factor_reported(self, workload):
+        runtime = _fresh_runtime()
+        report = pgbj_knn_join(
+            runtime, workload, workload, k=5, sample_size=150
+        )
+        assert report.replication_factor >= 1.0
+
+    def test_rejects_bad_k(self, workload):
+        with pytest.raises(InvalidParameterError):
+            pgbj_knn_join(_fresh_runtime(), workload, workload, k=0)
+
+    def test_every_query_answered(self, workload):
+        runtime = _fresh_runtime()
+        report = pgbj_knn_join(
+            runtime, workload, workload, k=3, sample_size=150,
+            bound_slack=3.0,
+        )
+        assert set(report.neighbors) == {r_id for r_id, _ in workload}
+        for neighbors in report.neighbors.values():
+            assert len(neighbors) == 3

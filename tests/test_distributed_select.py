@@ -1,0 +1,78 @@
+"""Tests for the batched MapReduce Hamming-select."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.data.synthetic import nuswide_like
+from repro.distributed.hamming_select import mapreduce_hamming_select
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(scope="module")
+def select_workload():
+    dataset = nuswide_like(350, seed=61)
+    records = list(zip(range(len(dataset)), dataset.vectors))
+    queries = [(100 + i, dataset.vectors[i]) for i in range(6)]
+    return records, queries
+
+
+def _run(records, queries, threshold=3, workers=4):
+    runtime = MapReduceRuntime(Cluster(workers))
+    report = mapreduce_hamming_select(
+        runtime, records, queries, threshold,
+        num_bits=20, sample_size=150,
+    )
+    return runtime, report
+
+
+class TestBatchSelect:
+    def test_matches_centralized_select(self, select_workload):
+        records, queries = select_workload
+        runtime, report = _run(records, queries)
+        hasher = runtime.cluster.cached("hamming.hash")
+        dataset_codes = hasher.encode(
+            np.asarray([v for _, v in records])
+        )
+        query_codes = hasher.encode(np.asarray([v for _, v in queries]))
+        for (query_id, _), code in zip(queries, query_codes):
+            expected = sorted(
+                tuple_id
+                for tuple_id, stored in zip(
+                    [r_id for r_id, _ in records], dataset_codes.codes
+                )
+                if (stored ^ code).bit_count() <= 3
+            )
+            assert report.matches[query_id] == expected
+
+    def test_every_query_answered(self, select_workload):
+        records, queries = select_workload
+        _, report = _run(records, queries)
+        assert set(report.matches) == {query_id for query_id, _ in queries}
+
+    def test_worker_count_does_not_change_answers(self, select_workload):
+        records, queries = select_workload
+        _, narrow = _run(records, queries, workers=2)
+        _, wide = _run(records, queries, workers=8)
+        assert narrow.matches == wide.matches
+
+    def test_report_accounting(self, select_workload):
+        records, queries = select_workload
+        _, report = _run(records, queries)
+        assert report.shuffle_bytes > 0
+        assert report.total_seconds > 0
+
+    def test_rejects_empty_queries(self, select_workload):
+        records, _ = select_workload
+        runtime = MapReduceRuntime(Cluster(2))
+        with pytest.raises(InvalidParameterError):
+            mapreduce_hamming_select(runtime, records, [], 3)
+
+    def test_rejects_negative_threshold(self, select_workload):
+        records, queries = select_workload
+        runtime = MapReduceRuntime(Cluster(2))
+        with pytest.raises(InvalidParameterError):
+            mapreduce_hamming_select(runtime, records, queries, -1)

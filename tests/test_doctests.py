@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.bitvector
+import repro.core.select
+
+MODULES_WITH_EXAMPLES = [
+    repro.core.bitvector,
+    repro.core.select,
+]
+
+
+@pytest.mark.parametrize(
+    "module",
+    MODULES_WITH_EXAMPLES,
+    ids=[module.__name__ for module in MODULES_WITH_EXAMPLES],
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

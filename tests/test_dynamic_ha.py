@@ -1,0 +1,423 @@
+"""Unit tests for the Dynamic HA-Index (Sections 4.4-4.6)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.data.synthetic import random_codes
+
+from .conftest import EXAMPLE_QUERY, EXAMPLE_SELECT_IDS
+from .helpers import assert_search_exact, brute_force_select
+
+
+class TestHBuild:
+    def test_paper_example_search(self, table_s):
+        index = DynamicHAIndex.build(table_s, window=2, max_depth=3)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+    def test_trace_query_of_table3(self, table_s):
+        # Table 3: query "010001011" with h = 3 returns exactly t0.
+        index = DynamicHAIndex.build(table_s, window=2, max_depth=3)
+        assert index.search(0b010001011, 3) == [0]
+
+    def test_invariants_after_build(self, clustered_codeset):
+        index = DynamicHAIndex.build(clustered_codeset)
+        index.check_invariants()
+
+    def test_parent_generalizes_children_everywhere(self, random_codeset):
+        DynamicHAIndex.build(random_codeset).check_invariants()
+
+    def test_level_sizes_shrink_upwards(self, clustered_codeset):
+        index = DynamicHAIndex.build(clustered_codeset, window=4)
+        sizes = index.level_sizes()
+        assert sizes, "index has at least one level"
+        # Leaves (deepest level) dominate the node population.
+        assert sizes[-1] == max(sizes)
+
+    def test_full_code_space_example4(self):
+        # Example 4: all 3-bit codes; the index stays logarithmically flat.
+        codeset = CodeSet(list(range(8)), 3)
+        index = DynamicHAIndex.build(codeset, window=2, max_depth=4)
+        index.check_invariants()
+        stats = index.stats(include_leaves=False)
+        assert stats.nodes <= 8  # Example 4 predicts ~2 log2(8) = 6
+        for query in range(8):
+            assert sorted(index.search(query, 1)) == brute_force_select(
+                codeset, query, 1
+            )
+
+    def test_duplicates_grouped_into_one_leaf(self):
+        codeset = CodeSet([7, 7, 7, 1], 3, ids=[10, 11, 12, 13])
+        index = DynamicHAIndex.build(codeset, window=2)
+        assert index.num_distinct_codes == 2
+        assert sorted(index.search(7, 0)) == [10, 11, 12]
+
+    def test_empty_build(self):
+        index = DynamicHAIndex.build(CodeSet([], 8))
+        assert len(index) == 0
+        assert index.search(0, 8) == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            DynamicHAIndex(8, window=1)
+        with pytest.raises(InvalidParameterError):
+            DynamicHAIndex(8, max_depth=0)
+        with pytest.raises(InvalidParameterError):
+            DynamicHAIndex(8, rebuild_buffer=0)
+
+
+class TestHSearch:
+    def test_exact_on_random_codes(self, random_codeset, query_rng):
+        index = DynamicHAIndex.build(random_codeset)
+        queries = [query_rng.getrandbits(32) for _ in range(10)]
+        assert_search_exact(index, random_codeset, queries, [0, 1, 3, 6])
+
+    def test_exact_on_clustered_codes(self, clustered_codeset, query_rng):
+        index = DynamicHAIndex.build(clustered_codeset)
+        queries = [clustered_codeset[i] for i in (3, 333, 999)]
+        assert_search_exact(index, clustered_codeset, queries, [2, 4, 8])
+
+    def test_exact_across_window_and_depth(self, clustered_codeset):
+        query = clustered_codeset[17]
+        expected = brute_force_select(clustered_codeset, query, 4)
+        for window in (2, 4, 16, 64):
+            for depth in (1, 3, 7):
+                index = DynamicHAIndex.build(
+                    clustered_codeset, window=window, max_depth=depth
+                )
+                assert sorted(index.search(query, 4)) == expected
+
+    def test_search_with_distances(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        pairs = dict(index.search_with_distances(EXAMPLE_QUERY, 3))
+        assert set(pairs) == set(EXAMPLE_SELECT_IDS)
+        for tuple_id, distance in pairs.items():
+            code = table_s[tuple_id]
+            assert distance == (code ^ EXAMPLE_QUERY).bit_count()
+
+    def test_search_codes(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        codes = sorted(index.search_codes(EXAMPLE_QUERY, 3))
+        expected = sorted({table_s[i] for i in EXAMPLE_SELECT_IDS})
+        assert codes == expected
+
+    def test_threshold_zero(self, random_codeset):
+        index = DynamicHAIndex.build(random_codeset)
+        code = random_codeset[5]
+        expected = brute_force_select(random_codeset, code, 0)
+        assert sorted(index.search(code, 0)) == expected
+
+
+class TestMaintenance:
+    def test_insert_existing_code_joins_leaf(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        index.insert(table_s[0], 99)
+        assert sorted(index.search(table_s[0], 0)) == [0, 99]
+        index.check_invariants()
+
+    def test_insert_new_code_buffers_then_merges(self):
+        codeset = CodeSet(random_codes(64, 16, seed=1), 16)
+        index = DynamicHAIndex.build(codeset, rebuild_buffer=4)
+        fresh = [60001, 60002, 60003, 60004]
+        for offset, code in enumerate(fresh):
+            index.insert(code, 1000 + offset)
+        # Buffer reached its limit: everything merged into the structure.
+        assert index._buffer == []
+        index.check_invariants()
+        for offset, code in enumerate(fresh):
+            assert 1000 + offset in index.search(code, 0)
+
+    def test_buffered_inserts_visible_before_merge(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        index.insert(0b000000001, 50)
+        assert 50 in index.search(0b000000001, 0)
+        assert 50 in [i for i, _ in index.search_with_distances(0, 1)]
+        assert 0b000000001 in index.search_codes(0, 1)
+
+    def test_delete_from_structure(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        index.delete(table_s[3], 3)
+        assert 3 not in index.search(EXAMPLE_QUERY, 3)
+        index.check_invariants()
+
+    def test_delete_from_buffer(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        index.insert(0b000000111, 77)
+        index.delete(0b000000111, 77)
+        assert 77 not in index.search(0b000000111, 0)
+
+    def test_delete_absent_raises(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        with pytest.raises(IndexStateError):
+            index.delete(0b101010101, 123)
+
+    def test_delete_last_tuple_of_code_removes_leaf(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        index.delete(table_s[0], 0)
+        assert index.search(table_s[0], 0) == []
+        assert index.num_distinct_codes == 7
+        index.check_invariants()
+
+    def test_flush_forces_merge(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        index.insert(0b111111111, 88)
+        index.flush()
+        assert index._buffer == []
+        assert 88 in index.search(0b111111111, 0)
+        index.check_invariants()
+
+    def test_heavy_churn_stays_exact(self, clustered_codeset, query_rng):
+        index = DynamicHAIndex.build(clustered_codeset, rebuild_buffer=32)
+        codes = list(clustered_codeset.codes)
+        removed: set[int] = set()
+        for _ in range(300):
+            victim = query_rng.randrange(len(codes))
+            if victim in removed:
+                index.insert(codes[victim], victim)
+                removed.discard(victim)
+            else:
+                index.delete(codes[victim], victim)
+                removed.add(victim)
+        live = clustered_codeset.subset(
+            [i for i in range(len(codes)) if i not in removed]
+        )
+        for query in (codes[0], query_rng.getrandbits(32)):
+            assert sorted(index.search(query, 5)) == brute_force_select(
+                live, query, 5
+            )
+
+
+class TestLeafLessVariant:
+    def test_keep_ids_false_blocks_tuple_operations(self, table_s):
+        index = DynamicHAIndex.build(table_s, keep_ids=False)
+        with pytest.raises(IndexStateError):
+            index.search(EXAMPLE_QUERY, 3)
+        with pytest.raises(IndexStateError):
+            index.insert(1, 1)
+        with pytest.raises(IndexStateError):
+            index.delete(table_s[0], 0)
+
+    def test_search_codes_still_exact(self, clustered_codeset):
+        index = DynamicHAIndex.build(clustered_codeset, keep_ids=False)
+        query = clustered_codeset[7]
+        expected = sorted(
+            {
+                code
+                for code in clustered_codeset.codes
+                if (code ^ query).bit_count() <= 4
+            }
+        )
+        assert sorted(index.search_codes(query, 4)) == expected
+
+    def test_strip_ids_matches_keep_ids_false(self, table_s):
+        full = DynamicHAIndex.build(table_s)
+        stripped = full.strip_ids()
+        assert not stripped.keeps_ids
+        assert sorted(stripped.search_codes(EXAMPLE_QUERY, 3)) == sorted(
+            full.search_codes(EXAMPLE_QUERY, 3)
+        )
+        # The original keeps its ids.
+        assert sorted(full.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+    def test_stripped_is_smaller(self, clustered_codeset):
+        full = DynamicHAIndex.build(clustered_codeset)
+        stripped = full.strip_ids()
+        assert len(pickle.dumps(stripped)) < len(pickle.dumps(full))
+
+
+class TestSerialization:
+    def test_pickle_roundtrip_search(self, clustered_codeset, query_rng):
+        index = DynamicHAIndex.build(clustered_codeset)
+        clone = pickle.loads(pickle.dumps(index))
+        clone.check_invariants()
+        for _ in range(5):
+            query = query_rng.getrandbits(32)
+            assert sorted(clone.search(query, 4)) == sorted(
+                index.search(query, 4)
+            )
+
+    def test_pickle_roundtrip_mutable(self, table_s):
+        clone = pickle.loads(pickle.dumps(DynamicHAIndex.build(table_s)))
+        clone.insert(0b111000111, 55)
+        clone.delete(0b111000111, 55)
+        clone.check_invariants()
+
+    def test_pickle_preserves_buffer(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        index.insert(0b000000011, 66)
+        clone = pickle.loads(pickle.dumps(index))
+        assert 66 in clone.search(0b000000011, 0)
+
+    def test_compact_wire_format(self, random_codeset):
+        """The pickled index is in the same ballpark as the raw codes."""
+        index = DynamicHAIndex.build(random_codeset)
+        raw = len(pickle.dumps((random_codeset.codes, random_codeset.ids)))
+        assert len(pickle.dumps(index)) < 4 * raw
+
+
+class TestMerge:
+    def _split_build(self, codeset: CodeSet, pieces: int):
+        chunks = []
+        size = (len(codeset) + pieces - 1) // pieces
+        for start in range(0, len(codeset), size):
+            indices = range(start, min(start + size, len(codeset)))
+            chunks.append(
+                DynamicHAIndex.build(codeset.subset(list(indices)))
+            )
+        return chunks
+
+    def test_merge_equals_monolithic_search(self, clustered_codeset):
+        locals_ = self._split_build(clustered_codeset, 4)
+        merged = DynamicHAIndex.merge(locals_)
+        assert len(merged) == len(clustered_codeset)
+        query = clustered_codeset[11]
+        assert sorted(merged.search(query, 4)) == brute_force_select(
+            clustered_codeset, query, 4
+        )
+
+    def test_merge_is_read_only(self, table_s):
+        merged = DynamicHAIndex.merge([DynamicHAIndex.build(table_s)])
+        with pytest.raises(IndexStateError):
+            merged.insert(1, 1)
+        with pytest.raises(IndexStateError):
+            merged.delete(table_s[0], 0)
+
+    def test_merge_duplicate_codes_across_locals(self):
+        a = DynamicHAIndex.build(CodeSet([5, 9], 4, ids=[0, 1]))
+        b = DynamicHAIndex.build(CodeSet([5, 12], 4, ids=[2, 3]))
+        merged = DynamicHAIndex.merge([a, b])
+        assert sorted(merged.search(5, 0)) == [0, 2]
+        assert sorted(merged.ids_for_code(5)) == [0, 2]
+
+    def test_merge_rejects_mixed_lengths(self):
+        a = DynamicHAIndex.build(CodeSet([1], 4))
+        b = DynamicHAIndex.build(CodeSet([1], 5))
+        with pytest.raises(IndexStateError):
+            DynamicHAIndex.merge([a, b])
+
+    def test_merge_rejects_empty_list(self):
+        with pytest.raises(InvalidParameterError):
+            DynamicHAIndex.merge([])
+
+    def test_merge_survives_pickle(self, clustered_codeset):
+        locals_ = self._split_build(clustered_codeset, 3)
+        merged = DynamicHAIndex.merge(locals_)
+        clone = pickle.loads(pickle.dumps(merged))
+        query = clustered_codeset[42]
+        assert sorted(clone.search(query, 3)) == brute_force_select(
+            clustered_codeset, query, 3
+        )
+
+
+class TestAccessors:
+    def test_ids_for_code(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        assert index.ids_for_code(table_s[2]) == [2]
+        assert index.ids_for_code(0b111111111) == []
+
+    def test_code_id_pairs_cover_everything(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        pairs = sorted(index.code_id_pairs(), key=lambda p: p[1])
+        assert pairs == [
+            (code, tuple_id)
+            for tuple_id, code in sorted(
+                zip(table_s.ids, table_s.codes)
+            )
+        ]
+
+    def test_stats_leaf_split(self, clustered_codeset):
+        index = DynamicHAIndex.build(clustered_codeset)
+        full = index.stats()
+        internal = index.stats(include_leaves=False)
+        assert internal.nodes < full.nodes
+        assert internal.entries == 0
+        assert internal.memory_bytes < full.memory_bytes
+
+
+class TestContainsWithin:
+    def test_agrees_with_search(self, clustered_codeset, query_rng):
+        index = DynamicHAIndex.build(clustered_codeset)
+        for _ in range(20):
+            query = query_rng.getrandbits(32)
+            for threshold in (0, 2, 5):
+                assert index.contains_within(query, threshold) == bool(
+                    index.search(query, threshold)
+                )
+
+    def test_sees_buffered_inserts(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        assert not index.contains_within(0b000000001, 0)
+        index.insert(0b000000001, 44)
+        assert index.contains_within(0b000000001, 0)
+
+    def test_early_exit_does_less_work(self, clustered_codeset):
+        """Existence probing is cheaper than a full search when matches
+        are plentiful (it stops at the first leaf)."""
+        import time
+
+        index = DynamicHAIndex.build(clustered_codeset)
+        query = clustered_codeset[0]
+        started = time.perf_counter()
+        for _ in range(50):
+            index.contains_within(query, 8)
+        probe_time = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(50):
+            index.search(query, 8)
+        search_time = time.perf_counter() - started
+        assert probe_time < search_time * 1.2
+
+
+class TestCountWithin:
+    def test_matches_search_length(self, clustered_codeset, query_rng):
+        index = DynamicHAIndex.build(clustered_codeset)
+        for _ in range(15):
+            query = query_rng.getrandbits(32)
+            for threshold in (0, 3, 8, 16, 32):
+                assert index.count_within(query, threshold) == len(
+                    index.search(query, threshold)
+                )
+
+    def test_full_threshold_counts_everything(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        assert index.count_within(0, table_s.length) == len(table_s)
+
+    def test_counts_duplicates(self):
+        codes = CodeSet([5, 5, 5, 9], 4, ids=[0, 1, 2, 3])
+        index = DynamicHAIndex.build(codes)
+        assert index.count_within(5, 0) == 3
+
+    def test_counts_buffered_inserts(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        index.insert(0b000000011, 55)
+        assert index.count_within(0b000000011, 0) == 1
+
+    def test_counts_after_merge_with_duplicates(self):
+        a = DynamicHAIndex.build(CodeSet([5, 9], 4, ids=[0, 1]))
+        b = DynamicHAIndex.build(CodeSet([5, 12], 4, ids=[2, 3]))
+        merged = DynamicHAIndex.merge([a, b])
+        assert merged.count_within(5, 0) == 2
+        assert merged.count_within(0, 4) == 4
+
+    def test_cheaper_than_materializing(self, clustered_codeset):
+        """Counting skips fully-qualifying subtrees via frequencies."""
+        index = DynamicHAIndex.build(clustered_codeset)
+        query = clustered_codeset[0]
+        index.search(query, 30)
+        search_ops = index.last_search_ops
+        import time
+
+        started = time.perf_counter()
+        for _ in range(20):
+            index.count_within(query, 30)
+        count_time = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(20):
+            index.search(query, 30)
+        search_time = time.perf_counter() - started
+        assert count_time < search_time

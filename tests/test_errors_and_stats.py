@@ -1,0 +1,79 @@
+"""Tests for the error hierarchy and the shared index memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    CodeLengthError,
+    HashNotFittedError,
+    IndexStateError,
+    InvalidParameterError,
+    JobConfigurationError,
+    JobExecutionError,
+    ReproError,
+)
+from repro.core.index_base import (
+    CODE_BYTES_PER_BIT,
+    EDGE_BYTES,
+    ENTRY_BYTES,
+    NODE_BYTES,
+    IndexStats,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            CodeLengthError,
+            HashNotFittedError,
+            IndexStateError,
+            InvalidParameterError,
+            JobConfigurationError,
+            JobExecutionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_single_except_clause_catches_library_errors(self):
+        from repro.core.bitvector import CodeSet
+
+        caught = None
+        try:
+            CodeSet([8], 3)
+        except ReproError as error:
+            caught = error
+        assert isinstance(caught, CodeLengthError)
+
+    def test_repro_error_not_caught_by_value_error(self):
+        assert not issubclass(ReproError, ValueError)
+
+
+class TestIndexStatsModel:
+    def test_memory_formula(self):
+        stats = IndexStats(nodes=2, edges=3, entries=4, code_bits=80)
+        expected = int(
+            2 * NODE_BYTES
+            + 3 * EDGE_BYTES
+            + 4 * ENTRY_BYTES
+            + 80 * CODE_BYTES_PER_BIT
+        )
+        assert stats.memory_bytes == expected
+
+    def test_empty_stats_cost_nothing(self):
+        assert IndexStats(0, 0, 0, 0).memory_bytes == 0
+
+    def test_stats_are_immutable(self):
+        stats = IndexStats(1, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            stats.nodes = 5
+
+    def test_model_orders_replication(self):
+        """Sanity of the model: 10x-replicated entries cost ~10x."""
+        base = IndexStats(nodes=10, edges=0, entries=100, code_bits=3200)
+        replicated = IndexStats(
+            nodes=10, edges=0, entries=1000, code_bits=32000
+        )
+        assert replicated.memory_bytes > 5 * base.memory_bytes

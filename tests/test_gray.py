@@ -1,0 +1,103 @@
+"""Unit tests for Gray ordering (Definition 5, Proposition 2)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.bitvector import CodeSet
+from repro.core.gray import (
+    adjacent_hamming_distances,
+    from_gray,
+    gray_rank,
+    gray_rank_array,
+    gray_sort,
+    gray_sort_indices,
+    to_gray,
+)
+
+
+class TestGrayTransform:
+    def test_known_values(self):
+        # Classic 3-bit Gray sequence: 000 001 011 010 110 111 101 100.
+        sequence = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        assert [to_gray(i) for i in range(8)] == sequence
+
+    def test_inverse(self):
+        for value in range(512):
+            assert from_gray(to_gray(value)) == value
+
+    def test_consecutive_codewords_differ_by_one_bit(self):
+        for value in range(1, 1024):
+            xor = to_gray(value) ^ to_gray(value - 1)
+            assert xor.bit_count() == 1
+
+    def test_gray_rank_is_from_gray(self):
+        assert gray_rank(0b110) == from_gray(0b110) == 4
+
+    def test_zero(self):
+        assert to_gray(0) == 0
+        assert from_gray(0) == 0
+
+    def test_large_values(self):
+        value = (1 << 63) | 12345
+        assert from_gray(to_gray(value)) == value
+
+
+class TestGraySorting:
+    def test_sort_indices_order(self):
+        codes = [to_gray(i) for i in range(8)]
+        random.Random(0).shuffle(codes)
+        indices = gray_sort_indices(codes)
+        ranks = [gray_rank(codes[i]) for i in indices]
+        assert ranks == sorted(ranks)
+
+    def test_sort_is_stable_for_duplicates(self):
+        codes = [5, 3, 5, 3]
+        indices = gray_sort_indices(codes)
+        # Duplicates keep input order: 3s are positions 1 then 3, etc.
+        first_threes = [i for i in indices if codes[i] == 3]
+        assert first_threes == [1, 3]
+
+    def test_gray_sort_codeset_carries_ids(self):
+        codeset = CodeSet([6, 1, 7], 3, ids=[10, 11, 12])
+        ordered = gray_sort(codeset)
+        ranks = [gray_rank(code) for code in ordered.codes]
+        assert ranks == sorted(ranks)
+        # Ids follow their codes.
+        for code, tuple_id in zip(ordered.codes, ordered.ids):
+            assert codeset.codes[codeset.ids.index(tuple_id)] == code
+
+    def test_rank_array_matches_scalar(self):
+        rng = random.Random(3)
+        codes = [rng.getrandbits(40) for _ in range(200)]
+        packed = np.asarray(codes, dtype=np.uint64)
+        expected = [gray_rank(code) for code in codes]
+        assert gray_rank_array(packed).tolist() == expected
+
+
+class TestClusteringProperty:
+    def test_gray_order_clusters_better_than_random(self):
+        """Proposition 2: gray-sorted adjacent distances are small."""
+        rng = random.Random(11)
+        centers = [rng.getrandbits(32) for _ in range(8)]
+        codes = []
+        for _ in range(800):
+            code = rng.choice(centers)
+            for _ in range(rng.randint(0, 2)):
+                code ^= 1 << rng.randrange(32)
+            codes.append(code)
+        ordered = sorted(codes, key=gray_rank)
+        shuffled = list(codes)
+        rng.shuffle(shuffled)
+        mean_sorted = np.mean(adjacent_hamming_distances(ordered))
+        mean_shuffled = np.mean(adjacent_hamming_distances(shuffled))
+        assert mean_sorted < mean_shuffled
+
+    def test_adjacent_distances_empty_and_single(self):
+        assert adjacent_hamming_distances([]) == []
+        assert adjacent_hamming_distances([5]) == []
+
+    def test_adjacent_distances_values(self):
+        assert adjacent_hamming_distances([0b00, 0b01, 0b11]) == [1, 1]

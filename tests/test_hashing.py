@@ -1,0 +1,179 @@
+"""Unit tests for the similarity-hash layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import HashNotFittedError, InvalidParameterError
+from repro.hashing.base import SimilarityHash
+from repro.hashing.hyperplane import HyperplaneHash
+from repro.hashing.spectral import SpectralHash
+from repro.hashing.zorder import ZOrderMapper, interleave_bits
+
+HASH_FACTORIES = [
+    pytest.param(lambda bits: HyperplaneHash(bits, seed=3), id="hyperplane"),
+    pytest.param(lambda bits: SpectralHash(bits), id="spectral"),
+]
+
+
+def _two_cluster_data(n: int = 400, d: int = 16, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n // 2, d)) * 0.05 + 2.0
+    b = rng.standard_normal((n // 2, d)) * 0.05 - 2.0
+    return np.vstack([a, b])
+
+
+@pytest.mark.parametrize("factory", HASH_FACTORIES)
+class TestHashContract:
+    def test_code_length(self, factory):
+        hasher = factory(24)
+        codes = hasher.fit_encode(_two_cluster_data())
+        assert codes.length == 24
+        assert all(code < (1 << 24) for code in codes)
+
+    def test_encode_before_fit_raises(self, factory):
+        with pytest.raises(HashNotFittedError):
+            factory(8).encode(np.zeros((2, 4)))
+
+    def test_deterministic(self, factory):
+        data = _two_cluster_data()
+        first = factory(16).fit_encode(data)
+        second = factory(16).fit_encode(data)
+        assert first.codes == second.codes
+
+    def test_encode_single_row(self, factory):
+        data = _two_cluster_data()
+        hasher = factory(16).fit(data)
+        single = hasher.encode(data[0])
+        assert len(single) == 1
+        assert single[0] == hasher.encode(data[:1])[0]
+
+    def test_dimension_mismatch_raises(self, factory):
+        hasher = factory(8).fit(_two_cluster_data(d=16))
+        with pytest.raises(InvalidParameterError):
+            hasher.encode(np.zeros((2, 5)))
+
+    def test_locality(self, factory):
+        """Near points get nearer codes than far points, on average."""
+        data = _two_cluster_data()
+        codes = factory(32).fit_encode(data)
+        half = len(data) // 2
+        within = []
+        across = []
+        for i in range(0, half, 20):
+            within.append((codes[i] ^ codes[i + 1]).bit_count())
+            across.append((codes[i] ^ codes[half + i]).bit_count())
+        assert np.mean(within) < np.mean(across)
+
+    def test_rejects_zero_bits(self, factory):
+        with pytest.raises(InvalidParameterError):
+            factory(0)
+
+
+class TestSpectralSpecifics:
+    def test_eigenfunctions_sorted_by_eigenvalue(self):
+        hasher = SpectralHash(16)
+        hasher.fit(_two_cluster_data())
+        eigenvalues = [f.eigenvalue for f in hasher.eigenfunctions]
+        assert eigenvalues == sorted(eigenvalues)
+        assert len(eigenvalues) == 16
+
+    def test_long_directions_get_low_modes_first(self):
+        """The stretched PCA direction hosts the first eigenfunctions."""
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((300, 4)) * np.array([10.0, 1, 1, 1])
+        hasher = SpectralHash(4)
+        hasher.fit(data)
+        assert hasher.eigenfunctions[0].dimension == 0
+        assert hasher.eigenfunctions[0].mode == 1
+
+    def test_needs_two_rows(self):
+        with pytest.raises(InvalidParameterError):
+            SpectralHash(4).fit(np.zeros((1, 3)))
+
+    def test_num_components_validated(self):
+        with pytest.raises(InvalidParameterError):
+            SpectralHash(4, num_components=0)
+
+    def test_code_distribution_not_degenerate(self):
+        codes = SpectralHash(16).fit_encode(_two_cluster_data())
+        assert len(set(codes.codes)) > 1
+
+
+class TestHyperplaneSpecifics:
+    def test_seed_controls_planes(self):
+        data = _two_cluster_data()
+        a = HyperplaneHash(16, seed=1).fit_encode(data)
+        b = HyperplaneHash(16, seed=2).fit_encode(data)
+        assert a.codes != b.codes
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(InvalidParameterError):
+            HyperplaneHash(8).fit(np.zeros((0, 4)))
+
+    def test_angular_distance_estimate(self):
+        """Simhash: E[hamming/L] approximates angle/pi (Charikar)."""
+        rng = np.random.default_rng(9)
+        base = rng.standard_normal(32)
+        near = base + rng.standard_normal(32) * 0.05
+        orthogonal = rng.standard_normal(32)
+        orthogonal -= orthogonal @ base / (base @ base) * base
+        data = np.vstack([base, near, orthogonal])
+        hasher = HyperplaneHash(256, seed=4)
+        # Fit on zero-mean data so no centering shift is applied.
+        hasher.fit(np.zeros((2, 32)))
+        codes = hasher.encode(data)
+        near_fraction = (codes[0] ^ codes[1]).bit_count() / 256
+        orth_fraction = (codes[0] ^ codes[2]).bit_count() / 256
+        assert near_fraction < 0.15
+        assert 0.3 < orth_fraction < 0.7
+
+
+class TestZOrder:
+    def test_interleave_known_value(self):
+        # 2-D, 2 bits: x=0b11, y=0b00 -> bits x1 y1 x0 y0 = 1010.
+        assert interleave_bits([0b11, 0b00], 2) == 0b1010
+
+    def test_interleave_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            interleave_bits([], 4)
+
+    def test_mapper_orders_by_locality(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(0, 1, size=(100, 2))
+        mapper = ZOrderMapper(8).fit(data)
+        z_values = mapper.z_values(data)
+        assert len(z_values) == 100
+        # Identical points share z-values.
+        same = mapper.z_values(np.vstack([data[0], data[0]]))
+        assert same[0] == same[1]
+
+    def test_random_shift_changes_codes(self):
+        data = np.random.default_rng(3).uniform(0, 1, size=(50, 3))
+        plain = ZOrderMapper(6).fit(data).z_values(data)
+        shifted = ZOrderMapper(6, seed=11).fit(data).z_values(data)
+        assert plain != shifted
+
+    def test_query_before_fit_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ZOrderMapper(4).z_values(np.zeros((1, 2)))
+
+    def test_degenerate_extent_handled(self):
+        data = np.ones((10, 3))
+        mapper = ZOrderMapper(4).fit(data)
+        assert len(mapper.z_values(data)) == 10
+
+
+class TestBaseHelpers:
+    def test_signs_to_codes_column_order(self):
+        class Fixed(SimilarityHash):
+            def _fit(self, matrix):
+                pass
+
+            def _project(self, matrix):
+                return np.array([[True, False, True]])
+
+        hasher = Fixed(3)
+        hasher.fit(np.zeros((2, 2)))
+        assert hasher.encode(np.zeros((1, 2)))[0] == 0b101

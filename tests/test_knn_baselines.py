@@ -1,0 +1,126 @@
+"""Unit tests for the vector-space kNN baselines (E2LSH, LSB-Tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lsb_tree import LSBTreeIndex
+from repro.baselines.lsh import E2LSHIndex
+from repro.core.errors import IndexStateError, InvalidParameterError
+
+
+def _clustered_vectors(n: int = 300, d: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-4, 4, size=(6, d))
+    assignments = rng.integers(0, 6, size=n)
+    return centers[assignments] + rng.standard_normal((n, d)) * 0.2
+
+
+def _exact_knn(vectors: np.ndarray, query: np.ndarray, k: int):
+    distances = np.linalg.norm(vectors - query, axis=1)
+    order = np.argsort(distances, kind="stable")[:k]
+    return [(int(i), float(distances[i])) for i in order]
+
+
+KNN_FACTORIES = [
+    pytest.param(lambda: E2LSHIndex(num_tables=12, seed=2), id="e2lsh"),
+    pytest.param(
+        lambda: LSBTreeIndex(num_trees=10, probe_width=24, seed=2),
+        id="lsb-tree",
+    ),
+]
+
+
+@pytest.mark.parametrize("factory", KNN_FACTORIES)
+class TestKnnBaselineContract:
+    def test_returns_k_sorted_results(self, factory):
+        vectors = _clustered_vectors()
+        index = factory().fit(vectors)
+        results = index.query(vectors[5], 10)
+        assert len(results) == 10
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_self_query_finds_itself(self, factory):
+        vectors = _clustered_vectors()
+        index = factory().fit(vectors)
+        top_id, top_distance = index.query(vectors[17], 1)[0]
+        assert top_id == 17
+        assert top_distance == 0.0
+
+    def test_recall_against_exact(self, factory):
+        """Approximate kNN recovers most true neighbours."""
+        vectors = _clustered_vectors()
+        index = factory().fit(vectors)
+        hits = 0
+        total = 0
+        for probe in range(0, 60, 10):
+            truth = {i for i, _ in _exact_knn(vectors, vectors[probe], 10)}
+            found = {i for i, _ in index.query(vectors[probe], 10)}
+            hits += len(truth & found)
+            total += len(truth)
+        assert hits / total >= 0.7
+
+    def test_query_before_fit_raises(self, factory):
+        with pytest.raises(IndexStateError):
+            factory().query(np.zeros(4), 3)
+
+    def test_rejects_bad_k(self, factory):
+        index = factory().fit(_clustered_vectors())
+        with pytest.raises(InvalidParameterError):
+            index.query(np.zeros(12), 0)
+
+    def test_fallback_when_buckets_underdeliver(self, factory):
+        """Tiny datasets still return k answers via the scan fallback."""
+        vectors = _clustered_vectors(n=5)
+        index = factory().fit(vectors)
+        assert len(index.query(vectors[0], 5)) == 5
+
+
+class TestE2LSHSpecifics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            E2LSHIndex(num_tables=0)
+        with pytest.raises(InvalidParameterError):
+            E2LSHIndex(bucket_width=-1.0)
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(InvalidParameterError):
+            E2LSHIndex().fit(np.zeros((0, 4)))
+
+    def test_explicit_bucket_width_used(self):
+        vectors = _clustered_vectors()
+        index = E2LSHIndex(num_tables=4, bucket_width=100.0, seed=1)
+        index.fit(vectors)
+        # A huge bucket width lumps everything together; still exact top-1.
+        assert index.query(vectors[3], 1)[0][0] == 3
+
+
+class TestLSBTreeSpecifics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            LSBTreeIndex(num_trees=0)
+        with pytest.raises(InvalidParameterError):
+            LSBTreeIndex(probe_width=0)
+
+    def test_more_trees_do_not_reduce_recall(self):
+        vectors = _clustered_vectors(seed=4)
+
+        def recall(trees):
+            index = LSBTreeIndex(
+                num_trees=trees, probe_width=8, seed=0
+            ).fit(vectors)
+            hits = 0
+            for probe in range(0, 30, 5):
+                truth = {
+                    i for i, _ in _exact_knn(vectors, vectors[probe], 5)
+                }
+                found = {i for i, _ in index.query(vectors[probe], 5)}
+                hits += len(truth & found)
+            return hits
+
+        assert recall(12) >= recall(2)
+
+    def test_num_trees_property(self):
+        assert LSBTreeIndex(num_trees=7).num_trees == 7

@@ -1,0 +1,352 @@
+"""Unit tests for the MapReduce substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    InvalidParameterError,
+    JobConfigurationError,
+)
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.counters import (
+    BROADCAST_BYTES,
+    MAP_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+    Counters,
+)
+from repro.mapreduce.hashjoin import mapreduce_hash_join
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.partitioner import RangePartitioner, hash_partitioner
+from repro.mapreduce.runtime import MapReduceRuntime, _wall_clock
+from repro.mapreduce.types import InputSplit, make_splits, record_bytes
+
+
+def _word_count_jobs():
+    def mapper(key, value, context):
+        for word in value.split():
+            yield word, 1
+
+    def reducer(key, values, context):
+        yield key, sum(values)
+
+    return mapper, reducer
+
+
+class TestTypes:
+    def test_record_bytes_positive_and_monotone(self):
+        small = record_bytes((1, "a"))
+        large = record_bytes((1, "a" * 1000))
+        assert 0 < small < large
+
+    def test_make_splits_balanced(self):
+        splits = make_splits([(i, i) for i in range(10)], 3)
+        sizes = sorted(len(split) for split in splits)
+        assert sizes == [3, 3, 4]
+        assert sorted(
+            record for split in splits for record in split
+        ) == [(i, i) for i in range(10)]
+
+    def test_make_splits_more_splits_than_records(self):
+        splits = make_splits([(0, 0)], 4)
+        assert len(splits) == 1
+
+    def test_make_splits_empty(self):
+        assert len(make_splits([], 4)) == 1
+
+    def test_split_repr(self):
+        assert "n=2" in repr(InputSplit(0, [(1, 1), (2, 2)]))
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("x", 5)
+        counters.add("x")
+        assert counters.get("x") == 6
+        assert counters.get("missing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.as_dict() == {"x": 3, "y": 3}
+
+    def test_total_shuffle_includes_broadcast(self):
+        counters = Counters()
+        counters.add(SHUFFLE_BYTES, 10)
+        counters.add(BROADCAST_BYTES, 7)
+        assert counters.total_shuffle_bytes == 17
+
+
+class TestPartitioners:
+    def test_hash_partitioner_int_identity_mod(self):
+        assert hash_partitioner(13, 4) == 1
+
+    def test_hash_partitioner_stable_for_strings(self):
+        assert hash_partitioner("abc", 7) == hash_partitioner("abc", 7)
+
+    def test_range_partitioner_boundaries(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner.num_partitions == 3
+        assert partitioner(5, 3) == 0
+        assert partitioner(10, 3) == 1
+        assert partitioner(19, 3) == 1
+        assert partitioner(25, 3) == 2
+
+    def test_range_partitioner_clamps_to_num_partitions(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner(25, 2) == 1
+
+    def test_range_partitioner_rejects_unsorted(self):
+        with pytest.raises(InvalidParameterError):
+            RangePartitioner([5, 3])
+
+    def test_range_partitioner_allows_duplicates(self):
+        partitioner = RangePartitioner([5, 5])
+        assert partitioner(5, 3) == 2  # lands after both boundaries
+
+
+class TestCluster:
+    def test_broadcast_and_fetch(self):
+        cluster = Cluster(4)
+        cluster.broadcast("pi", 3.14)
+        assert cluster.cached("pi") == 3.14
+
+    def test_broadcast_charges_per_worker(self):
+        cluster = Cluster(4)
+        cluster.broadcast("obj", "x" * 100)
+        single = Cluster(1)
+        single.broadcast("obj", "x" * 100)
+        assert cluster.counters.get(BROADCAST_BYTES) == 4 * single.counters.get(
+            BROADCAST_BYTES
+        )
+
+    def test_missing_cache_raises(self):
+        with pytest.raises(InvalidParameterError):
+            Cluster(2).cached("nope")
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(InvalidParameterError):
+            Cluster(0)
+
+    def test_clear_cache(self):
+        cluster = Cluster(2)
+        cluster.broadcast("a", 1)
+        cluster.clear_cache()
+        with pytest.raises(InvalidParameterError):
+            cluster.cached("a")
+
+
+class TestJobSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(JobConfigurationError):
+            MapReduceJob(name="")
+
+    def test_rejects_bad_reducers(self):
+        with pytest.raises(JobConfigurationError):
+            MapReduceJob(name="x", num_reducers=0)
+
+
+class TestRuntime:
+    def test_word_count(self):
+        mapper, reducer = _word_count_jobs()
+        runtime = MapReduceRuntime(Cluster(3))
+        job = MapReduceJob(name="wc", mapper=mapper, reducer=reducer)
+        result = runtime.run(
+            job, [(0, "a b a"), (1, "b c"), (2, "a")]
+        )
+        assert dict(result.output) == {"a": 3, "b": 2, "c": 1}
+
+    def test_combiner_reduces_shuffle(self):
+        mapper, reducer = _word_count_jobs()
+        records = [(i, "w w w w") for i in range(8)]
+        plain = MapReduceRuntime(Cluster(2)).run(
+            MapReduceJob(name="p", mapper=mapper, reducer=reducer), records
+        )
+        combined = MapReduceRuntime(Cluster(2)).run(
+            MapReduceJob(
+                name="c", mapper=mapper, reducer=reducer, combiner=reducer
+            ),
+            records,
+        )
+        assert dict(combined.output) == dict(plain.output)
+        assert combined.counters.get(SHUFFLE_RECORDS) < plain.counters.get(
+            SHUFFLE_RECORDS
+        )
+        assert combined.counters.get(SHUFFLE_BYTES) < plain.counters.get(
+            SHUFFLE_BYTES
+        )
+
+    def test_counters_populated(self):
+        mapper, reducer = _word_count_jobs()
+        runtime = MapReduceRuntime(Cluster(2))
+        result = runtime.run(
+            MapReduceJob(name="wc", mapper=mapper, reducer=reducer),
+            [(0, "x y"), (1, "z")],
+        )
+        assert result.counters.get(MAP_INPUT_RECORDS) == 2
+        assert result.counters.get(SHUFFLE_RECORDS) == 3
+        assert result.counters.get(REDUCE_OUTPUT_RECORDS) == 3
+        assert result.shuffle_bytes > 0
+
+    def test_cluster_accumulates_counters(self):
+        mapper, reducer = _word_count_jobs()
+        cluster = Cluster(2)
+        runtime = MapReduceRuntime(cluster)
+        job = MapReduceJob(name="wc", mapper=mapper, reducer=reducer)
+        runtime.run(job, [(0, "x")])
+        runtime.run(job, [(0, "x")])
+        assert cluster.counters.get(MAP_INPUT_RECORDS) == 2
+
+    def test_distributed_cache_visible_in_tasks(self):
+        cluster = Cluster(2)
+        cluster.broadcast("factor", 10)
+
+        def mapper(key, value, context):
+            yield key, value * context.cached("factor")
+
+        runtime = MapReduceRuntime(cluster)
+        result = runtime.run(
+            MapReduceJob(name="scale", mapper=mapper), [(0, 1), (1, 2)]
+        )
+        assert sorted(value for _, value in result.output) == [10, 20]
+
+    def test_custom_partitioner_routes_keys(self):
+        seen_groups = []
+
+        def reducer(key, values, context):
+            seen_groups.append((key, sorted(values)))
+            return ()
+
+        runtime = MapReduceRuntime(Cluster(2))
+        job = MapReduceJob(
+            name="route",
+            reducer=reducer,
+            partitioner=lambda key, n: 0,
+            num_reducers=2,
+        )
+        runtime.run(job, [(1, "a"), (2, "b"), (1, "c")])
+        assert sorted(seen_groups) == [(1, ["a", "c"]), (2, ["b"])]
+
+    def test_prebuilt_splits_accepted(self):
+        mapper, reducer = _word_count_jobs()
+        runtime = MapReduceRuntime(Cluster(2))
+        splits = [InputSplit(0, [(0, "a")]), InputSplit(1, [(1, "a")])]
+        result = runtime.run(
+            MapReduceJob(name="wc", mapper=mapper, reducer=reducer), splits
+        )
+        assert dict(result.output) == {"a": 2}
+        assert len(result.map_task_seconds) == 2
+
+    def test_simulated_time_includes_overhead(self):
+        from repro.mapreduce.runtime import JOB_OVERHEAD_SECONDS
+
+        runtime = MapReduceRuntime(Cluster(2))
+        result = runtime.run(MapReduceJob(name="noop"), [])
+        assert result.simulated_seconds >= JOB_OVERHEAD_SECONDS
+
+    def test_shuffle_transfer_time_modelled(self):
+        """Shuffled bytes add bandwidth-modelled transfer time."""
+        cluster = Cluster(2, bandwidth_bytes_per_second=1000.0)
+        runtime = MapReduceRuntime(cluster)
+
+        def mapper(key, value, context):
+            yield key, value
+
+        result = runtime.run(
+            MapReduceJob(name="move", mapper=mapper), [(0, "x" * 500)]
+        )
+        expected = result.counters.get(SHUFFLE_BYTES) / 1000.0
+        assert result.shuffle_transfer_seconds == pytest.approx(expected)
+        assert result.simulated_seconds > expected
+
+    def test_wall_clock_is_max_over_workers(self):
+        # Tasks [3, 1, 1, 1] on 2 workers round-robin: w0 = 3+1, w1 = 1+1.
+        assert _wall_clock([3.0, 1.0, 1.0, 1.0], 2) == 4.0
+        assert _wall_clock([], 4) == 0.0
+
+    def test_skew_shows_in_wall_clock(self):
+        """One giant reduce group stretches the simulated wall clock."""
+
+        def mapper(key, value, context):
+            yield value, key
+
+        def reducer(key, values, context):
+            total = 0
+            for value in values:
+                total += value * value
+            yield key, total
+
+        skewed = [(i, 0) for i in range(2000)]
+        balanced = [(i, i % 8) for i in range(2000)]
+        runtime = MapReduceRuntime(Cluster(8))
+        job = MapReduceJob(name="skew", mapper=mapper, reducer=reducer)
+        time_skewed = runtime.run(job, skewed).reduce_wall_seconds
+        time_balanced = runtime.run(job, balanced).reduce_wall_seconds
+        # All work lands on one reducer vs. spread over eight.
+        assert time_skewed > time_balanced
+
+    def test_unsortable_keys_grouped_by_repr(self):
+        def mapper(key, value, context):
+            yield value, 1
+
+        runtime = MapReduceRuntime(Cluster(1))
+        result = runtime.run(
+            MapReduceJob(name="mixed", mapper=mapper),
+            [(0, "a"), (1, 2), (2, "a")],
+        )
+        assert len(result.output) == 3
+
+
+class TestHashJoin:
+    def test_basic_join(self):
+        runtime = MapReduceRuntime(Cluster(2))
+        result = mapreduce_hash_join(
+            runtime,
+            [(1, "r1"), (2, "r2")],
+            [(1, "s1"), (1, "s2"), (3, "s3")],
+        )
+        assert sorted(result.output) == [
+            (1, ("r1", "s1")),
+            (1, ("r1", "s2")),
+        ]
+
+    def test_many_to_many(self):
+        runtime = MapReduceRuntime(Cluster(2))
+        result = mapreduce_hash_join(
+            runtime, [(1, "a"), (1, "b")], [(1, "x"), (1, "y")]
+        )
+        assert len(result.output) == 4
+
+    def test_empty_sides(self):
+        runtime = MapReduceRuntime(Cluster(2))
+        assert mapreduce_hash_join(runtime, [], [(1, "x")]).output == []
+        assert mapreduce_hash_join(runtime, [(1, "x")], []).output == []
+
+
+class TestInputHandling:
+    def test_num_splits_respected(self):
+        runtime = MapReduceRuntime(Cluster(2))
+        result = runtime.run(
+            MapReduceJob(name="noop"),
+            [(i, i) for i in range(10)],
+            num_splits=5,
+        )
+        assert len(result.map_task_seconds) == 5
+
+    def test_mixed_splits_and_records_rejected(self):
+        runtime = MapReduceRuntime(Cluster(2))
+        mixed = [InputSplit(0, [(0, 0)]), (1, 1)]
+        with pytest.raises(JobConfigurationError):
+            runtime.run(MapReduceJob(name="mixed"), mixed)
+
+    def test_empty_input_produces_empty_output(self):
+        runtime = MapReduceRuntime(Cluster(3))
+        result = runtime.run(MapReduceJob(name="empty"), [])
+        assert result.output == []
+        assert result.counters.get(MAP_INPUT_RECORDS) == 0

@@ -1,0 +1,94 @@
+"""Unit tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.metrics import (
+    exact_knn_join,
+    format_bytes,
+    knn_precision_recall,
+    megabytes,
+    precision_recall,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        pairs = [(1, 2), (3, 4)]
+        assert precision_recall(pairs, pairs) == (1.0, 1.0)
+
+    def test_partial(self):
+        predicted = [(1, 2), (9, 9)]
+        actual = [(1, 2), (3, 4)]
+        precision, recall = precision_recall(predicted, actual)
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_empty_predictions(self):
+        assert precision_recall([], [(1, 2)]) == (1.0, 0.0)
+
+    def test_empty_truth(self):
+        assert precision_recall([(1, 2)], []) == (0.0, 1.0)
+
+    def test_both_empty(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+
+
+class TestKnnPrecisionRecall:
+    def test_perfect(self):
+        truth = {0: [(1, 0.1), (2, 0.2)]}
+        assert knn_precision_recall(truth, truth) == (1.0, 1.0)
+
+    def test_missing_query_counts_as_empty(self):
+        truth = {0: [(1, 0.1)], 1: [(2, 0.2)]}
+        predicted = {0: [(1, 0.1)]}
+        precision, recall = knn_precision_recall(predicted, truth)
+        assert precision == 1.0  # the empty answer has precision 1
+        assert recall == 0.5
+
+    def test_wrong_neighbors(self):
+        truth = {0: [(1, 0.1), (2, 0.2)]}
+        predicted = {0: [(3, 0.1), (2, 0.3)]}
+        precision, recall = knn_precision_recall(predicted, truth)
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_empty_truth(self):
+        assert knn_precision_recall({}, {}) == (1.0, 1.0)
+
+
+class TestExactKnnJoin:
+    def test_small_example(self):
+        left = [(0, np.array([0.0, 0.0]))]
+        right = [
+            (10, np.array([1.0, 0.0])),
+            (11, np.array([0.0, 0.5])),
+            (12, np.array([3.0, 3.0])),
+        ]
+        result = exact_knn_join(left, right, 2)
+        assert [i for i, _ in result[0]] == [11, 10]
+
+    def test_distances_sorted(self):
+        rng = np.random.default_rng(0)
+        points = [(i, rng.normal(size=4)) for i in range(30)]
+        result = exact_knn_join(points[:5], points, 7)
+        for neighbors in result.values():
+            distances = [d for _, d in neighbors]
+            assert distances == sorted(distances)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            exact_knn_join([], [(0, np.zeros(2))], 0)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KB"
+        assert format_bytes(3 * 1024**3) == "3.00 GB"
+
+    def test_megabytes(self):
+        assert megabytes(1024 * 1024) == 1.0

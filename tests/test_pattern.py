@@ -1,0 +1,195 @@
+"""Unit tests for the FLSS / FLSSeq masked-pattern algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvector import code_from_string
+from repro.core.errors import CodeLengthError, InvalidParameterError
+from repro.core.pattern import (
+    MaskedPattern,
+    common_of_patterns,
+    common_pattern,
+)
+
+
+class TestConstruction:
+    def test_from_string_paper_flsseq(self):
+        # U = "...0.1.1." is an FLSSeq of t0 = "001001010" (Def. 4).
+        pattern = MaskedPattern.from_string("...0.1.1.")
+        assert pattern.length == 9
+        assert pattern.effective_bits == 3
+        assert pattern.matches(code_from_string("001001010"))
+
+    def test_from_string_with_middle_dot(self):
+        pattern = MaskedPattern.from_string("1·0")
+        assert str(pattern) == "1.0"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            MaskedPattern.from_string("1x0")
+
+    def test_full_and_empty(self):
+        full = MaskedPattern.full(0b101, 3)
+        assert full.is_complete
+        empty = MaskedPattern.empty(3)
+        assert empty.effective_bits == 0
+
+    def test_full_rejects_overflow(self):
+        with pytest.raises(CodeLengthError):
+            MaskedPattern.full(8, 3)
+
+    def test_bits_outside_mask_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MaskedPattern(bits=0b100, mask=0b001, length=3)
+
+    def test_str_roundtrip(self):
+        for text in ("101", "..1", "1.0.1", "....."):
+            assert str(MaskedPattern.from_string(text)) == text
+
+
+class TestRelations:
+    def test_matches_is_bitmatch(self):
+        pattern = MaskedPattern.from_string("001......")
+        assert pattern.matches(code_from_string("001001010"))  # t0
+        assert pattern.matches(code_from_string("001011101"))  # t1
+        assert not pattern.matches(code_from_string("101001010"))  # t3
+
+    def test_generalizes(self):
+        coarse = MaskedPattern.from_string("1....")
+        fine = MaskedPattern.from_string("1.0..")
+        assert coarse.generalizes(fine)
+        assert not fine.generalizes(coarse)
+
+    def test_generalizes_requires_agreement(self):
+        a = MaskedPattern.from_string("1....")
+        b = MaskedPattern.from_string("0.0..")
+        assert not a.generalizes(b)
+
+    def test_generalizes_different_lengths(self):
+        assert not MaskedPattern.from_string("1.").generalizes(
+            MaskedPattern.from_string("1..")
+        )
+
+    def test_empty_generalizes_everything(self):
+        empty = MaskedPattern.empty(5)
+        assert empty.generalizes(MaskedPattern.full(17, 5))
+
+    def test_is_contiguous_flss_vs_flsseq(self):
+        # Definition 3 (FLSS): contiguous fixed run.
+        assert MaskedPattern.from_string("..110..").is_contiguous()
+        # Definition 4 (FLSSeq): arbitrary positions.
+        assert not MaskedPattern.from_string("1..0...").is_contiguous()
+        assert MaskedPattern.empty(4).is_contiguous()
+        assert MaskedPattern.full(0, 4).is_contiguous()
+
+
+class TestDistance:
+    def test_paper_distance_example(self):
+        # "if one FLSSeq is U-hat = '...0.1.1.' and the query binary code
+        # is '001001010', the Hamming distance is 2" -- the paper's
+        # Section 4.1 text (with its own bit values).
+        pattern = MaskedPattern.from_string("...0.1.1.")
+        query = code_from_string("001001010")
+        # Effective positions (0-indexed from left): 3, 5, 7 and their
+        # pattern values 0, 1, 1 against query bits 0, 1, 1 -> distance 0;
+        # the distance counts only effective-bit differences.
+        assert pattern.distance(query) == 0
+        other = code_from_string("001111000")
+        assert pattern.distance(other) == 2
+
+    def test_distance_complete_pattern_is_hamming(self):
+        pattern = MaskedPattern.full(0b1010, 4)
+        assert pattern.distance(0b0101) == 4
+
+    def test_distance_to_pattern_shared_mask(self):
+        a = MaskedPattern.from_string("10..")
+        b = MaskedPattern.from_string("1.1.")
+        # Shared effective position: only the first bit -> equal -> 0.
+        assert a.distance_to_pattern(b) == 0
+
+    def test_distance_to_pattern_length_mismatch(self):
+        with pytest.raises(CodeLengthError):
+            MaskedPattern.from_string("1.").distance_to_pattern(
+                MaskedPattern.from_string("1..")
+            )
+
+
+class TestCombineAndResidual:
+    def test_combine_disjoint(self):
+        a = MaskedPattern.from_string("10...")
+        b = MaskedPattern.from_string("..01.")
+        combined = a.combine(b)
+        assert str(combined) == "1001."
+
+    def test_combine_rejects_overlap(self):
+        a = MaskedPattern.from_string("1....")
+        b = MaskedPattern.from_string("0....")
+        with pytest.raises(InvalidParameterError):
+            a.combine(b)
+
+    def test_residual_reconstructs_code(self):
+        pattern = MaskedPattern.from_string("0.1.0")
+        code = code_from_string("00110")
+        assert pattern.matches(code)
+        reconstructed = pattern.combine(pattern.residual(code))
+        assert reconstructed.is_complete
+        assert reconstructed.bits == code
+
+    def test_distance_splits_across_residual(self):
+        pattern = MaskedPattern.from_string("01...")
+        code = code_from_string("01101")
+        query = code_from_string("11010")
+        residual = pattern.residual(code)
+        total = pattern.distance(query) + residual.distance(query)
+        assert total == (code ^ query).bit_count()
+
+
+class TestCommonPatterns:
+    def test_common_pattern_of_codes(self):
+        codes = [code_from_string("001001010"), code_from_string("001011101")]
+        common = common_pattern(codes, 9)
+        # Agreement on positions where both codes coincide.
+        for code in codes:
+            assert common.matches(code)
+        assert common.effective_bits == 5  # 0010_1/0... shared bits
+
+    def test_common_pattern_empty_input(self):
+        with pytest.raises(InvalidParameterError):
+            common_pattern([], 4)
+
+    def test_common_pattern_single_code_is_complete(self):
+        common = common_pattern([0b101], 3)
+        assert common.is_complete
+        assert common.bits == 0b101
+
+    def test_common_of_patterns_generalizes_inputs(self):
+        a = MaskedPattern.from_string("00.1.")
+        b = MaskedPattern.from_string("0.01.")
+        common = common_of_patterns([a, b])
+        assert common.generalizes(a)
+        assert common.generalizes(b)
+        assert str(common) == "0..1."
+
+    def test_common_of_patterns_disagreement_drops_position(self):
+        a = MaskedPattern.from_string("01")
+        b = MaskedPattern.from_string("00")
+        assert str(common_of_patterns([a, b])) == "0."
+
+    def test_common_of_patterns_empty(self):
+        with pytest.raises(InvalidParameterError):
+            common_of_patterns([])
+
+    def test_common_of_patterns_length_mismatch(self):
+        with pytest.raises(CodeLengthError):
+            common_of_patterns(
+                [MaskedPattern.empty(3), MaskedPattern.empty(4)]
+            )
+
+    def test_downward_closure(self):
+        """Proposition 1: pattern distance lower-bounds code distance."""
+        codes = [0b110010, 0b110110, 0b100010]
+        common = common_pattern(codes, 6)
+        for query in range(64):
+            for code in codes:
+                assert common.distance(query) <= (code ^ query).bit_count()

@@ -1,0 +1,70 @@
+"""Tests for HA-Index persistence (save/load)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import IndexStateError
+from repro.data.synthetic import random_codes
+
+
+@pytest.fixture
+def built_index():
+    codes = CodeSet(random_codes(500, 24, seed=71), 24)
+    return DynamicHAIndex.build(codes), codes
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_answers(self, built_index, tmp_path):
+        index, codes = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        loaded = DynamicHAIndex.load(path)
+        loaded.check_invariants()
+        for probe in (codes[0], codes[123]):
+            assert sorted(loaded.search(probe, 4)) == sorted(
+                index.search(probe, 4)
+            )
+
+    def test_loaded_index_is_mutable(self, built_index, tmp_path):
+        index, _ = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        loaded = DynamicHAIndex.load(path)
+        loaded.insert(0b101, 9999)
+        assert 9999 in loaded.search(0b101, 0)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"definitely not an index")
+        with pytest.raises(IndexStateError):
+            DynamicHAIndex.load(path)
+
+    def test_load_rejects_bad_version(self, built_index, tmp_path):
+        index, _ = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # clobber the version byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexStateError):
+            DynamicHAIndex.load(path)
+
+    def test_load_rejects_truncated_file(self, built_index, tmp_path):
+        index, _ = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        path.write_bytes(path.read_bytes()[:3])
+        with pytest.raises(IndexStateError):
+            DynamicHAIndex.load(path)
+
+    def test_saved_file_is_compact(self, built_index, tmp_path):
+        import pickle
+
+        index, codes = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        raw = len(pickle.dumps((codes.codes, codes.ids)))
+        assert path.stat().st_size < 5 * raw

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the algebraic backbone the correctness proofs rest on:
+Gray-transform bijectivity, masked-pattern algebra laws, the downward
+closure property (Proposition 1), and end-to-end index/oracle agreement
+for every index family under arbitrary code populations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import CodeSet, hamming_distance
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.gray import from_gray, gray_rank, to_gray
+from repro.core.pattern import (
+    MaskedPattern,
+    common_of_patterns,
+    common_pattern,
+)
+from repro.core.radix_tree import RadixTreeIndex
+from repro.core.select import INDEX_FAMILIES
+from repro.core.static_ha import StaticHAIndex
+
+LENGTH = 16
+codes16 = st.integers(min_value=0, max_value=(1 << LENGTH) - 1)
+
+
+def pattern16() -> st.SearchStrategy[MaskedPattern]:
+    return st.tuples(codes16, codes16).map(
+        lambda pair: MaskedPattern(
+            pair[0] & pair[1], pair[1], LENGTH
+        )
+    )
+
+
+class TestGrayProperties:
+    @given(st.integers(min_value=0, max_value=1 << 60))
+    def test_gray_bijection(self, value):
+        assert from_gray(to_gray(value)) == value
+
+    @given(st.integers(min_value=1, max_value=1 << 50))
+    def test_adjacent_gray_codewords_distance_one(self, value):
+        assert hamming_distance(to_gray(value), to_gray(value - 1)) == 1
+
+    @given(codes16, codes16)
+    def test_rank_order_consistent(self, a, b):
+        """Ranks order codes exactly as the Gray sequence does."""
+        if gray_rank(a) < gray_rank(b):
+            assert to_gray(gray_rank(a)) == a
+            assert to_gray(gray_rank(b)) == b
+
+
+class TestPatternProperties:
+    @given(pattern16(), codes16)
+    def test_distance_bounded_by_effective_bits(self, pattern, query):
+        assert 0 <= pattern.distance(query) <= pattern.effective_bits
+
+    @given(pattern16(), codes16)
+    def test_match_iff_distance_zero(self, pattern, query):
+        assert pattern.matches(query) == (pattern.distance(query) == 0)
+
+    @given(pattern16(), codes16)
+    def test_residual_combine_reconstructs(self, pattern, code):
+        if not pattern.matches(code):
+            return
+        rebuilt = pattern.combine(pattern.residual(code))
+        assert rebuilt.is_complete
+        assert rebuilt.bits == code
+
+    @given(pattern16(), codes16, codes16)
+    def test_residual_distance_decomposition(self, pattern, code, query):
+        """Path distances add up: pattern + residual = full Hamming."""
+        if not pattern.matches(code):
+            return
+        residual = pattern.residual(code)
+        total = pattern.distance(query) + residual.distance(query)
+        assert total == hamming_distance(code, query)
+
+    @given(st.lists(codes16, min_size=1, max_size=8), codes16)
+    def test_downward_closure(self, codes, query):
+        """Proposition 1: the common pattern's partial distance never
+        exceeds any member code's full distance."""
+        common = common_pattern(codes, LENGTH)
+        for code in codes:
+            assert common.distance(query) <= hamming_distance(code, query)
+
+    @given(st.lists(codes16, min_size=1, max_size=8))
+    def test_common_pattern_matches_all(self, codes):
+        common = common_pattern(codes, LENGTH)
+        for code in codes:
+            assert common.matches(code)
+
+    @given(st.lists(pattern16(), min_size=1, max_size=6))
+    def test_common_of_patterns_generalizes_all(self, patterns):
+        common = common_of_patterns(patterns)
+        for pattern in patterns:
+            assert common.generalizes(pattern)
+
+    @given(pattern16(), pattern16())
+    def test_generalizes_implies_distance_bound(self, a, b):
+        """If a generalizes b, then a's distance lower-bounds b's."""
+        if not a.generalizes(b):
+            return
+        for query in (0, (1 << LENGTH) - 1, 0b1010101010101010):
+            assert a.distance(query) <= b.distance(query)
+
+
+def _oracle(codes: list[int], query: int, threshold: int) -> list[int]:
+    return sorted(
+        i
+        for i, code in enumerate(codes)
+        if hamming_distance(code, query) <= threshold
+    )
+
+
+class TestIndexEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(codes16, min_size=1, max_size=60),
+        codes16,
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_all_families_agree_with_oracle(self, codes, query, threshold):
+        codeset = CodeSet(codes, LENGTH)
+        expected = _oracle(codes, query, threshold)
+        for name, builder in INDEX_FAMILIES.items():
+            index = builder(codeset)
+            assert sorted(index.search(query, threshold)) == expected, name
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(codes16, min_size=2, max_size=50),
+        st.data(),
+    )
+    def test_dynamic_ha_survives_arbitrary_deletions(self, codes, data):
+        codeset = CodeSet(codes, LENGTH)
+        index = DynamicHAIndex.build(codeset, window=3, max_depth=4)
+        victims = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(codes) - 1),
+                max_size=len(codes),
+                unique=True,
+            )
+        )
+        for victim in victims:
+            index.delete(codes[victim], victim)
+        survivors = [i for i in range(len(codes)) if i not in set(victims)]
+        query = data.draw(codes16)
+        expected = sorted(
+            i for i in survivors
+            if hamming_distance(codes[i], query) <= 4
+        )
+        assert sorted(index.search(query, 4)) == expected
+        index.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(codes16, min_size=1, max_size=40),
+        st.lists(codes16, min_size=1, max_size=20),
+        codes16,
+    )
+    def test_dynamic_ha_insert_stream(self, base, extra, query):
+        index = DynamicHAIndex.build(
+            CodeSet(base, LENGTH), window=3, rebuild_buffer=8
+        )
+        for offset, code in enumerate(extra):
+            index.insert(code, len(base) + offset)
+        all_codes = base + extra
+        expected = _oracle(all_codes, query, 5)
+        assert sorted(index.search(query, 5)) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(codes16, min_size=1, max_size=40), codes16)
+    def test_radix_and_static_agree(self, codes, query):
+        codeset = CodeSet(codes, LENGTH)
+        radix = RadixTreeIndex.build(codeset)
+        static = StaticHAIndex.build(codeset, segment_bits=4)
+        for threshold in (0, 2, 5):
+            assert sorted(radix.search(query, threshold)) == sorted(
+                static.search(query, threshold)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(codes16, min_size=1, max_size=40), codes16)
+    def test_search_codes_equals_distinct_matching_codes(
+        self, codes, query
+    ):
+        index = DynamicHAIndex.build(CodeSet(codes, LENGTH))
+        got = sorted(index.search_codes(query, 4))
+        expected = sorted(
+            {c for c in codes if hamming_distance(c, query) <= 4}
+        )
+        assert got == expected

@@ -1,0 +1,205 @@
+"""Extended property-based tests: relational operators, merge,
+MapReduce determinism, serialization, and wide codes."""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import CodeSet, hamming_distance
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.relational import (
+    hamming_difference,
+    hamming_distinct,
+    hamming_intersect,
+)
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import MapReduceRuntime
+
+LENGTH = 12
+codes12 = st.integers(min_value=0, max_value=(1 << LENGTH) - 1)
+code_lists = st.lists(codes12, min_size=1, max_size=40)
+thresholds = st.integers(min_value=0, max_value=LENGTH)
+
+
+class TestRelationalProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(code_lists, code_lists, thresholds)
+    def test_intersect_difference_partition_left(self, left, right, h):
+        left_set = CodeSet(left, LENGTH)
+        right_set = CodeSet(right, LENGTH)
+        inside = hamming_intersect(left_set, right_set, h)
+        outside = hamming_difference(left_set, right_set, h)
+        assert sorted(inside + outside) == sorted(left_set.ids)
+
+    @settings(max_examples=30, deadline=None)
+    @given(code_lists, code_lists, thresholds)
+    def test_intersect_matches_definition(self, left, right, h):
+        left_set = CodeSet(left, LENGTH)
+        right_set = CodeSet(right, LENGTH)
+        got = set(hamming_intersect(left_set, right_set, h))
+        expected = {
+            i
+            for i, code in enumerate(left)
+            if any(hamming_distance(code, other) <= h for other in right)
+        }
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(code_lists, thresholds)
+    def test_distinct_is_maximal_and_spread(self, codes, h):
+        codeset = CodeSet(codes, LENGTH)
+        kept = hamming_distinct(codeset, h)
+        kept_codes = [codes[i] for i in kept]
+        # Spread: no two kept codes within h.
+        for i, a in enumerate(kept_codes):
+            for b in kept_codes[i + 1 :]:
+                assert hamming_distance(a, b) > h
+        # Maximal: every dropped code is covered by a kept one.
+        kept_set = set(kept)
+        for i, code in enumerate(codes):
+            if i not in kept_set:
+                assert any(
+                    hamming_distance(code, keeper) <= h
+                    for keeper in kept_codes
+                )
+
+
+class TestMergeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(code_lists, code_lists, codes12, thresholds)
+    def test_merged_index_equals_monolithic(self, a, b, query, h):
+        left = DynamicHAIndex.build(CodeSet(a, LENGTH))
+        right = DynamicHAIndex.build(
+            CodeSet(b, LENGTH, ids=range(1000, 1000 + len(b)))
+        )
+        merged = DynamicHAIndex.merge([left, right])
+        expected = sorted(
+            [i for i, c in enumerate(a) if hamming_distance(c, query) <= h]
+            + [
+                1000 + i
+                for i, c in enumerate(b)
+                if hamming_distance(c, query) <= h
+            ]
+        )
+        assert sorted(merged.search(query, h)) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(code_lists, codes12, thresholds)
+    def test_pickle_preserves_answers(self, codes, query, h):
+        index = DynamicHAIndex.build(CodeSet(codes, LENGTH), window=3)
+        clone = pickle.loads(pickle.dumps(index))
+        assert sorted(clone.search(query, h)) == sorted(
+            index.search(query, h)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(code_lists, codes12, thresholds)
+    def test_contains_within_matches_search(self, codes, query, h):
+        index = DynamicHAIndex.build(CodeSet(codes, LENGTH))
+        assert index.contains_within(query, h) == bool(
+            index.search(query, h)
+        )
+
+
+class TestMapReduceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_sum_by_key_independent_of_cluster_shape(self, records, workers):
+        """Grouping results are invariant to worker/split counts."""
+
+        def mapper(key, value, context):
+            yield key, value
+
+        def reducer(key, values, context):
+            yield key, sum(values)
+
+        job = MapReduceJob(name="sum", mapper=mapper, reducer=reducer)
+        wide = MapReduceRuntime(Cluster(workers)).run(job, list(records))
+        narrow = MapReduceRuntime(Cluster(1)).run(job, list(records))
+        assert sorted(wide.output) == sorted(narrow.output)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),
+                st.text(max_size=5),
+            ),
+            max_size=30,
+        )
+    )
+    def test_combiner_never_changes_the_answer(self, records):
+        """count-by-key with and without a combiner agree."""
+
+        def mapper(key, value, context):
+            yield value, 1
+
+        def reducer(key, values, context):
+            yield key, sum(values)
+
+        plain = MapReduceRuntime(Cluster(3)).run(
+            MapReduceJob(name="plain", mapper=mapper, reducer=reducer),
+            list(records),
+        )
+        combined = MapReduceRuntime(Cluster(3)).run(
+            MapReduceJob(
+                name="combined",
+                mapper=mapper,
+                reducer=reducer,
+                combiner=reducer,
+            ),
+            list(records),
+        )
+        assert sorted(plain.output) == sorted(combined.output)
+
+
+class TestWideCodeProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 100) - 1),
+            min_size=1,
+            max_size=25,
+        ),
+        st.integers(min_value=0, max_value=(1 << 100) - 1),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_wide_dha_matches_oracle(self, codes, query, h):
+        index = DynamicHAIndex.build(CodeSet(codes, 100), window=3)
+        expected = sorted(
+            i
+            for i, code in enumerate(codes)
+            if hamming_distance(code, query) <= h
+        )
+        assert sorted(index.search(query, h)) == expected
+
+
+class TestCountProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(code_lists, codes12, thresholds)
+    def test_count_equals_search_cardinality(self, codes, query, h):
+        index = DynamicHAIndex.build(CodeSet(codes, LENGTH), window=3)
+        assert index.count_within(query, h) == len(index.search(query, h))
+
+    @settings(max_examples=25, deadline=None)
+    @given(code_lists, codes12)
+    def test_count_monotone_in_threshold(self, codes, query):
+        index = DynamicHAIndex.build(CodeSet(codes, LENGTH))
+        counts = [
+            index.count_within(query, h) for h in range(LENGTH + 1)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == len(codes)

@@ -1,0 +1,132 @@
+"""Unit tests for the Radix-Tree (PATRICIA) index of Section 4.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import IndexStateError
+from repro.core.radix_tree import RadixTreeIndex
+from repro.data.synthetic import random_codes
+
+from .conftest import EXAMPLE_QUERY, EXAMPLE_SELECT_IDS
+from .helpers import assert_search_exact, brute_force_select
+
+
+class TestBuildAndSearch:
+    def test_paper_example(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+    def test_paper_example3_pruning_query(self, table_s):
+        # Example 3: query "110010110", h = 2 discards t0 and t1 on the
+        # shared prefix "001".
+        index = RadixTreeIndex.build(table_s)
+        results = index.search(0b110010110, 2)
+        assert 0 not in results and 1 not in results
+
+    def test_threshold_zero_exact_match(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        assert index.search(table_s[4], 0) == [4]
+
+    def test_threshold_full_length_returns_all(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        assert sorted(index.search(0, table_s.length)) == list(range(8))
+
+    def test_duplicate_codes_share_leaf(self):
+        codeset = CodeSet([5, 5, 9], 4, ids=[1, 2, 3])
+        index = RadixTreeIndex.build(codeset)
+        assert sorted(index.search(5, 0)) == [1, 2]
+
+    def test_exact_on_random_codes(self, random_codeset, query_rng):
+        index = RadixTreeIndex.build(random_codeset)
+        queries = [query_rng.getrandbits(32) for _ in range(10)]
+        assert_search_exact(index, random_codeset, queries, [0, 1, 3, 6])
+
+    def test_exact_on_clustered_codes(self, clustered_codeset, query_rng):
+        index = RadixTreeIndex.build(clustered_codeset)
+        queries = [clustered_codeset[i] for i in (0, 100, 700)]
+        assert_search_exact(index, clustered_codeset, queries, [2, 5])
+
+    def test_empty_index(self):
+        index = RadixTreeIndex(16)
+        assert index.search(123, 5) == []
+        assert len(index) == 0
+
+
+class TestMaintenance:
+    def test_insert_then_search(self):
+        index = RadixTreeIndex(8)
+        index.insert(0b1010_0001, 7)
+        assert index.search(0b1010_0001, 0) == [7]
+        assert len(index) == 1
+
+    def test_delete_removes_tuple(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        index.delete(table_s[3], 3)
+        assert 3 not in index.search(EXAMPLE_QUERY, 3)
+        assert len(index) == 7
+
+    def test_delete_absent_code_raises(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        with pytest.raises(IndexStateError):
+            index.delete(0b111111111, 99)
+
+    def test_delete_absent_id_raises(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        with pytest.raises(IndexStateError):
+            index.delete(table_s[0], 42)
+
+    def test_delete_then_reinsert_roundtrip(self, random_codeset):
+        index = RadixTreeIndex.build(random_codeset)
+        before = sorted(index.search(random_codeset[0], 4))
+        index.delete(random_codeset[0], 0)
+        index.insert(random_codeset[0], 0)
+        assert sorted(index.search(random_codeset[0], 4)) == before
+
+    def test_delete_all_leaves_empty_tree(self):
+        codes = random_codes(50, 12, seed=3)
+        codeset = CodeSet(codes, 12)
+        index = RadixTreeIndex.build(codeset)
+        for tuple_id, code in enumerate(codes):
+            index.delete(code, tuple_id)
+        assert len(index) == 0
+        assert index.search(codes[0], 12) == []
+        assert index.stats().entries == 0
+
+    def test_interleaved_updates_stay_exact(self, random_codeset, query_rng):
+        index = RadixTreeIndex.build(random_codeset)
+        codes = list(random_codeset.codes)
+        removed = set()
+        for step in range(100):
+            victim = query_rng.randrange(len(codes))
+            if victim in removed:
+                index.insert(codes[victim], victim)
+                removed.discard(victim)
+            else:
+                index.delete(codes[victim], victim)
+                removed.add(victim)
+        live = random_codeset.subset(
+            [i for i in range(len(codes)) if i not in removed]
+        )
+        query = query_rng.getrandbits(32)
+        assert sorted(index.search(query, 5)) == brute_force_select(
+            live, query, 5
+        )
+
+
+class TestStats:
+    def test_prefix_sharing_reduces_stored_bits(self):
+        # Codes sharing long prefixes store the prefix bits once.
+        shared = CodeSet([0b11110000, 0b11110001, 0b11110010], 8)
+        spread = CodeSet([0b00000000, 0b10101010, 0b01010101], 8)
+        assert (
+            RadixTreeIndex.build(shared).stats().code_bits
+            < RadixTreeIndex.build(spread).stats().code_bits
+        )
+
+    def test_stats_counts(self, table_s):
+        stats = RadixTreeIndex.build(table_s).stats()
+        assert stats.entries == 8
+        assert stats.nodes >= 8  # at least one node per distinct code
+        assert stats.memory_bytes > 0

@@ -1,0 +1,119 @@
+"""Tests for the similarity-aware relational operators (future work of
+the paper's Section 7, after Marri et al. SISAP 2014)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import InvalidParameterError
+from repro.core.relational import (
+    hamming_difference,
+    hamming_distinct,
+    hamming_intersect,
+)
+from repro.core.static_ha import StaticHAIndex
+from repro.data.synthetic import random_codes
+
+
+@pytest.fixture
+def sides():
+    left = CodeSet(random_codes(300, 16, seed=51), 16)
+    right = CodeSet(random_codes(200, 16, seed=52), 16)
+    return left, right
+
+
+def _oracle_intersect(left: CodeSet, right: CodeSet, h: int) -> list[int]:
+    return [
+        left_id
+        for code, left_id in zip(left.codes, left.ids)
+        if any((code ^ other).bit_count() <= h for other in right.codes)
+    ]
+
+
+class TestIntersect:
+    def test_matches_oracle(self, sides):
+        left, right = sides
+        for threshold in (0, 2, 4):
+            assert hamming_intersect(left, right, threshold) == (
+                _oracle_intersect(left, right, threshold)
+            )
+
+    def test_threshold_zero_is_exact_intersection(self):
+        left = CodeSet([1, 2, 3], 4, ids=[10, 11, 12])
+        right = CodeSet([3, 7, 1], 4)
+        assert hamming_intersect(left, right, 0) == [10, 12]
+
+    def test_monotone_in_threshold(self, sides):
+        left, right = sides
+        previous: set[int] = set()
+        for threshold in (0, 1, 2, 3, 4):
+            current = set(hamming_intersect(left, right, threshold))
+            assert previous <= current
+            previous = current
+
+    def test_full_threshold_returns_everything(self, sides):
+        left, right = sides
+        assert hamming_intersect(left, right, 16) == list(left.ids)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            hamming_intersect(CodeSet([1], 4), CodeSet([1], 5), 1)
+
+    def test_custom_index_builder(self, sides):
+        left, right = sides
+        via_static = hamming_intersect(
+            left, right, 3, index_builder=StaticHAIndex.build
+        )
+        assert via_static == hamming_intersect(left, right, 3)
+
+
+class TestDifference:
+    def test_partitions_left(self, sides):
+        left, right = sides
+        for threshold in (0, 2, 4):
+            kept = hamming_intersect(left, right, threshold)
+            dropped = hamming_difference(left, right, threshold)
+            assert sorted(kept + dropped) == sorted(left.ids)
+            assert not set(kept) & set(dropped)
+
+    def test_empty_right_keeps_everything(self):
+        left = CodeSet([5, 9], 4)
+        right = CodeSet([], 4)
+        assert hamming_difference(left, right, 4) == [0, 1]
+        assert hamming_intersect(left, right, 4) == []
+
+
+class TestDistinct:
+    def test_exact_duplicates_removed_at_zero(self):
+        codes = CodeSet([7, 7, 3, 7, 3], 4, ids=[0, 1, 2, 3, 4])
+        assert hamming_distinct(codes, 0) == [0, 2]
+
+    def test_kept_set_is_spread(self):
+        codes = CodeSet(random_codes(400, 16, seed=53), 16)
+        kept = hamming_distinct(codes, 3)
+        kept_codes = [codes[i] for i in kept]
+        for i, a in enumerate(kept_codes):
+            for b in kept_codes[i + 1 :]:
+                assert (a ^ b).bit_count() > 3
+
+    def test_every_dropped_tuple_is_covered(self):
+        codes = CodeSet(random_codes(300, 12, seed=54), 12)
+        kept = set(hamming_distinct(codes, 2))
+        kept_codes = [codes[i] for i in kept]
+        for tuple_id, code in enumerate(codes.codes):
+            if tuple_id in kept:
+                continue
+            assert any(
+                (code ^ keeper).bit_count() <= 2 for keeper in kept_codes
+            )
+
+    def test_zero_threshold_keeps_first_occurrence(self):
+        codes = CodeSet([4, 4], 4, ids=[9, 8])
+        assert hamming_distinct(codes, 0) == [9]
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            hamming_distinct(CodeSet([1], 4), -1)

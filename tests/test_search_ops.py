@@ -1,0 +1,119 @@
+"""Tests for the distance-computation accounting (`last_search_ops`).
+
+The paper's central claim is structural — the HA-Index "avoids
+unnecessary Hamming-distance computations" — so every index reports how
+many XOR/popcount evaluations its last search performed.  These tests
+pin the semantics of that counter and the claim itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hengine import HEngineIndex
+from repro.baselines.multi_hash import MultiHashTableIndex
+from repro.baselines.nested_loops import NestedLoopsIndex
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.radix_tree import RadixTreeIndex
+from repro.core.select import INDEX_FAMILIES
+from repro.core.static_ha import StaticHAIndex
+
+
+class TestCounterSemantics:
+    def test_nested_loops_counts_full_scan(self, random_codeset):
+        index = NestedLoopsIndex.build(random_codeset)
+        index.search(0, 3)
+        assert index.last_search_ops == len(random_codeset)
+
+    def test_multihash_counts_verifications_only(self, random_codeset):
+        index = MultiHashTableIndex.build(random_codeset, num_tables=4)
+        index.search(random_codeset[0], 3)
+        assert 0 < index.last_search_ops < len(random_codeset)
+
+    def test_hengine_counts_verifications(self, clustered_codeset):
+        index = HEngineIndex.build(clustered_codeset)
+        index.search(clustered_codeset[0], 3)
+        assert 0 < index.last_search_ops <= len(clustered_codeset)
+
+    def test_radix_counts_edges_examined(self, table_s):
+        index = RadixTreeIndex.build(table_s)
+        index.search(table_s[0], 0)
+        # At threshold 0 only the matching path plus sibling tests.
+        assert 0 < index.last_search_ops <= index.stats().edges
+
+    def test_static_counts_memo_misses(self, table_s):
+        index = StaticHAIndex.build(table_s, segment_bits=3)
+        index.search(table_s[0], table_s.length)
+        # At full threshold everything qualifies, but sharing caps the
+        # XOR count at the number of distinct (layer, value) nodes.
+        distinct_segments = index.stats().code_bits // 3
+        assert index.last_search_ops == distinct_segments
+
+    def test_dha_counts_node_tests(self, clustered_codeset):
+        index = DynamicHAIndex.build(clustered_codeset)
+        index.search(clustered_codeset[0], 3)
+        total_nodes = index.stats().nodes
+        assert 0 < index.last_search_ops <= total_nodes
+
+    def test_counter_resets_each_query(self, random_codeset):
+        index = DynamicHAIndex.build(random_codeset)
+        index.search(random_codeset[0], 6)
+        wide = index.last_search_ops
+        index.search(random_codeset[0], 0)
+        narrow = index.last_search_ops
+        assert narrow < wide
+
+
+class TestSharingClaims:
+    def test_every_index_beats_linear_scan_at_small_h(
+        self, clustered_codeset
+    ):
+        """The whole point of indexing: fewer XORs than scanning."""
+        queries = [clustered_codeset[i] for i in (0, 10, 20)]
+        n = len(clustered_codeset)
+        for name, builder in INDEX_FAMILIES.items():
+            if name == "Nested-Loops":
+                continue
+            index = builder(clustered_codeset)
+            for query in queries:
+                index.search(query, 2)
+                assert index.last_search_ops < n, name
+
+    def test_static_sharing_beats_unshared_segments(
+        self, clustered_codeset
+    ):
+        """Memoized distinct segments compute fewer XORs than the paths
+        they cover (Figure 2's N6/N11 sharing)."""
+        index = StaticHAIndex.build(clustered_codeset, segment_bits=8)
+        index.search(clustered_codeset[3], 32)
+        shared_ops = index.last_search_ops
+        # Without sharing, every path recomputes all 4 segments.
+        unshared_ops = index.stats().edges
+        assert shared_ops < unshared_ops
+
+    def test_dha_prunes_with_threshold(self, clustered_codeset):
+        """Smaller thresholds prune more of the HA-Index (Prop. 1)."""
+        index = DynamicHAIndex.build(clustered_codeset)
+        ops = []
+        for threshold in (0, 4, 8):
+            index.search(clustered_codeset[7], threshold)
+            ops.append(index.last_search_ops)
+        assert ops == sorted(ops)
+        assert ops[0] < ops[-1]
+
+    def test_dha_full_qualification_short_circuits(self, clustered_codeset):
+        """At huge thresholds whole subtrees qualify outright, so the
+        search does *fewer* distance tests than at moderate ones."""
+        index = DynamicHAIndex.build(clustered_codeset)
+        index.search(clustered_codeset[7], 8)
+        moderate_ops = index.last_search_ops
+        index.search(clustered_codeset[7], 32)
+        full_ops = index.last_search_ops
+        assert full_ops < moderate_ops
+
+    def test_dha_ops_sublinear_on_clustered_codes(self, clustered_codeset):
+        """On duplicate-heavy data the DHA tests far fewer nodes than
+        there are tuples."""
+        index = DynamicHAIndex.build(clustered_codeset)
+        index.search(clustered_codeset[0], 3)
+        assert index.last_search_ops < len(clustered_codeset) / 2

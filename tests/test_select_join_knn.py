@@ -1,0 +1,180 @@
+"""Unit tests for the query front-ends: select, join, kNN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.join import hamming_join, nested_loops_join, self_join
+from repro.core.knn import exact_knn_codes, knn_join, knn_select
+from repro.core.select import INDEX_FAMILIES, hamming_select
+from repro.core.static_ha import StaticHAIndex
+
+from .conftest import (
+    EXAMPLE_JOIN_PAIRS,
+    EXAMPLE_QUERY,
+    EXAMPLE_SELECT_IDS,
+)
+
+
+class TestHammingSelect:
+    def test_example1_against_codeset(self, table_s):
+        got = sorted(hamming_select(EXAMPLE_QUERY, table_s, 3))
+        assert got == EXAMPLE_SELECT_IDS
+
+    def test_example1_against_index(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        got = sorted(hamming_select(EXAMPLE_QUERY, index, 3))
+        assert got == EXAMPLE_SELECT_IDS
+
+    def test_respects_custom_ids(self, table_s):
+        renamed = table_s.with_ids(range(100, 108))
+        got = sorted(hamming_select(EXAMPLE_QUERY, renamed, 3))
+        assert got == [100, 103, 104, 106]
+
+    def test_all_families_registered(self):
+        assert set(INDEX_FAMILIES) == {
+            "Nested-Loops",
+            "MH-4",
+            "MH-10",
+            "HEngine",
+            "Radix-Tree",
+            "SHA-Index",
+            "DHA-Index",
+        }
+
+    @pytest.mark.parametrize("family", sorted(INDEX_FAMILIES))
+    def test_every_family_answers_example1(self, family, table_s):
+        index = INDEX_FAMILIES[family](table_s)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+
+class TestHammingJoin:
+    def test_example1_join(self, table_r, table_s):
+        got = sorted(hamming_join(table_r, table_s, 3))
+        assert got == EXAMPLE_JOIN_PAIRS
+
+    def test_nested_loops_reference(self, table_r, table_s):
+        got = sorted(nested_loops_join(table_r, table_s, 3))
+        assert got == EXAMPLE_JOIN_PAIRS
+
+    def test_join_is_symmetric(self, table_r, table_s):
+        """Definition 2 / footnote 1: h-join(R,S) = h-join(S,R)."""
+        forward = {(a, b) for a, b in hamming_join(table_r, table_s, 3)}
+        backward = {(b, a) for a, b in hamming_join(table_s, table_r, 3)}
+        assert forward == backward
+
+    def test_indexes_smaller_side(self, table_r, table_s):
+        # Output orientation is (left id, right id) regardless of side.
+        assert sorted(hamming_join(table_s, table_r, 3)) == sorted(
+            (b, a) for a, b in EXAMPLE_JOIN_PAIRS
+        )
+
+    def test_join_with_custom_index(self, table_r, table_s):
+        got = sorted(
+            hamming_join(
+                table_r, table_s, 3, index_builder=StaticHAIndex.build
+            )
+        )
+        assert got == EXAMPLE_JOIN_PAIRS
+
+    def test_join_matches_nested_loops_on_random(
+        self, random_codeset, clustered_codeset
+    ):
+        left = random_codeset.subset(range(150))
+        right = clustered_codeset.subset(range(300))
+        # Lengths differ (32 vs 32) - same length codes required.
+        assert sorted(hamming_join(left, right, 4)) == sorted(
+            nested_loops_join(left, right, 4)
+        )
+
+    def test_threshold_zero_join_is_equality(self):
+        left = CodeSet([1, 2, 3], 4, ids=[0, 1, 2])
+        right = CodeSet([3, 2, 9], 4, ids=[5, 6, 7])
+        assert sorted(hamming_join(left, right, 0)) == [(1, 6), (2, 5)]
+
+    def test_self_join_excludes_trivial_pairs(self, table_s):
+        pairs = self_join(table_s, 3)
+        assert all(a < b for a, b in pairs)
+        reference = {
+            (a, b)
+            for a, b in nested_loops_join(table_s, table_s, 3)
+            if a < b
+        }
+        assert set(pairs) == reference
+
+
+class TestKnnSelect:
+    def test_matches_exact_scan(self, clustered_codeset):
+        index = DynamicHAIndex.build(clustered_codeset)
+        query = clustered_codeset[100]
+        got = knn_select(query, index, 15)
+        expected = exact_knn_codes(
+            query,
+            clustered_codeset.codes,
+            clustered_codeset.ids,
+            15,
+        )
+        assert got == expected
+
+    def test_distances_sorted_and_tie_broken_by_id(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        results = knn_select(EXAMPLE_QUERY, index, 8)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+        for (id_a, d_a), (id_b, d_b) in zip(results, results[1:]):
+            if d_a == d_b:
+                assert id_a < id_b
+
+    def test_k_larger_than_dataset(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        assert len(knn_select(EXAMPLE_QUERY, index, 100)) == 8
+
+    def test_threshold_expansion_finds_far_neighbors(self):
+        codes = CodeSet([0b11111111], 8)
+        index = DynamicHAIndex.build(codes)
+        # Query at distance 8; expansion must reach the full length.
+        assert knn_select(0, index, 1) == [(0, 8)]
+
+    def test_rejects_bad_parameters(self, table_s):
+        index = DynamicHAIndex.build(table_s)
+        with pytest.raises(InvalidParameterError):
+            knn_select(0, index, 0)
+        with pytest.raises(InvalidParameterError):
+            knn_select(0, index, 1, initial_threshold=-1)
+        with pytest.raises(InvalidParameterError):
+            knn_select(0, index, 1, threshold_step=0)
+
+    def test_works_with_nested_loops_index(self, table_s):
+        from repro.baselines.nested_loops import NestedLoopsIndex
+
+        index = NestedLoopsIndex.build(table_s)
+        got = knn_select(EXAMPLE_QUERY, index, 4)
+        expected = exact_knn_codes(
+            EXAMPLE_QUERY, table_s.codes, table_s.ids, 4
+        )
+        assert got == expected
+
+
+class TestKnnJoin:
+    def test_every_left_tuple_answered(self, table_r, table_s):
+        result = knn_join(table_r, table_s, 2)
+        assert set(result) == set(table_r.ids)
+        for neighbors in result.values():
+            assert len(neighbors) == 2
+
+    def test_matches_exact_per_query(self, table_r, table_s):
+        result = knn_join(table_r, table_s, 3)
+        for left_id, code in zip(table_r.ids, table_r.codes):
+            expected = exact_knn_codes(
+                code, table_s.codes, table_s.ids, 3
+            )
+            assert result[left_id] == expected
+
+    def test_asymmetry(self, table_r, table_s):
+        """kNN-join is not symmetric (unlike h-join)."""
+        forward = knn_join(table_r, table_s, 1)
+        backward = knn_join(table_s, table_r, 1)
+        assert set(forward) != set(backward)

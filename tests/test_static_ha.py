@@ -1,0 +1,121 @@
+"""Unit tests for the Static HA-Index of Section 4.3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.static_ha import StaticHAIndex
+
+from .conftest import EXAMPLE_QUERY, EXAMPLE_SELECT_IDS
+from .helpers import assert_search_exact, brute_force_select
+
+
+class TestBuildAndSearch:
+    def test_paper_example(self, table_s):
+        # Figure 2 uses 3-bit segments over the 9-bit running example.
+        index = StaticHAIndex.build(table_s, segment_bits=3)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+    def test_segment_layout_figure2(self, table_s):
+        index = StaticHAIndex.build(table_s, segment_bits=3)
+        assert index.num_segments == 3
+        assert index.segment_bits == 3
+
+    def test_uneven_last_segment(self):
+        codeset = CodeSet([0b1111111], 7)
+        index = StaticHAIndex.build(codeset, segment_bits=3)
+        assert index.num_segments == 3  # widths 3, 3, 1
+        assert index.search(0b1111111, 0) == [0]
+        assert index.search(0b1111110, 1) == [0]
+
+    def test_segment_wider_than_code_clamps(self):
+        codeset = CodeSet([0b101], 3)
+        index = StaticHAIndex.build(codeset, segment_bits=64)
+        assert index.num_segments == 1
+        assert index.search(0b101, 0) == [0]
+
+    def test_rejects_bad_segment_bits(self):
+        with pytest.raises(InvalidParameterError):
+            StaticHAIndex(8, segment_bits=0)
+
+    def test_exact_on_random_codes(self, random_codeset, query_rng):
+        index = StaticHAIndex.build(random_codeset)
+        queries = [query_rng.getrandbits(32) for _ in range(10)]
+        assert_search_exact(index, random_codeset, queries, [0, 2, 4, 7])
+
+    def test_exact_on_clustered_codes(self, clustered_codeset, query_rng):
+        index = StaticHAIndex.build(clustered_codeset, segment_bits=4)
+        queries = [clustered_codeset[i] for i in (5, 50, 500)]
+        assert_search_exact(index, clustered_codeset, queries, [1, 3, 6])
+
+    def test_duplicates(self):
+        codeset = CodeSet([9, 9, 9], 4, ids=[4, 5, 6])
+        index = StaticHAIndex.build(codeset, segment_bits=2)
+        assert sorted(index.search(9, 0)) == [4, 5, 6]
+
+
+class TestMaintenance:
+    def test_update_roundtrip(self, table_s):
+        index = StaticHAIndex.build(table_s, segment_bits=3)
+        index.delete(table_s[3], 3)
+        assert 3 not in index.search(EXAMPLE_QUERY, 3)
+        index.insert(table_s[3], 3)
+        assert sorted(index.search(EXAMPLE_QUERY, 3)) == EXAMPLE_SELECT_IDS
+
+    def test_delete_absent_raises(self, table_s):
+        index = StaticHAIndex.build(table_s)
+        with pytest.raises(IndexStateError):
+            index.delete(0b111111111, 0)
+        with pytest.raises(IndexStateError):
+            index.delete(table_s[0], 99)
+
+    def test_delete_prunes_empty_paths(self):
+        codeset = CodeSet([0b1100, 0b0011], 4, ids=[0, 1])
+        index = StaticHAIndex.build(codeset, segment_bits=2)
+        index.delete(0b1100, 0)
+        stats = index.stats()
+        assert stats.entries == 1
+        assert index.search(0b1100, 0) == []
+
+    def test_interleaved_updates_stay_exact(
+        self, clustered_codeset, query_rng
+    ):
+        index = StaticHAIndex.build(clustered_codeset, segment_bits=8)
+        codes = list(clustered_codeset.codes)
+        removed = set()
+        for _ in range(80):
+            victim = query_rng.randrange(len(codes))
+            if victim in removed:
+                index.insert(codes[victim], victim)
+                removed.discard(victim)
+            else:
+                index.delete(codes[victim], victim)
+                removed.add(victim)
+        live = clustered_codeset.subset(
+            [i for i in range(len(codes)) if i not in removed]
+        )
+        query = codes[0]
+        assert sorted(index.search(query, 4)) == brute_force_select(
+            live, query, 4
+        )
+
+
+class TestSharing:
+    def test_shared_segments_counted_once(self):
+        """Distinct (layer, value) code bits are stored once (Figure 2)."""
+        # t2 = 011 001 100 and t7 = 111 001 100 share segments 2 and 3.
+        codeset = CodeSet.from_strings(["011001100", "111001100"])
+        stats = StaticHAIndex.build(codeset, segment_bits=3).stats()
+        # Layers hold {011, 111}, {001}, {100}: 4 distinct segments.
+        assert stats.code_bits == 4 * 3
+
+    def test_memory_below_replicating_baselines(self, clustered_codeset):
+        from repro.baselines.multi_hash import MultiHashTableIndex
+
+        sha = StaticHAIndex.build(clustered_codeset).stats()
+        mh4 = MultiHashTableIndex.build(
+            clustered_codeset, num_tables=4
+        ).stats()
+        assert sha.memory_bytes < mh4.memory_bytes

@@ -1,0 +1,98 @@
+"""Tests for codes longer than 64 bits (multi-word support).
+
+The paper evaluates 32- and 64-bit codes, but richer hashes (e.g.
+128-bit GIST signatures) are common; the pattern algebra and all tree
+indexes operate on Python ints of any width, and the vectorized scan
+paths switch to a multi-word kernel.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import (
+    CodeSet,
+    batch_hamming_wide,
+    pack_codes_wide,
+)
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.select import INDEX_FAMILIES, hamming_select
+from repro.data.synthetic import random_codes
+
+WIDE_LENGTH = 128
+
+
+@pytest.fixture(scope="module")
+def wide_codeset() -> CodeSet:
+    return CodeSet(
+        random_codes(800, WIDE_LENGTH, seed=31), WIDE_LENGTH
+    )
+
+
+def _oracle(codeset: CodeSet, query: int, threshold: int) -> list[int]:
+    return sorted(
+        i
+        for i, code in enumerate(codeset.codes)
+        if (code ^ query).bit_count() <= threshold
+    )
+
+
+class TestWidePacking:
+    def test_pack_and_distances(self):
+        codes = [0, (1 << 100) | 1, (1 << 128) - 1]
+        packed = pack_codes_wide(codes, 128)
+        assert packed.shape == (3, 2)
+        distances = batch_hamming_wide(packed, 0)
+        assert distances.tolist() == [0, 2, 128]
+
+    def test_wide_matches_scalar(self, wide_codeset):
+        rng = random.Random(4)
+        query = rng.getrandbits(WIDE_LENGTH)
+        distances = batch_hamming_wide(wide_codeset.packed_wide(), query)
+        expected = [
+            (code ^ query).bit_count() for code in wide_codeset.codes
+        ]
+        assert distances.tolist() == expected
+
+    def test_codeset_packed_wide_boundary_lengths(self):
+        for length in (63, 64, 65, 127, 129):
+            codeset = CodeSet(random_codes(10, length, seed=1), length)
+            packed = codeset.packed_wide()
+            assert packed.shape == (10, (length + 63) // 64)
+
+
+class TestWideSelect:
+    def test_hamming_select_on_wide_codeset(self, wide_codeset):
+        query = wide_codeset[5]
+        got = sorted(hamming_select(query, wide_codeset, 40))
+        assert got == _oracle(wide_codeset, query, 40)
+
+    @pytest.mark.parametrize("family", sorted(INDEX_FAMILIES))
+    def test_every_family_handles_wide_codes(self, family, wide_codeset):
+        index = INDEX_FAMILIES[family](wide_codeset)
+        rng = random.Random(9)
+        query = rng.getrandbits(WIDE_LENGTH)
+        for threshold in (30, 50):
+            got = sorted(index.search(query, threshold))
+            assert got == _oracle(wide_codeset, query, threshold), family
+
+    def test_wide_dha_maintenance(self, wide_codeset):
+        index = DynamicHAIndex.build(wide_codeset)
+        index.check_invariants()
+        code = wide_codeset[0]
+        index.delete(code, 0)
+        assert 0 not in index.search(code, 0)
+        index.insert(code, 0)
+        assert 0 in index.search(code, 0)
+
+    def test_wide_dha_pickle(self, wide_codeset):
+        import pickle
+
+        index = DynamicHAIndex.build(wide_codeset)
+        clone = pickle.loads(pickle.dumps(index))
+        query = wide_codeset[3]
+        assert sorted(clone.search(query, 45)) == sorted(
+            index.search(query, 45)
+        )

@@ -1,0 +1,131 @@
+"""Tests for query workload generators and index verification."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.index_base import HammingIndex, IndexStats
+from repro.core.validation import verify_all_families, verify_index
+from repro.data.synthetic import random_codes
+from repro.data.workloads import (
+    member_queries,
+    mixed_workload,
+    near_miss_queries,
+    novel_queries,
+    zipf_queries,
+)
+
+
+@pytest.fixture
+def codes() -> CodeSet:
+    return CodeSet(random_codes(400, 20, seed=81), 20)
+
+
+class TestWorkloads:
+    def test_member_queries_come_from_dataset(self, codes):
+        pool = set(codes.codes)
+        for query in member_queries(codes, 50, seed=1):
+            assert query in pool
+
+    def test_zipf_queries_are_skewed(self, codes):
+        counts = Counter(zipf_queries(codes, 500, seed=2))
+        frequencies = sorted(counts.values(), reverse=True)
+        # The hottest query dominates the coldest by a wide margin.
+        assert frequencies[0] >= 5 * frequencies[-1]
+
+    def test_near_miss_distance_bound(self, codes):
+        pool = list(codes.codes)
+        for query in near_miss_queries(codes, 40, flips=2, seed=3):
+            best = min((query ^ code).bit_count() for code in pool)
+            assert best <= 2
+
+    def test_near_miss_zero_flips_is_member(self, codes):
+        pool = set(codes.codes)
+        for query in near_miss_queries(codes, 10, flips=0, seed=4):
+            assert query in pool
+
+    def test_novel_queries_fit_length(self):
+        for query in novel_queries(16, 30, seed=5):
+            assert 0 <= query < (1 << 16)
+
+    def test_mixed_workload_size_and_membership(self, codes):
+        queries = mixed_workload(codes, 60, seed=6)
+        assert len(queries) == 60
+        assert all(0 <= q < (1 << codes.length) for q in queries)
+
+    def test_parameter_validation(self, codes):
+        with pytest.raises(InvalidParameterError):
+            member_queries(codes, 0)
+        with pytest.raises(InvalidParameterError):
+            near_miss_queries(codes, 5, flips=99)
+        with pytest.raises(InvalidParameterError):
+            zipf_queries(codes, 5, exponent=0)
+        with pytest.raises(InvalidParameterError):
+            novel_queries(0, 5)
+        with pytest.raises(InvalidParameterError):
+            mixed_workload(codes, 5, shares=[("member", 0.0)])
+        with pytest.raises(InvalidParameterError):
+            mixed_workload(codes, 5, shares=[("bogus", 1.0)])
+
+
+class _BrokenIndex(HammingIndex):
+    """An index that silently drops one result — must be caught."""
+
+    def __init__(self, codes: CodeSet) -> None:
+        super().__init__(codes.length)
+        self._codes = codes
+        self._size = len(codes)
+
+    def search(self, query, threshold):
+        full = [
+            tuple_id
+            for code, tuple_id in zip(self._codes.codes, self._codes.ids)
+            if (code ^ query).bit_count() <= threshold
+        ]
+        return full[:-1] if len(full) > 1 else full
+
+    def insert(self, code, tuple_id):
+        raise NotImplementedError
+
+    def delete(self, code, tuple_id):
+        raise NotImplementedError
+
+    def stats(self):
+        return IndexStats(0, 0, 0, 0)
+
+
+class TestVerification:
+    def test_correct_index_passes(self, codes):
+        index = DynamicHAIndex.build(codes)
+        report = verify_index(index, codes, num_queries=10)
+        assert report.queries_checked == 10
+        assert report.total_matches > 0
+        assert "verified 10 queries" in str(report)
+
+    def test_broken_index_caught(self, codes):
+        broken = _BrokenIndex(codes)
+        with pytest.raises(IndexStateError, match="diverged"):
+            verify_index(broken, codes, thresholds=(20,))
+
+    def test_length_mismatch_rejected(self, codes):
+        index = DynamicHAIndex.build(CodeSet([1], 8))
+        with pytest.raises(IndexStateError, match="8-bit"):
+            verify_index(index, codes)
+
+    def test_wide_codes_verified(self):
+        wide = CodeSet(random_codes(100, 96, seed=82), 96)
+        index = DynamicHAIndex.build(wide)
+        report = verify_index(index, wide, thresholds=(0, 30))
+        assert report.queries_checked == 20
+
+    def test_all_families(self, codes):
+        reports = verify_all_families(codes, num_queries=4)
+        assert len(reports) == 7
+        assert all(
+            report.queries_checked == 4 for report in reports.values()
+        )
