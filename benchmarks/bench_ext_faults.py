@@ -1,0 +1,159 @@
+"""Extension: fault-injection overhead and speculative-execution speedup.
+
+Two questions the paper's reliability story raises but never measures:
+
+1. What does task-level chaos *cost*?  The distributed self-join runs
+   under seeded crash probabilities {0, 0.05, 0.2}; re-executed attempts
+   and exponential backoff are charged to the simulated wall clock, so
+   the overhead column is the price of MapReduce's "simply re-execute"
+   fault tolerance.  The result set is asserted identical in every cell
+   (fault transparency).
+
+2. What does speculative execution *buy*?  A straggler-skewed cluster
+   (one worker slowed 10x) runs a map-heavy workload with speculation
+   off vs. on; backup attempts on healthy survivors cut the wave's
+   critical path.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import record, render_table, scaled
+from repro.data.synthetic import nuswide_like
+from repro.distributed.hamming_join import mapreduce_hamming_join
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.counters import (
+    BACKOFF_SECONDS,
+    TASK_RETRIES,
+    TASK_SPECULATIVE,
+)
+from repro.mapreduce.faults import ChaosPolicy, FaultPlan
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import MapReduceRuntime
+
+CRASH_PROBS = [0.0, 0.05, 0.2]
+NUM_WORKERS = 8
+THRESHOLD = 3
+NUM_BITS = 16
+
+
+def _workload():
+    dataset = nuswide_like(scaled(500), seed=11)
+    return list(zip(range(len(dataset)), dataset.vectors))
+
+
+def _join_under_chaos(records, crash_prob: float):
+    plan = None
+    if crash_prob > 0:
+        plan = FaultPlan(ChaosPolicy(seed=7, crash_prob=crash_prob))
+    runtime = MapReduceRuntime(
+        Cluster(NUM_WORKERS), fault_plan=plan, max_task_attempts=6
+    )
+    report = mapreduce_hamming_join(
+        runtime, records, records, threshold=THRESHOLD,
+        num_bits=NUM_BITS, option="A", sample_size=200,
+        exclude_self_pairs=True,
+    )
+    return report, runtime.cluster.counters
+
+
+def _straggler_run(speculation: bool):
+    """A map-heavy wave on a cluster whose worker 0 is slowed 10x."""
+    policy = ChaosPolicy(seed=3, straggler_factor=10.0, slow_workers=(0,))
+    runtime = MapReduceRuntime(
+        Cluster(NUM_WORKERS),
+        fault_plan=FaultPlan(policy),
+        speculative_execution=speculation,
+    )
+
+    def burn_mapper(key, value, context):
+        total = 0
+        for i in range(20_000):
+            total += i * i
+        yield key % NUM_WORKERS, total
+
+    def reducer(key, values, context):
+        yield key, sum(values)
+
+    tasks = scaled(64)
+    result = runtime.run(
+        MapReduceJob(name="straggled", mapper=burn_mapper, reducer=reducer),
+        [(i, i) for i in range(tasks)],
+        num_splits=tasks,
+    )
+    return result, runtime.cluster.counters
+
+
+def test_crash_overhead_report(benchmark):
+    """Chaos costs time, never answers."""
+
+    def run() -> str:
+        records = _workload()
+        rows = []
+        baseline_pairs = None
+        baseline_seconds = None
+        for crash_prob in CRASH_PROBS:
+            report, counters = _join_under_chaos(records, crash_prob)
+            if baseline_pairs is None:
+                baseline_pairs = report.pairs
+                baseline_seconds = report.total_seconds
+            assert report.pairs == baseline_pairs, "fault transparency broken"
+            overhead = report.total_seconds / baseline_seconds - 1.0
+            rows.append([
+                f"{crash_prob:.2f}",
+                report.total_seconds,
+                f"{overhead * 100:+.1f}%",
+                counters.get(TASK_RETRIES),
+                round(counters.get(BACKOFF_SECONDS), 2),
+                len(report.pairs),
+            ])
+        return render_table(
+            "Fault overhead: distributed self-join under injected "
+            f"task crashes ({NUM_WORKERS} workers, h={THRESHOLD})",
+            ["crash prob", "modelled s", "overhead", "retries",
+             "backoff s", "pairs"],
+            rows,
+            note=(
+                "Identical result set in every row (fault transparency); "
+                "re-executed attempts plus exponential backoff are the "
+                "price of MapReduce's re-execution fault tolerance."
+            ),
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ext_faults", table)
+
+
+def test_speculation_speedup_report(benchmark):
+    """A backup attempt on a healthy worker beats a 10x straggler."""
+
+    def run() -> str:
+        off_result, _ = _straggler_run(speculation=False)
+        on_result, on_counters = _straggler_run(speculation=True)
+        assert sorted(on_result.output) == sorted(off_result.output)
+        assert on_result.simulated_seconds < off_result.simulated_seconds, (
+            "speculation should cut the straggler-stretched wall clock"
+        )
+        speedup = off_result.simulated_seconds / on_result.simulated_seconds
+        rows = [
+            ["off", off_result.simulated_seconds, 0, "1.00x"],
+            [
+                "on",
+                on_result.simulated_seconds,
+                on_counters.get(TASK_SPECULATIVE),
+                f"{speedup:.2f}x",
+            ],
+        ]
+        return render_table(
+            "Speculative execution on a straggler-skewed cluster "
+            f"(worker 0 slowed 10x, {NUM_WORKERS} workers)",
+            ["speculation", "modelled s", "backups", "speedup"],
+            rows,
+            note=(
+                "First finisher wins; the loser's time until the kill is "
+                "still charged, so the speedup is bounded by the "
+                "straggler's share of the critical path."
+            ),
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ext_faults_speculation", table)

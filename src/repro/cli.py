@@ -99,6 +99,33 @@ def build_parser() -> argparse.ArgumentParser:
     mrjoin.add_argument(
         "--option", choices=["A", "B", "auto"], default="auto"
     )
+    chaos = mrjoin.add_argument_group(
+        "chaos", "deterministic fault injection for the simulated cluster"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the injected fault sequence (default 0)",
+    )
+    chaos.add_argument(
+        "--crash-prob", type=float, default=0.0,
+        help="per-attempt task crash probability (default 0)",
+    )
+    chaos.add_argument(
+        "--straggler-factor", type=float, default=1.0,
+        help="slowdown multiplier for straggler attempts (default 1)",
+    )
+    chaos.add_argument(
+        "--straggler-prob", type=float, default=0.0,
+        help="probability a (task, worker) pairing straggles (default 0)",
+    )
+    chaos.add_argument(
+        "--worker-death-prob", type=float, default=0.0,
+        help="per-attempt permanent worker death probability (default 0)",
+    )
+    chaos.add_argument(
+        "--no-speculation", action="store_true",
+        help="disable speculative execution of straggler tasks",
+    )
 
     verify = commands.add_parser(
         "verify", help="cross-check every index family against a scan"
@@ -202,11 +229,31 @@ def _command_verify(args: argparse.Namespace) -> int:
 def _command_mrjoin(args: argparse.Namespace) -> int:
     from repro.distributed.hamming_join import mapreduce_hamming_join
     from repro.mapreduce.cluster import Cluster
+    from repro.mapreduce.counters import (
+        BACKOFF_SECONDS,
+        TASK_RETRIES,
+        TASK_SPECULATIVE,
+        WORKERS_BLACKLISTED,
+        WORKERS_LOST,
+    )
+    from repro.mapreduce.faults import ChaosPolicy, FaultPlan
     from repro.mapreduce.runtime import MapReduceRuntime
 
     dataset, _ = _encoded_workload(args)
     records = list(zip(range(len(dataset)), dataset.vectors))
-    runtime = MapReduceRuntime(Cluster(args.workers))
+    policy = ChaosPolicy(
+        seed=args.chaos_seed,
+        crash_prob=args.crash_prob,
+        straggler_prob=args.straggler_prob,
+        straggler_factor=args.straggler_factor,
+        worker_death_prob=args.worker_death_prob,
+    )
+    cluster = Cluster(args.workers)
+    runtime = MapReduceRuntime(
+        cluster,
+        fault_plan=FaultPlan(policy) if policy.enabled else None,
+        speculative_execution=not args.no_speculation,
+    )
     report = mapreduce_hamming_join(
         runtime, records, records, args.threshold,
         num_bits=args.bits, option=args.option, exclude_self_pairs=True,
@@ -220,6 +267,13 @@ def _command_mrjoin(args: argparse.Namespace) -> int:
           f"build {report.build_seconds:.2f}, "
           f"join {report.join_seconds:.2f})")
     print(f"  partition sizes: {report.partition_sizes}")
+    if policy.enabled:
+        counters = cluster.counters
+        print(f"  fault tolerance: {counters.get(TASK_RETRIES)} retries, "
+              f"{counters.get(TASK_SPECULATIVE)} speculative attempts, "
+              f"{counters.get(WORKERS_LOST)} workers lost, "
+              f"{counters.get(WORKERS_BLACKLISTED)} blacklisted, "
+              f"{counters.get(BACKOFF_SECONDS):.2f} s backoff")
     return 0
 
 

@@ -38,3 +38,16 @@ class JobConfigurationError(ReproError):
 
 class JobExecutionError(ReproError):
     """A MapReduce task kept failing past the retry budget."""
+
+
+class WorkerLostError(JobExecutionError):
+    """A simulated worker died (or none are left to schedule tasks on).
+
+    Subclasses :class:`JobExecutionError` so callers treating any job
+    abort uniformly keep working; catch this type specifically to react
+    to cluster shrinkage rather than task-level failures.
+    """
+
+
+class CheckpointError(ReproError):
+    """A pipeline checkpoint could not be persisted or read back."""

@@ -20,6 +20,12 @@ from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.errors import IndexStateError
 from repro.distributed.pivots import partition_of
 from repro.hashing.base import SimilarityHash
+from repro.mapreduce.checkpoint import (
+    STAGE_INDEX_BUILD,
+    CheckpointStore,
+    fingerprint_records,
+)
+from repro.mapreduce.counters import CHECKPOINT_RESTORES, Counters
 from repro.mapreduce.job import MapReduceJob, TaskContext
 from repro.mapreduce.partitioner import RangePartitioner
 from repro.mapreduce.runtime import JobResult, MapReduceRuntime
@@ -37,6 +43,7 @@ class GlobalIndexResult:
     index: DynamicHAIndex
     job: JobResult
     partition_sizes: list[int]
+    restored: bool = False
 
 
 def _encode_partition_mapper(
@@ -72,6 +79,7 @@ def build_global_index(
     records: list[tuple[int, np.ndarray]],
     window: int = 8,
     max_depth: int = 6,
+    checkpoints: CheckpointStore | None = None,
 ) -> GlobalIndexResult:
     """Run the build job and merge the local indexes.
 
@@ -79,8 +87,41 @@ def build_global_index(
     hash function and the Gray-range partitioner must already be in the
     cluster's distributed cache under :data:`CACHE_HASH` and
     :data:`CACHE_PIVOTS` (the preprocessing phase puts them there).
+
+    With a :class:`CheckpointStore`, a completed build is persisted
+    keyed by a fingerprint of the records and every build parameter; a
+    re-run of the same pipeline (e.g. after the downstream join job
+    aborted) restores the merged index instead of re-running the job,
+    counted under ``checkpoint.restores``.
     """
     partitioner: RangePartitioner = runtime.cluster.cached(CACHE_PIVOTS)
+    fingerprint = None
+    if checkpoints is not None:
+        hasher: SimilarityHash = runtime.cluster.cached(CACHE_HASH)
+        fingerprint = fingerprint_records(
+            records,
+            STAGE_INDEX_BUILD,
+            window,
+            max_depth,
+            partitioner.num_partitions,
+            partitioner.pivots,
+            hasher.num_bits,
+        )
+        restored = checkpoints.restore(STAGE_INDEX_BUILD, fingerprint)
+        if restored is not None:
+            merged, sizes = restored
+            stub_counters = Counters()
+            stub_counters.add(CHECKPOINT_RESTORES)
+            runtime.cluster.counters.merge(stub_counters)
+            stub = JobResult(
+                "ha-index-build@checkpoint", [], stub_counters
+            )
+            return GlobalIndexResult(
+                index=merged,
+                job=stub,
+                partition_sizes=sizes,
+                restored=True,
+            )
     job = MapReduceJob(
         name="ha-index-build",
         mapper=_encode_partition_mapper,
@@ -96,4 +137,6 @@ def build_global_index(
     local_indexes = list(locals_by_partition.values())
     merged = DynamicHAIndex.merge(local_indexes)
     sizes = [len(index) for index in local_indexes]
+    if checkpoints is not None and fingerprint is not None:
+        checkpoints.save(STAGE_INDEX_BUILD, fingerprint, (merged, sizes))
     return GlobalIndexResult(index=merged, job=result, partition_sizes=sizes)

@@ -28,6 +28,7 @@ from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.errors import InvalidParameterError
 from repro.distributed.hamming_join import Record, preprocess
+from repro.mapreduce.checkpoint import CheckpointStore
 from repro.distributed.pivots import partition_of
 from repro.hashing.base import SimilarityHash
 from repro.mapreduce.job import MapReduceJob, TaskContext
@@ -94,12 +95,17 @@ def mapreduce_hamming_select(
     window: int = 8,
     max_depth: int = 6,
     seed: int = 0,
+    checkpoints: CheckpointStore | None = None,
 ) -> HammingSelectReport:
     """Answer a batch of ``h-select`` queries against ``records``.
 
     ``query_vectors`` are (query id, vector) pairs hashed with the same
     learned function as the dataset.  Returns, per query id, the ids of
     all records whose code lies within ``threshold``.
+
+    With a :class:`CheckpointStore`, the preprocessing output (learned
+    hash + pivots) persists across invocations, so re-running the batch
+    after a mid-pipeline abort skips re-learning the hash.
     """
     if threshold < 0:
         raise InvalidParameterError("threshold must be non-negative")
@@ -112,6 +118,7 @@ def mapreduce_hamming_select(
     hasher, _ = preprocess(
         runtime, records, query_vectors,
         num_bits=num_bits, sample_size=sample_size, seed=seed,
+        checkpoints=checkpoints,
     )
     query_matrix = np.asarray([vector for _, vector in query_vectors])
     query_codes = hasher.encode(query_matrix)

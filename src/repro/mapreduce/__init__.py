@@ -1,14 +1,28 @@
 """An in-process MapReduce runtime with honest shuffle metering."""
 
+from repro.mapreduce.checkpoint import (
+    STAGE_INDEX_BUILD,
+    STAGE_PREPROCESS,
+    CheckpointStore,
+    fingerprint_parts,
+    fingerprint_records,
+)
 from repro.mapreduce.cluster import DEFAULT_NUM_WORKERS, Cluster
 from repro.mapreduce.counters import (
+    BACKOFF_SECONDS,
     BROADCAST_BYTES,
+    CHECKPOINT_RESTORES,
     MAP_INPUT_RECORDS,
     REDUCE_OUTPUT_RECORDS,
     SHUFFLE_BYTES,
     SHUFFLE_RECORDS,
+    TASK_RETRIES,
+    TASK_SPECULATIVE,
+    WORKERS_BLACKLISTED,
+    WORKERS_LOST,
     Counters,
 )
+from repro.mapreduce.faults import ChaosPolicy, FaultPlan, hash_unit
 from repro.mapreduce.hashjoin import mapreduce_hash_join
 from repro.mapreduce.job import MapReduceJob, TaskContext
 from repro.mapreduce.partitioner import RangePartitioner, hash_partitioner
@@ -18,12 +32,26 @@ from repro.mapreduce.types import InputSplit, make_splits, record_bytes
 __all__ = [
     "DEFAULT_NUM_WORKERS",
     "Cluster",
+    "BACKOFF_SECONDS",
     "BROADCAST_BYTES",
+    "CHECKPOINT_RESTORES",
     "MAP_INPUT_RECORDS",
     "REDUCE_OUTPUT_RECORDS",
     "SHUFFLE_BYTES",
     "SHUFFLE_RECORDS",
+    "TASK_RETRIES",
+    "TASK_SPECULATIVE",
+    "WORKERS_BLACKLISTED",
+    "WORKERS_LOST",
     "Counters",
+    "ChaosPolicy",
+    "FaultPlan",
+    "hash_unit",
+    "CheckpointStore",
+    "STAGE_INDEX_BUILD",
+    "STAGE_PREPROCESS",
+    "fingerprint_parts",
+    "fingerprint_records",
     "mapreduce_hash_join",
     "MapReduceJob",
     "TaskContext",

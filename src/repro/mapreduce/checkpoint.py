@@ -1,0 +1,153 @@
+"""Job-chain checkpointing for the distributed pipelines.
+
+The paper's pipelines are job *chains*: preprocessing feeds the
+HA-Index-build job, whose merged output the join job broadcasts
+(Figure 5).  A mid-pipeline abort — a job exhausting its attempt budget
+under real or injected faults — previously forced the whole chain to
+restart from scratch.  A :class:`CheckpointStore` persists each
+completed stage keyed by a fingerprint of its exact inputs, so a re-run
+of the same pipeline resumes from the last completed stage instead:
+the join job restarts from the persisted index-build output, and
+preprocessing (sampled hash + pivots) is never re-learned.
+
+Fingerprints cover the stage's input records *and* every parameter that
+shapes its output, so a checkpoint is only ever reused for a bit-for-bit
+identical stage — stale entries are ignored, never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.errors import CheckpointError
+
+#: Stage name of the persisted global HA-Index build output.
+STAGE_INDEX_BUILD = "ha-index-build"
+#: Stage name of the persisted preprocessing output (hash + pivots).
+STAGE_PREPROCESS = "preprocess"
+
+
+def fingerprint_parts(*parts: object) -> str:
+    """Hex fingerprint of a parameter tuple."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def fingerprint_records(
+    records: Iterable[tuple[Any, Any]], *parts: object
+) -> str:
+    """Hex fingerprint of (id, vector) records plus stage parameters.
+
+    Hashing is linear in the data (ids and raw vector bytes), so
+    checking whether a checkpoint applies is far cheaper than re-running
+    the stage it replaces.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    for key, vector in records:
+        digest.update(repr(key).encode())
+        digest.update(np.ascontiguousarray(vector).tobytes())
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Keyed store of completed pipeline-stage outputs.
+
+    In-memory by default; pass ``path`` to also persist each stage as a
+    pickle under that directory so recovery works across processes.
+    ``restore`` returns ``None`` for a missing or stale (fingerprint
+    mismatch) entry; corrupt on-disk entries raise
+    :class:`~repro.core.errors.CheckpointError`.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._memory: dict[str, tuple[str, Any]] = {}
+        self._path = Path(path) if path is not None else None
+        if self._path is not None:
+            self._path.mkdir(parents=True, exist_ok=True)
+
+    def _file(self, stage: str) -> Path:
+        assert self._path is not None
+        safe = stage.replace("/", "_").replace("\\", "_")
+        return self._path / f"{safe}.ckpt"
+
+    def save(self, stage: str, fingerprint: str, value: Any) -> None:
+        """Record ``value`` as the output of ``stage`` for these inputs."""
+        self._memory[stage] = (fingerprint, value)
+        if self._path is None:
+            return
+        try:
+            blob = pickle.dumps(
+                (fingerprint, value), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._file(stage).write_bytes(blob)
+        except (OSError, pickle.PicklingError) as error:
+            raise CheckpointError(
+                f"cannot persist checkpoint {stage!r}: {error}"
+            ) from error
+
+    def restore(self, stage: str, fingerprint: str) -> Any | None:
+        """Return the persisted output of ``stage``, or ``None``.
+
+        ``None`` means missing or recorded for different inputs — the
+        caller re-runs the stage either way.
+        """
+        entry = self._memory.get(stage)
+        if entry is None and self._path is not None:
+            file = self._file(stage)
+            if file.exists():
+                try:
+                    entry = pickle.loads(file.read_bytes())
+                except Exception as error:  # noqa: BLE001 - any unpickle fault
+                    raise CheckpointError(
+                        f"corrupt checkpoint {stage!r} at {file}: {error}"
+                    ) from error
+                if (
+                    not isinstance(entry, tuple)
+                    or len(entry) != 2
+                    or not isinstance(entry[0], str)
+                ):
+                    raise CheckpointError(
+                        f"corrupt checkpoint {stage!r} at {file}: "
+                        "unexpected payload shape"
+                    )
+                self._memory[stage] = entry
+        if entry is None:
+            return None
+        saved_fingerprint, value = entry
+        if saved_fingerprint != fingerprint:
+            return None
+        return value
+
+    def has(self, stage: str, fingerprint: str) -> bool:
+        try:
+            return self.restore(stage, fingerprint) is not None
+        except CheckpointError:
+            return False
+
+    def discard(self, stage: str) -> None:
+        """Drop one stage's checkpoint (memory and disk)."""
+        self._memory.pop(stage, None)
+        if self._path is not None:
+            self._file(stage).unlink(missing_ok=True)
+
+    def clear(self) -> None:
+        for stage in list(self._memory):
+            self.discard(stage)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = f", path={str(self._path)!r}" if self._path else ""
+        return f"CheckpointStore(stages={sorted(self._memory)}{where})"

@@ -42,6 +42,7 @@ class Cluster:
         self._num_workers = num_workers
         self._bandwidth = bandwidth_bytes_per_second
         self._cache: dict[str, Any] = {}
+        self._pending_broadcast_bytes = 0
         self.counters = Counters()
 
     @property
@@ -59,12 +60,21 @@ class Cluster:
     def broadcast(self, name: str, obj: Any) -> None:
         """Place ``obj`` in the distributed cache of every worker.
 
-        The serialized size is charged once per worker.
+        The serialized size is charged once per worker, both to the
+        byte counters and to the pending-transfer pool that the next job
+        run folds into its simulated wall clock (broadcasting the whole
+        index — Option A, Section 5.4 — is not free in time).
         """
         self._cache[name] = obj
-        self.counters.add(
-            BROADCAST_BYTES, object_bytes(obj) * self._num_workers
-        )
+        charged = object_bytes(obj) * self._num_workers
+        self.counters.add(BROADCAST_BYTES, charged)
+        self._pending_broadcast_bytes += charged
+
+    def take_pending_broadcast_bytes(self) -> int:
+        """Drain broadcast bytes not yet charged to any job's wall clock."""
+        pending = self._pending_broadcast_bytes
+        self._pending_broadcast_bytes = 0
+        return pending
 
     def cached(self, name: str) -> Any:
         """Fetch a broadcast object by name; raises if absent."""

@@ -21,27 +21,42 @@ BROADCAST_BYTES = "broadcast.bytes"
 MAP_INPUT_RECORDS = "map.input.records"
 #: Records produced by all reduce tasks.
 REDUCE_OUTPUT_RECORDS = "reduce.output.records"
-#: Task attempts that failed and were retried.
+#: Task attempts that failed and were retried (re-executions only; the
+#: final failure of an aborting task is not a retry).
 TASK_RETRIES = "task.retries"
+#: Speculative (backup) attempts launched for straggler tasks.
+TASK_SPECULATIVE = "task.speculative"
+#: Simulated seconds spent in retry backoff, charged to the wall clock.
+BACKOFF_SECONDS = "task.backoff.seconds"
+#: Workers removed from scheduling after repeated task failures.
+WORKERS_BLACKLISTED = "worker.blacklisted"
+#: Workers permanently lost to injected crashes.
+WORKERS_LOST = "worker.lost"
+#: Pipeline stages restored from a checkpoint instead of re-run.
+CHECKPOINT_RESTORES = "checkpoint.restores"
 
 
 class Counters:
-    """A named-counter map with merge support."""
+    """A named-counter map with merge support.
+
+    Values are integers for record/byte counts; time-valued counters
+    (:data:`BACKOFF_SECONDS`) accumulate floats.
+    """
 
     def __init__(self) -> None:
-        self._values: dict[str, int] = defaultdict(int)
+        self._values: dict[str, int | float] = defaultdict(int)
 
-    def add(self, name: str, amount: int = 1) -> None:
+    def add(self, name: str, amount: int | float = 1) -> None:
         self._values[name] += amount
 
-    def get(self, name: str) -> int:
+    def get(self, name: str) -> int | float:
         return self._values.get(name, 0)
 
     def merge(self, other: "Counters") -> None:
         for name, value in other._values.items():
             self._values[name] += value
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float]:
         return dict(self._values)
 
     def __repr__(self) -> str:

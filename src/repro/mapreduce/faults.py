@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the simulated MapReduce cluster.
+
+MapReduce is "a reliable distributed computing model" (Section 1)
+because failed tasks are simply re-executed; to *prove* that the
+distributed pipelines are fault-transparent (same results under chaos as
+fault-free) the runtime needs a way to inject failures on demand.  This
+module provides it:
+
+* :class:`ChaosPolicy` — a declarative, seeded fault model: per-attempt
+  crash probability, permanent worker death, straggler slowdown factors
+  (random or pinned to specific slow workers) and transient
+  distributed-cache fetch failures.
+* :class:`FaultPlan` — the oracle the runtime consults on every task
+  attempt.  Every decision is a pure function of the policy seed and the
+  attempt coordinates ``(job, kind, task, attempt, worker)``, so a chaos
+  run is exactly reproducible regardless of scheduling order, and two
+  runs with the same seed inject the identical fault sequence.
+
+The injected faults only ever discard or slow down *attempts*; because
+map/reduce attempts are side-effect free, the job output is provably
+identical to a fault-free run (asserted in ``tests/test_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidParameterError
+
+
+def hash_unit(seed: int, *parts: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from ``seed`` and ``parts``.
+
+    Used instead of a stateful RNG so every fault decision depends only
+    on *what* is being decided, never on how many decisions came before.
+    """
+    payload = ":".join([str(seed), *map(str, parts)]).encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Declarative fault model for a simulated cluster run.
+
+    Attributes:
+        seed: base seed; two plans with equal seeds and probabilities
+            inject the identical fault sequence.
+        crash_prob: probability that any single task attempt crashes
+            after doing its work (the attempt's time is charged, its
+            output discarded, and the task retried with backoff).
+        worker_death_prob: probability, evaluated per attempt, that the
+            attempt's worker dies *permanently*; the task is rescheduled
+            onto a survivor without consuming its attempt budget.
+        straggler_prob: probability that a given (task, worker) pairing
+            runs slowed by ``straggler_factor``.
+        straggler_factor: simulated-time multiplier for straggler
+            attempts (>= 1); also applied to every attempt placed on a
+            worker listed in ``slow_workers``.
+        broadcast_failure_prob: probability that one distributed-cache
+            fetch inside an attempt fails transiently (the attempt fails
+            and is retried).
+        slow_workers: workers that are *always* slowed by
+            ``straggler_factor`` — the classic degraded-node scenario
+            speculative execution exists for.
+        crash_jobs: job names whose every attempt crashes — a targeted
+            chaos switch used to force mid-pipeline aborts in tests.
+    """
+
+    seed: int = 0
+    crash_prob: float = 0.0
+    worker_death_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 1.0
+    broadcast_failure_prob: float = 0.0
+    slow_workers: tuple[int, ...] = ()
+    crash_jobs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_prob",
+            "worker_death_prob",
+            "straggler_prob",
+            "broadcast_failure_prob",
+        ):
+            probability = getattr(self, name)
+            if not 0.0 <= probability <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be within [0, 1], got {probability}"
+                )
+        if self.straggler_factor < 1.0:
+            raise InvalidParameterError(
+                "straggler_factor must be >= 1 (a slowdown multiplier)"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this policy can inject any fault at all."""
+        return bool(
+            self.crash_prob
+            or self.worker_death_prob
+            or self.broadcast_failure_prob
+            or self.crash_jobs
+            or (
+                self.straggler_factor > 1.0
+                and (self.straggler_prob or self.slow_workers)
+            )
+        )
+
+
+class FaultPlan:
+    """Seeded oracle the runtime consults on every task attempt."""
+
+    def __init__(self, policy: ChaosPolicy) -> None:
+        self.policy = policy
+
+    def crashes(self, job: str, kind: str, task_id: int, attempt: int) -> bool:
+        """Does this attempt crash after doing its work?"""
+        if job in self.policy.crash_jobs:
+            return True
+        probability = self.policy.crash_prob
+        if probability <= 0.0:
+            return False
+        return (
+            hash_unit(self.policy.seed, "crash", job, kind, task_id, attempt)
+            < probability
+        )
+
+    def worker_dies(
+        self, job: str, kind: str, task_id: int, attempt: int, worker: int
+    ) -> bool:
+        """Does the attempt's worker die permanently during this attempt?"""
+        probability = self.policy.worker_death_prob
+        if probability <= 0.0:
+            return False
+        return (
+            hash_unit(
+                self.policy.seed, "death", job, kind, task_id, attempt, worker
+            )
+            < probability
+        )
+
+    def straggler_multiplier(
+        self, job: str, kind: str, task_id: int, worker: int
+    ) -> float:
+        """Simulated-time multiplier for this (task, worker) pairing."""
+        if self.policy.straggler_factor <= 1.0:
+            return 1.0
+        if worker in self.policy.slow_workers:
+            return self.policy.straggler_factor
+        probability = self.policy.straggler_prob
+        if probability > 0.0 and (
+            hash_unit(self.policy.seed, "straggler", job, kind, task_id, worker)
+            < probability
+        ):
+            return self.policy.straggler_factor
+        return 1.0
+
+    def broadcast_fetch_fails(
+        self, job: str, kind: str, task_id: int, attempt: int, name: str
+    ) -> bool:
+        """Does this attempt's fetch of cache object ``name`` fail?"""
+        probability = self.policy.broadcast_failure_prob
+        if probability <= 0.0:
+            return False
+        return (
+            hash_unit(
+                self.policy.seed, "fetch", job, kind, task_id, attempt, name
+            )
+            < probability
+        )

@@ -7,8 +7,9 @@ time, while keeping the bookkeeping a physical cluster would produce:
   counters (``Counters.SHUFFLE_BYTES``) — nothing is modelled here, the
   records really are the shuffle payload;
 * every task's CPU time is measured with ``perf_counter`` and attributed
-  to the worker the task is scheduled on (map tasks round-robin over
-  input splits, reduce tasks over partitions);
+  to the worker the task is scheduled on (tasks round-robin over the
+  *live* workers — the wave shrinks when workers die or are
+  blacklisted);
 * the *simulated wall clock* of a phase is the maximum over workers of
   the sum of their task times — the "slowest mapper or reducer determines
   the job running time" observation that motivates the paper's load
@@ -18,24 +19,54 @@ Shapes are therefore preserved faithfully: a skewed partitioning shows up
 as one overloaded worker stretching the simulated wall clock, and a heavy
 broadcast shows up in the shuffle counters, exactly the two effects
 Figures 7 and 9 measure.
+
+Robustness mechanisms (Hadoop-style, all charged to simulated time):
+
+* **retries with exponential backoff + jitter** — a failed attempt is
+  re-executed after a deterministic backoff delay that doubles per
+  failure (``task.backoff.seconds``);
+* **worker blacklisting** — a worker accumulating repeated task failures
+  stops receiving work; its tasks reschedule onto survivors
+  (``worker.blacklisted``);
+* **permanent worker death** — an injected node loss removes the worker
+  for the rest of the runtime's life and reschedules the task without
+  consuming its attempt budget (``worker.lost``);
+* **speculative execution** — a task running past
+  ``speculation_threshold`` × the median task time gets a backup attempt
+  on the least-loaded survivor; the first finisher wins and the loser's
+  time until the kill is still charged (``task.speculative``).
+
+Fault *injection* is driven by a :class:`~repro.mapreduce.faults.FaultPlan`;
+with no plan installed the scheduler degrades to the plain round-robin
+wave model.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from statistics import median
+from typing import Any, Callable, Iterable
 
-from repro.core.errors import JobConfigurationError, JobExecutionError
+from repro.core.errors import (
+    JobConfigurationError,
+    JobExecutionError,
+    WorkerLostError,
+)
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import (
+    BACKOFF_SECONDS,
     MAP_INPUT_RECORDS,
     REDUCE_OUTPUT_RECORDS,
     SHUFFLE_BYTES,
     SHUFFLE_RECORDS,
     TASK_RETRIES,
+    TASK_SPECULATIVE,
+    WORKERS_BLACKLISTED,
+    WORKERS_LOST,
     Counters,
 )
+from repro.mapreduce.faults import FaultPlan, hash_unit
 from repro.mapreduce.job import MapReduceJob, TaskContext
 from repro.mapreduce.types import InputSplit, KeyValue, make_splits, record_bytes
 
@@ -43,6 +74,24 @@ from repro.mapreduce.types import InputSplit, KeyValue, make_splits, record_byte
 #: Hadoop jobs pay scheduling/JVM costs that an in-process simulator
 #: would otherwise hide entirely.
 JOB_OVERHEAD_SECONDS = 0.02
+
+#: Default task retry budget, mirroring Hadoop's
+#: ``mapreduce.map.maxattempts`` of 4 attempts total.
+DEFAULT_MAX_TASK_ATTEMPTS = 4
+
+#: First-retry backoff in simulated seconds; doubles per failure.
+DEFAULT_BACKOFF_BASE_SECONDS = 0.1
+
+#: Failures on one worker before it is blacklisted (Hadoop's
+#: ``mapreduce.job.maxtaskfailures.per.tracker`` spirit).
+DEFAULT_BLACKLIST_FAILURES = 3
+
+#: A task is a straggler once it exceeds this multiple of the median
+#: completed-task time; a backup attempt is then launched.
+DEFAULT_SPECULATION_THRESHOLD = 2.0
+
+#: Completed tasks needed before the median is trusted for speculation.
+DEFAULT_SPECULATION_MIN_TASKS = 3
 
 
 @dataclass
@@ -57,16 +106,20 @@ class JobResult:
     map_wall_seconds: float = 0.0
     reduce_wall_seconds: float = 0.0
     shuffle_transfer_seconds: float = 0.0
+    broadcast_transfer_seconds: float = 0.0
 
     @property
     def simulated_seconds(self) -> float:
         """Modelled cluster wall clock for the whole job.
 
-        Overhead + map wave + shuffle transfer (metered bytes over the
-        cluster's modelled bandwidth) + reduce wave.
+        Overhead + pending broadcast transfer (objects placed in the
+        distributed cache since the previous job) + map wave + shuffle
+        transfer (metered bytes over the cluster's modelled bandwidth) +
+        reduce wave.
         """
         return (
             JOB_OVERHEAD_SECONDS
+            + self.broadcast_transfer_seconds
             + self.map_wall_seconds
             + self.shuffle_transfer_seconds
             + self.reduce_wall_seconds
@@ -85,9 +138,10 @@ def _wall_clock(task_seconds: list[float], num_workers: int) -> float:
     return max(loads, default=0.0)
 
 
-#: Default task retry budget, mirroring Hadoop's
-#: ``mapreduce.map.maxattempts`` of 4 attempts total.
-DEFAULT_MAX_TASK_ATTEMPTS = 4
+#: A phase task body: takes the distributed-cache lookup for this
+#: attempt, returns (payload, context).  Must be side-effect free so a
+#: failed attempt leaves nothing behind — MapReduce's re-execution model.
+_TaskRunner = Callable[[Callable[[str], Any]], tuple[Any, TaskContext]]
 
 
 class MapReduceRuntime:
@@ -99,39 +153,80 @@ class MapReduceRuntime:
     ``max_task_attempts`` aborts the job with
     :class:`~repro.core.errors.JobExecutionError`, like a Hadoop job
     exceeding its attempt budget.
+
+    An optional :class:`~repro.mapreduce.faults.FaultPlan` injects
+    deterministic chaos — crashes, permanent worker deaths, stragglers,
+    transient broadcast-fetch failures — which the scheduler absorbs
+    through backoff, blacklisting, rescheduling and speculative
+    execution.  Worker deaths and blacklistings persist across the jobs
+    of one runtime, shrinking the effective wave width of a pipeline's
+    later jobs exactly as on a real cluster.
     """
 
     def __init__(
         self,
         cluster: Cluster,
         max_task_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
+        fault_plan: FaultPlan | None = None,
+        speculative_execution: bool = True,
+        speculation_threshold: float = DEFAULT_SPECULATION_THRESHOLD,
+        speculation_min_tasks: int = DEFAULT_SPECULATION_MIN_TASKS,
+        backoff_base_seconds: float = DEFAULT_BACKOFF_BASE_SECONDS,
+        blacklist_failures: int = DEFAULT_BLACKLIST_FAILURES,
     ) -> None:
         if max_task_attempts < 1:
             raise JobConfigurationError(
                 "max_task_attempts must be positive"
             )
+        if speculation_threshold <= 1.0:
+            raise JobConfigurationError(
+                "speculation_threshold must exceed 1"
+            )
+        if blacklist_failures < 1:
+            raise JobConfigurationError(
+                "blacklist_failures must be positive"
+            )
+        if backoff_base_seconds < 0:
+            raise JobConfigurationError(
+                "backoff_base_seconds must be non-negative"
+            )
         self._cluster = cluster
         self._max_attempts = max_task_attempts
+        self._plan = fault_plan
+        self._speculation = speculative_execution
+        self._spec_threshold = speculation_threshold
+        self._spec_min_tasks = speculation_min_tasks
+        self._backoff_base = backoff_base_seconds
+        self._blacklist_after = blacklist_failures
+        self._lost_workers: set[int] = set()
+        self._blacklisted_workers: set[int] = set()
+        self._worker_failures: dict[int, int] = {}
 
     @property
     def cluster(self) -> Cluster:
         return self._cluster
 
-    def _attempt_task(
-        self, job_name: str, kind: str, task, counters: Counters
-    ):
-        """Run a task callable with retries; returns its result."""
-        failures = []
-        for attempt in range(self._max_attempts):
-            try:
-                return task()
-            except Exception as error:  # noqa: BLE001 - task code is user code
-                failures.append(error)
-                counters.add(TASK_RETRIES)
-        raise JobExecutionError(
-            f"{kind} task of job {job_name!r} failed "
-            f"{self._max_attempts} times; last error: {failures[-1]!r}"
-        ) from failures[-1]
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self._plan
+
+    @property
+    def lost_workers(self) -> frozenset[int]:
+        """Workers permanently dead for the rest of this runtime's life."""
+        return frozenset(self._lost_workers)
+
+    @property
+    def blacklisted_workers(self) -> frozenset[int]:
+        """Workers no longer scheduled after repeated task failures."""
+        return frozenset(self._blacklisted_workers)
+
+    def _live_workers(self) -> list[int]:
+        unavailable = self._lost_workers | self._blacklisted_workers
+        return [
+            worker
+            for worker in range(self._cluster.num_workers)
+            if worker not in unavailable
+        ]
 
     def run(
         self,
@@ -143,34 +238,56 @@ class MapReduceRuntime:
 
         ``inputs`` may be raw records (split automatically, one split per
         worker unless ``num_splits`` says otherwise) or prebuilt splits.
+        Counters are merged into the cluster's even when the job aborts,
+        so a failed run still reports its retries and faults.
         """
         splits = self._as_splits(inputs, num_splits)
         num_reducers = job.num_reducers or self._cluster.num_workers
         counters = Counters()
         result = JobResult(job.name, [], counters)
-
-        partitions: list[list[KeyValue]] = [[] for _ in range(num_reducers)]
-        for split in splits:
-            elapsed = self._run_map_task(
-                job, split, partitions, num_reducers, counters
-            )
-            result.map_task_seconds.append(elapsed)
-
-        for partition in partitions:
-            elapsed = self._run_reduce_task(
-                job, partition, result.output, counters
-            )
-            result.reduce_task_seconds.append(elapsed)
-
-        workers = self._cluster.num_workers
-        result.map_wall_seconds = _wall_clock(result.map_task_seconds, workers)
-        result.reduce_wall_seconds = _wall_clock(
-            result.reduce_task_seconds, workers
+        result.broadcast_transfer_seconds = self._cluster.transfer_seconds(
+            self._cluster.take_pending_broadcast_bytes()
         )
-        result.shuffle_transfer_seconds = self._cluster.transfer_seconds(
-            counters.get(SHUFFLE_BYTES)
-        )
-        self._cluster.counters.merge(counters)
+
+        try:
+            partitions: list[list[KeyValue]] = [
+                [] for _ in range(num_reducers)
+            ]
+            map_runners = [self._map_runner(job, split) for split in splits]
+            map_payloads, result.map_task_seconds, result.map_wall_seconds = (
+                self._execute_phase(job, "map", map_runners, counters)
+            )
+            for split, (emitted, context) in zip(splits, map_payloads):
+                counters.add(MAP_INPUT_RECORDS, len(split))
+                for record in emitted:
+                    counters.add(SHUFFLE_RECORDS)
+                    counters.add(SHUFFLE_BYTES, record_bytes(record))
+                    partitions[
+                        job.partitioner(record[0], num_reducers)
+                    ].append(record)
+                counters.merge(context.counters)
+
+            reduce_runners = [
+                self._reduce_runner(job, partition) for partition in partitions
+            ]
+            (
+                reduce_payloads,
+                result.reduce_task_seconds,
+                result.reduce_wall_seconds,
+            ) = self._execute_phase(job, "reduce", reduce_runners, counters)
+            for produced, context in reduce_payloads:
+                counters.add(REDUCE_OUTPUT_RECORDS, len(produced))
+                result.output.extend(produced)
+                counters.merge(context.counters)
+
+            result.shuffle_transfer_seconds = self._cluster.transfer_seconds(
+                counters.get(SHUFFLE_BYTES)
+            )
+        finally:
+            # Even an aborted job surfaces its counters (retries, lost
+            # workers, backoff) on the cluster, like a failed Hadoop
+            # job's history file.
+            self._cluster.counters.merge(counters)
         return result
 
     def _as_splits(
@@ -190,39 +307,33 @@ class MapReduceRuntime:
             num_splits or self._cluster.num_workers,
         )
 
-    def _run_map_task(
-        self,
-        job: MapReduceJob,
-        split: InputSplit,
-        partitions: list[list[KeyValue]],
-        num_reducers: int,
-        counters: Counters,
-    ) -> float:
-        def attempt() -> tuple[list[KeyValue], TaskContext, float]:
-            context = TaskContext(self._cluster.cached)
-            started = time.perf_counter()
+    def _map_runner(self, job: MapReduceJob, split: InputSplit) -> _TaskRunner:
+        def runner(
+            cache_lookup: Callable[[str], Any]
+        ) -> tuple[Any, TaskContext]:
+            context = TaskContext(cache_lookup)
             emitted: list[KeyValue] = []
             for key, value in split:
                 emitted.extend(job.mapper(key, value, context))
             if job.combiner is not None:
                 emitted = self._combine(job, emitted, context)
-            return emitted, context, time.perf_counter() - started
+            return emitted, context
 
-        # The attempt is side-effect free (emits into a local list), so a
-        # failed try leaves no partial records behind — the re-execution
-        # fault-tolerance model of MapReduce.
-        emitted, context, elapsed = self._attempt_task(
-            job.name, "map", attempt, counters
-        )
-        counters.add(MAP_INPUT_RECORDS, len(split))
-        for record in emitted:
-            counters.add(SHUFFLE_RECORDS)
-            counters.add(SHUFFLE_BYTES, record_bytes(record))
-            partitions[job.partitioner(record[0], num_reducers)].append(
-                record
-            )
-        counters.merge(context.counters)
-        return elapsed
+        return runner
+
+    def _reduce_runner(
+        self, job: MapReduceJob, partition: list[KeyValue]
+    ) -> _TaskRunner:
+        def runner(
+            cache_lookup: Callable[[str], Any]
+        ) -> tuple[Any, TaskContext]:
+            context = TaskContext(cache_lookup)
+            produced: list[KeyValue] = []
+            for key, values in _group_by_key(partition):
+                produced.extend(job.reducer(key, values, context))
+            return produced, context
+
+        return runner
 
     def _combine(
         self, job: MapReduceJob, emitted: list[KeyValue], context: TaskContext
@@ -234,28 +345,236 @@ class MapReduceRuntime:
             combined.extend(job.combiner(key, values, context))
         return combined
 
-    def _run_reduce_task(
+    # ------------------------------------------------------------------
+    # Phase scheduling
+    # ------------------------------------------------------------------
+
+    def _execute_phase(
         self,
         job: MapReduceJob,
-        partition: list[KeyValue],
-        output: list[KeyValue],
+        kind: str,
+        runners: list[_TaskRunner],
+        counters: Counters,
+    ) -> tuple[list[Any], list[float], float]:
+        """Run one wave of tasks; returns (payloads, task times, wall).
+
+        Placement is round-robin over the live workers, so with a full
+        cluster and no faults the schedule equals the classic
+        ``_wall_clock`` round-robin model exactly.
+        """
+        if not self._live_workers():
+            raise WorkerLostError(
+                f"no live workers left to run {kind} tasks of "
+                f"job {job.name!r}"
+            )
+        loads = {worker: 0.0 for worker in range(self._cluster.num_workers)}
+        payloads: list[Any] = []
+        task_seconds: list[float] = []
+        for task_id, runner in enumerate(runners):
+            payload, charge = self._execute_task(
+                job, kind, task_id, runner, counters, loads, task_seconds
+            )
+            payloads.append(payload)
+            task_seconds.append(charge)
+        wall = max(loads.values(), default=0.0)
+        return payloads, task_seconds, wall
+
+    def _execute_task(
+        self,
+        job: MapReduceJob,
+        kind: str,
+        task_id: int,
+        runner: _TaskRunner,
+        counters: Counters,
+        loads: dict[int, float],
+        completed: list[float],
+    ) -> tuple[Any, float]:
+        """Drive one task to success (or abort), with every robustness
+        mechanism engaged: retries, backoff, blacklisting, rescheduling
+        off dead workers, and speculative execution on success."""
+        live = self._live_workers()
+        worker = live[task_id % len(live)]
+        failures = 0
+        while True:
+            multiplier = (
+                self._plan.straggler_multiplier(job.name, kind, task_id, worker)
+                if self._plan is not None
+                else 1.0
+            )
+            lookup = self._attempt_cache_lookup(
+                job.name, kind, task_id, failures
+            )
+            started = time.perf_counter()
+            error: Exception | None = None
+            payload: Any = None
+            try:
+                payload = runner(lookup)
+            except Exception as exc:  # noqa: BLE001 - task code is user code
+                error = exc
+            base_elapsed = time.perf_counter() - started
+            elapsed = base_elapsed * multiplier
+
+            if error is None and self._plan is not None:
+                if self._plan.worker_dies(
+                    job.name, kind, task_id, failures, worker
+                ):
+                    # The node is gone: charge its partial work, shrink
+                    # the cluster, reschedule without burning an attempt
+                    # (Hadoop re-runs tasks of lost trackers as "killed",
+                    # not "failed").
+                    loads[worker] += elapsed
+                    self._lose_worker(worker, counters)
+                    live = self._live_workers()
+                    if not live:
+                        raise WorkerLostError(
+                            f"every worker died running {kind} tasks of "
+                            f"job {job.name!r}"
+                        )
+                    worker = min(live, key=lambda w: loads[w])
+                    continue
+                if self._plan.crashes(job.name, kind, task_id, failures):
+                    error = WorkerLostError(
+                        f"injected crash of {kind} task {task_id} "
+                        f"(attempt {failures})"
+                    )
+
+            if error is None:
+                return payload, self._commit_task(
+                    job,
+                    kind,
+                    task_id,
+                    worker,
+                    base_elapsed,
+                    elapsed,
+                    loads,
+                    completed,
+                    counters,
+                )
+
+            # Failed attempt: charge its time, maybe blacklist, retry
+            # with exponential backoff or abort past the budget.
+            loads[worker] += elapsed
+            failures += 1
+            self._record_worker_failure(worker, counters)
+            if failures >= self._max_attempts:
+                raise JobExecutionError(
+                    f"{kind} task of job {job.name!r} failed "
+                    f"{self._max_attempts} times; last error: {error!r}"
+                ) from error
+            counters.add(TASK_RETRIES)
+            backoff = self._backoff_seconds(job.name, kind, task_id, failures)
+            if backoff > 0.0:
+                counters.add(BACKOFF_SECONDS, backoff)
+            live = self._live_workers()
+            if worker not in live:
+                worker = min(live, key=lambda w: loads[w])
+            loads[worker] += backoff
+
+    def _commit_task(
+        self,
+        job: MapReduceJob,
+        kind: str,
+        task_id: int,
+        worker: int,
+        base_elapsed: float,
+        charge: float,
+        loads: dict[int, float],
+        completed: list[float],
         counters: Counters,
     ) -> float:
-        def attempt() -> tuple[list[KeyValue], TaskContext, float]:
-            context = TaskContext(self._cluster.cached)
-            started = time.perf_counter()
-            produced: list[KeyValue] = []
-            for key, values in _group_by_key(partition):
-                produced.extend(job.reducer(key, values, context))
-            return produced, context, time.perf_counter() - started
+        """Account a successful attempt, speculating if it straggled.
 
-        produced, context, elapsed = self._attempt_task(
-            job.name, "reduce", attempt, counters
-        )
-        counters.add(REDUCE_OUTPUT_RECORDS, len(produced))
-        output.extend(produced)
-        counters.merge(context.counters)
-        return elapsed
+        A backup attempt launches once the task exceeds the straggler
+        threshold relative to the median completed-task time; the first
+        finisher wins and the loser is killed at commit, its time until
+        the kill still charged to its worker.
+        """
+        live = self._live_workers()
+        if (
+            self._speculation
+            and len(live) > 1
+            and len(completed) >= self._spec_min_tasks
+        ):
+            typical = median(completed)
+            if typical > 0.0 and charge > self._spec_threshold * typical:
+                detect = self._spec_threshold * typical
+                backup_worker = min(
+                    (w for w in live if w != worker), key=lambda w: loads[w]
+                )
+                backup_multiplier = (
+                    self._plan.straggler_multiplier(
+                        job.name, kind, task_id, backup_worker
+                    )
+                    if self._plan is not None
+                    else 1.0
+                )
+                backup_charge = base_elapsed * backup_multiplier
+                counters.add(TASK_SPECULATIVE)
+                if detect + backup_charge < charge:
+                    # Backup wins; the original is killed at commit time.
+                    winner = detect + backup_charge
+                    loads[worker] += winner
+                    loads[backup_worker] += backup_charge
+                    return winner
+                # Original wins; the backup ran from detection until the
+                # commit and that time is wasted but still charged.
+                loads[worker] += charge
+                loads[backup_worker] += min(
+                    backup_charge, max(0.0, charge - detect)
+                )
+                return charge
+        loads[worker] += charge
+        return charge
+
+    def _attempt_cache_lookup(
+        self, job_name: str, kind: str, task_id: int, attempt: int
+    ) -> Callable[[str], Any]:
+        """Distributed-cache lookup for one attempt, with injected
+        transient fetch failures when the fault plan says so."""
+        if (
+            self._plan is None
+            or self._plan.policy.broadcast_failure_prob <= 0.0
+        ):
+            return self._cluster.cached
+
+        plan = self._plan
+
+        def lookup(name: str) -> Any:
+            if plan.broadcast_fetch_fails(
+                job_name, kind, task_id, attempt, name
+            ):
+                raise WorkerLostError(
+                    f"transient broadcast fetch failure for {name!r} "
+                    f"({kind} task {task_id}, attempt {attempt})"
+                )
+            return self._cluster.cached(name)
+
+        return lookup
+
+    def _backoff_seconds(
+        self, job_name: str, kind: str, task_id: int, failures: int
+    ) -> float:
+        """Exponential backoff with deterministic jitter in [0.5x, 1.5x]."""
+        if self._backoff_base <= 0.0:
+            return 0.0
+        seed = self._plan.policy.seed if self._plan is not None else 0
+        jitter = hash_unit(seed, "backoff", job_name, kind, task_id, failures)
+        return self._backoff_base * (2.0 ** (failures - 1)) * (0.5 + jitter)
+
+    def _record_worker_failure(self, worker: int, counters: Counters) -> None:
+        self._worker_failures[worker] = self._worker_failures.get(worker, 0) + 1
+        if (
+            worker not in self._blacklisted_workers
+            and self._worker_failures[worker] >= self._blacklist_after
+            and len(self._live_workers()) > 1
+        ):
+            self._blacklisted_workers.add(worker)
+            counters.add(WORKERS_BLACKLISTED)
+
+    def _lose_worker(self, worker: int, counters: Counters) -> None:
+        if worker not in self._lost_workers:
+            self._lost_workers.add(worker)
+            counters.add(WORKERS_LOST)
 
 
 def _group_by_key(records: list[KeyValue]) -> list[tuple[Any, list[Any]]]:

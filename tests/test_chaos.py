@@ -1,0 +1,319 @@
+"""Chaos tests: fault transparency, speculation, checkpointed recovery.
+
+The paper leans on MapReduce being "a reliable distributed computing
+model" (Section 1): failed tasks are re-executed and the job's output is
+unaffected.  These tests *prove* that invariant for the distributed
+pipelines — seeded chaos runs (crashes, worker deaths, stragglers,
+broadcast-fetch failures) must return exactly the fault-free result set,
+with no lost or duplicated pairs — and exercise speculative execution
+and the job-chain checkpoint recovery path end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CheckpointError, JobExecutionError
+from repro.data.synthetic import nuswide_like
+from repro.distributed.hamming_join import mapreduce_hamming_join
+from repro.distributed.hamming_select import mapreduce_hamming_select
+from repro.mapreduce.checkpoint import (
+    STAGE_INDEX_BUILD,
+    CheckpointStore,
+    fingerprint_parts,
+)
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.counters import (
+    CHECKPOINT_RESTORES,
+    TASK_RETRIES,
+    TASK_SPECULATIVE,
+)
+from repro.mapreduce.faults import ChaosPolicy, FaultPlan, hash_unit
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def _records(n: int, seed: int = 7):
+    dataset = nuswide_like(n, seed=seed)
+    return list(zip(range(len(dataset)), dataset.vectors))
+
+
+def _chaos_runtime(workers: int, policy: ChaosPolicy) -> MapReduceRuntime:
+    # A roomier attempt budget keeps deterministic unlucky streaks from
+    # aborting the run; transparency, not availability, is under test.
+    return MapReduceRuntime(
+        Cluster(workers), fault_plan=FaultPlan(policy), max_task_attempts=6
+    )
+
+
+class TestHashUnit:
+    def test_deterministic_and_uniformish(self):
+        draws = [hash_unit(1, "x", i) for i in range(200)]
+        assert draws == [hash_unit(1, "x", i) for i in range(200)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        assert 0.3 < sum(draws) / len(draws) < 0.7
+
+    def test_seed_changes_draws(self):
+        assert hash_unit(1, "x") != hash_unit(2, "x")
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_probability(self):
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ChaosPolicy(crash_prob=1.5)
+
+    def test_rejects_speedup_factor(self):
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ChaosPolicy(straggler_factor=0.5)
+
+    def test_enabled_flag(self):
+        assert not ChaosPolicy().enabled
+        assert ChaosPolicy(crash_prob=0.1).enabled
+        assert ChaosPolicy(
+            straggler_factor=4.0, slow_workers=(0,)
+        ).enabled
+        # A factor with nothing selecting stragglers injects no fault.
+        assert not ChaosPolicy(straggler_factor=4.0).enabled
+
+
+class TestFaultTransparency:
+    """Seeded chaos must not change any pipeline's result set."""
+
+    @pytest.mark.parametrize("chaos_seed", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "threshold,workers", [(2, 2), (3, 5)]
+    )
+    def test_join_identical_under_chaos(self, chaos_seed, threshold, workers):
+        records = _records(130)
+        calm = MapReduceRuntime(Cluster(workers))
+        baseline = mapreduce_hamming_join(
+            calm, records, records, threshold=threshold, num_bits=16,
+            option="A", sample_size=90, exclude_self_pairs=True,
+        )
+        policy = ChaosPolicy(
+            seed=chaos_seed,
+            crash_prob=0.15,
+            straggler_prob=0.2,
+            straggler_factor=4.0,
+            broadcast_failure_prob=0.1,
+            worker_death_prob=0.01,
+        )
+        chaotic = _chaos_runtime(workers, policy)
+        stormy = mapreduce_hamming_join(
+            chaotic, records, records, threshold=threshold, num_bits=16,
+            option="A", sample_size=90, exclude_self_pairs=True,
+        )
+        assert sorted(stormy.pairs) == sorted(baseline.pairs)
+
+    @pytest.mark.parametrize("chaos_seed", [11, 12])
+    def test_join_option_b_identical_under_chaos(self, chaos_seed):
+        records = _records(120)
+        calm = MapReduceRuntime(Cluster(3))
+        baseline = mapreduce_hamming_join(
+            calm, records, records, threshold=3, num_bits=16,
+            option="B", sample_size=90, exclude_self_pairs=True,
+        )
+        policy = ChaosPolicy(
+            seed=chaos_seed, crash_prob=0.2, broadcast_failure_prob=0.1
+        )
+        stormy = mapreduce_hamming_join(
+            _chaos_runtime(3, policy), records, records, threshold=3,
+            num_bits=16, option="B", sample_size=90,
+            exclude_self_pairs=True,
+        )
+        assert sorted(stormy.pairs) == sorted(baseline.pairs)
+
+    @pytest.mark.parametrize("chaos_seed", [4, 5, 6])
+    @pytest.mark.parametrize(
+        "threshold,workers", [(2, 2), (3, 4)]
+    )
+    def test_select_identical_under_chaos(self, chaos_seed, threshold, workers):
+        records = _records(140)
+        queries = [(900 + i, vector) for i, (_, vector) in
+                   enumerate(records[:12])]
+        calm = MapReduceRuntime(Cluster(workers))
+        baseline = mapreduce_hamming_select(
+            calm, records, queries, threshold=threshold,
+            num_bits=16, sample_size=90,
+        )
+        policy = ChaosPolicy(
+            seed=chaos_seed,
+            crash_prob=0.15,
+            straggler_prob=0.25,
+            straggler_factor=3.0,
+            broadcast_failure_prob=0.1,
+        )
+        stormy = mapreduce_hamming_select(
+            _chaos_runtime(workers, policy), records, queries,
+            threshold=threshold, num_bits=16, sample_size=90,
+        )
+        assert stormy.matches == baseline.matches
+
+    def test_chaos_actually_injected(self):
+        """The transparency results above must not be vacuous."""
+        records = _records(130)
+        policy = ChaosPolicy(seed=1, crash_prob=0.15)
+        runtime = _chaos_runtime(4, policy)
+        mapreduce_hamming_join(
+            runtime, records, records, threshold=2, num_bits=16,
+            option="A", sample_size=90, exclude_self_pairs=True,
+        )
+        assert runtime.cluster.counters.get(TASK_RETRIES) > 0
+
+
+class TestSpeculativeExecution:
+    def _straggler_workload(self, speculation: bool):
+        # Worker 0 is pathologically slow; every task landing on it
+        # straggles by 12x.  Many similar-cost tasks give the scheduler
+        # a stable median to detect stragglers against.
+        policy = ChaosPolicy(
+            seed=3, straggler_factor=12.0, slow_workers=(0,)
+        )
+        runtime = MapReduceRuntime(
+            Cluster(4),
+            fault_plan=FaultPlan(policy),
+            speculative_execution=speculation,
+        )
+
+        def mapper(key, value, context):
+            total = 0
+            for i in range(4000):
+                total += i * i
+            yield value % 4, total
+
+        result = runtime.run(
+            MapReduceJob(name="skewed", mapper=mapper),
+            [(i, i) for i in range(32)],
+            num_splits=32,
+        )
+        return result, runtime
+
+    def test_speculation_reduces_wall_clock(self):
+        slow, _ = self._straggler_workload(speculation=False)
+        fast, runtime = self._straggler_workload(speculation=True)
+        assert runtime.cluster.counters.get(TASK_SPECULATIVE) > 0
+        assert fast.map_wall_seconds < slow.map_wall_seconds
+
+    def test_speculation_preserves_output(self):
+        slow, _ = self._straggler_workload(speculation=False)
+        fast, _ = self._straggler_workload(speculation=True)
+        assert sorted(fast.output) == sorted(slow.output)
+
+
+class TestCheckpointStore:
+    def test_restore_requires_matching_fingerprint(self):
+        store = CheckpointStore()
+        store.save("stage", "fp-1", {"x": 1})
+        assert store.restore("stage", "fp-1") == {"x": 1}
+        assert store.restore("stage", "fp-2") is None
+        assert store.restore("other", "fp-1") is None
+
+    def test_disk_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save("stage", "fp", [1, 2, 3])
+        fresh = CheckpointStore(tmp_path / "ckpt")
+        assert fresh.restore("stage", "fp") == [1, 2, 3]
+
+    def test_corrupt_disk_entry_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("stage", "fp", [1])
+        (tmp_path / "stage.ckpt").write_bytes(b"not a pickle")
+        fresh = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            fresh.restore("stage", "fp")
+
+    def test_discard_and_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", "fp", 1)
+        store.save("b", "fp", 2)
+        store.discard("a")
+        assert store.restore("a", "fp") is None
+        store.clear()
+        assert len(store) == 0
+        assert not (tmp_path / "b.ckpt").exists()
+
+    def test_fingerprint_parts_sensitive(self):
+        assert fingerprint_parts(1, "a") != fingerprint_parts(1, "b")
+        assert fingerprint_parts(1, "a") == fingerprint_parts(1, "a")
+
+
+class TestCheckpointedRecovery:
+    """A mid-pipeline abort resumes from the persisted build output."""
+
+    def test_join_resumes_from_index_build(self):
+        records = _records(120)
+        baseline = mapreduce_hamming_join(
+            MapReduceRuntime(Cluster(3)), records, records,
+            threshold=3, num_bits=16, option="A", sample_size=90,
+            exclude_self_pairs=True,
+        )
+
+        store = CheckpointStore()
+        # First run: the join job (phase 3) always crashes and the
+        # pipeline aborts mid-chain — but preprocess and index build
+        # have already checkpointed.
+        doomed_policy = ChaosPolicy(crash_jobs=("hamming-join-A",))
+        doomed = MapReduceRuntime(
+            Cluster(3), fault_plan=FaultPlan(doomed_policy)
+        )
+        with pytest.raises(JobExecutionError):
+            mapreduce_hamming_join(
+                doomed, records, records, threshold=3, num_bits=16,
+                option="A", sample_size=90, exclude_self_pairs=True,
+                checkpoints=store,
+            )
+        # Both stages persisted before the abort.
+        assert len(store) == 2
+
+        # Recovery run: same inputs, fresh healthy cluster — job 1 is
+        # restored from the checkpoint, only the join job re-runs.
+        recovery = MapReduceRuntime(Cluster(3))
+        report = mapreduce_hamming_join(
+            recovery, records, records, threshold=3, num_bits=16,
+            option="A", sample_size=90, exclude_self_pairs=True,
+            checkpoints=store,
+        )
+        assert report.build_restored
+        assert recovery.cluster.counters.get(CHECKPOINT_RESTORES) >= 2
+        assert sorted(report.pairs) == sorted(baseline.pairs)
+
+    def test_checkpoint_ignored_when_inputs_change(self):
+        records = _records(100)
+        store = CheckpointStore()
+        mapreduce_hamming_join(
+            MapReduceRuntime(Cluster(2)), records, records,
+            threshold=2, num_bits=16, option="A", sample_size=80,
+            exclude_self_pairs=True, checkpoints=store,
+        )
+        other = _records(100, seed=99)
+        report = mapreduce_hamming_join(
+            MapReduceRuntime(Cluster(2)), other, other,
+            threshold=2, num_bits=16, option="A", sample_size=80,
+            exclude_self_pairs=True, checkpoints=store,
+        )
+        # Different inputs: the stale checkpoint must not be served.
+        assert not report.build_restored
+
+    def test_select_restores_preprocess(self):
+        records = _records(110)
+        queries = [(500 + i, vector) for i, (_, vector) in
+                   enumerate(records[:6])]
+        store = CheckpointStore()
+        first = mapreduce_hamming_select(
+            MapReduceRuntime(Cluster(3)), records, queries, threshold=2,
+            num_bits=16, sample_size=80, checkpoints=store,
+        )
+        rerun_runtime = MapReduceRuntime(Cluster(3))
+        again = mapreduce_hamming_select(
+            rerun_runtime, records, queries, threshold=2,
+            num_bits=16, sample_size=80, checkpoints=store,
+        )
+        assert rerun_runtime.cluster.counters.get(CHECKPOINT_RESTORES) == 1
+        assert again.matches == first.matches
+        assert store.restore(
+            STAGE_INDEX_BUILD, "anything"
+        ) is None  # select has no build stage

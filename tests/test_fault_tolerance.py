@@ -11,13 +11,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.errors import JobConfigurationError, JobExecutionError
+from repro.core.errors import (
+    JobConfigurationError,
+    JobExecutionError,
+    WorkerLostError,
+)
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import (
+    BACKOFF_SECONDS,
     REDUCE_OUTPUT_RECORDS,
     SHUFFLE_RECORDS,
     TASK_RETRIES,
+    WORKERS_BLACKLISTED,
+    WORKERS_LOST,
 )
+from repro.mapreduce.faults import ChaosPolicy, FaultPlan
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import MapReduceRuntime
 
@@ -69,6 +77,21 @@ class TestMapRetries:
                 MapReduceJob(name="doomed", mapper=mapper), [(0, 1)]
             )
 
+    def test_permanent_failure_counts_reexecutions_only(self):
+        """Regression: a task failing all 4 attempts performed exactly 3
+        re-executions, so ``task.retries`` must read 3, not 4."""
+
+        def mapper(key, value, context):
+            raise RuntimeError("always broken")
+            yield  # pragma: no cover
+
+        cluster = Cluster(1)
+        runtime = MapReduceRuntime(cluster, max_task_attempts=4)
+        with pytest.raises(JobExecutionError):
+            runtime.run(MapReduceJob(name="doomed", mapper=mapper), [(0, 1)])
+        # Counters are merged into the cluster even on abort.
+        assert cluster.counters.get(TASK_RETRIES) == 3
+
     def test_partial_emission_not_leaked(self):
         """A mapper failing midway leaves none of its records behind."""
         flaky = _Flaky(failures=1)
@@ -115,6 +138,94 @@ class TestReduceRetries:
             runtime.run(
                 MapReduceJob(name="doomed", reducer=reducer), [(0, 1)]
             )
+
+
+class TestBackoffAndBlacklist:
+    def test_retries_charge_backoff_to_simulated_time(self):
+        flaky = _Flaky(failures=2)
+
+        def mapper(key, value, context):
+            flaky.trip()
+            yield value, 1
+
+        cluster = Cluster(1)
+        runtime = MapReduceRuntime(cluster, backoff_base_seconds=0.5)
+        result = runtime.run(
+            MapReduceJob(name="backoff", mapper=mapper),
+            [(0, "x")],
+            num_splits=1,
+        )
+        backoff = result.counters.get(BACKOFF_SECONDS)
+        # Two retries: first waits ~0.5 * [0.5, 1.5), second doubles.
+        assert 0.25 * 1 <= backoff <= 0.75 + 1.5
+        assert result.map_wall_seconds >= backoff
+
+    def test_backoff_grows_exponentially_and_deterministically(self):
+        runtime = MapReduceRuntime(Cluster(1), backoff_base_seconds=0.1)
+        first = runtime._backoff_seconds("job", "map", 0, 1)
+        second = runtime._backoff_seconds("job", "map", 0, 2)
+        third = runtime._backoff_seconds("job", "map", 0, 3)
+        # Doubling base dominates the [0.5x, 1.5x) jitter band.
+        assert second > first / 3
+        assert third > second
+        assert first == runtime._backoff_seconds("job", "map", 0, 1)
+
+    def test_repeated_failures_blacklist_worker(self):
+        """A worker accumulating failures stops receiving tasks."""
+        plan = FaultPlan(ChaosPolicy(crash_jobs=("doomed",)))
+        cluster = Cluster(4)
+        runtime = MapReduceRuntime(
+            cluster,
+            fault_plan=plan,
+            max_task_attempts=3,
+            blacklist_failures=2,
+        )
+        with pytest.raises(JobExecutionError):
+            runtime.run(
+                MapReduceJob(name="doomed"), [(i, i) for i in range(8)]
+            )
+        assert len(runtime.blacklisted_workers) >= 1
+        assert cluster.counters.get(WORKERS_BLACKLISTED) >= 1
+
+    def test_blacklist_never_removes_last_worker(self):
+        plan = FaultPlan(ChaosPolicy(crash_jobs=("doomed",)))
+        runtime = MapReduceRuntime(
+            Cluster(1),
+            fault_plan=plan,
+            max_task_attempts=4,
+            blacklist_failures=1,
+        )
+        with pytest.raises(JobExecutionError):
+            runtime.run(MapReduceJob(name="doomed"), [(0, 1)])
+        assert runtime.blacklisted_workers == frozenset()
+
+
+class TestWorkerDeath:
+    def test_dead_workers_shrink_the_wave(self):
+        """Injected permanent deaths reschedule tasks onto survivors."""
+        policy = ChaosPolicy(seed=5, worker_death_prob=0.08)
+        cluster = Cluster(6)
+        runtime = MapReduceRuntime(cluster, fault_plan=FaultPlan(policy))
+
+        def mapper(key, value, context):
+            yield value % 3, 1
+
+        def reducer(key, values, context):
+            yield key, sum(values)
+
+        result = runtime.run(
+            MapReduceJob(name="mortal", mapper=mapper, reducer=reducer),
+            [(i, i) for i in range(24)],
+        )
+        assert dict(result.output) == {0: 8, 1: 8, 2: 8}
+        assert len(runtime.lost_workers) >= 1
+        assert cluster.counters.get(WORKERS_LOST) == len(runtime.lost_workers)
+
+    def test_total_cluster_loss_aborts(self):
+        policy = ChaosPolicy(worker_death_prob=1.0)
+        runtime = MapReduceRuntime(Cluster(2), fault_plan=FaultPlan(policy))
+        with pytest.raises(WorkerLostError):
+            runtime.run(MapReduceJob(name="apocalypse"), [(0, 1)])
 
 
 class TestConfiguration:
