@@ -13,9 +13,7 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
-from repro.core.bitvector import CodeSet
 from repro.core.join import hamming_join
 from repro.core.relational import hamming_distinct, hamming_intersect
 from repro.data.synthetic import nuswide_like

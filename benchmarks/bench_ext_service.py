@@ -1,0 +1,192 @@
+"""Extension bench: the online query service vs. the naive serving loop.
+
+The paper stops at one-shot pipelines; this bench measures what the
+serving layer adds on top of the same Dynamic HA-Index.  Two tables:
+
+* throughput of the naive one-query-at-a-time loop vs. the batched
+  multi-worker service, on a Zipf-skewed stream (search-engine query
+  logs are Zipfian) — the service must win by >= 2x, which it earns
+  through micro-batch dedup and the epoch-keyed result cache, not
+  thread parallelism (the GIL serializes traversal anyway);
+* cache hit rate and in-batch dedup per workload shape, including a
+  churn row where H-Insert/H-Delete pairs bump the epoch mid-stream
+  and force recomputation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.data.workloads import (
+    member_queries,
+    near_miss_queries,
+    zipf_queries,
+)
+from repro.service import HammingQueryService
+
+from benchmarks.harness import (
+    DEFAULT_THRESHOLD,
+    paper_codes,
+    record,
+    render_table,
+    scaled,
+)
+
+WORKLOAD_SIZE = 30_000
+NUM_QUERIES = 2_000
+WORKER_SWEEP = (1, 2, 4)
+CACHE_CAPACITY = 4096
+MAX_BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def served_workload():
+    codes = paper_codes("NUS-WIDE", scaled(WORKLOAD_SIZE))
+    index = DynamicHAIndex.build(codes)
+    queries = zipf_queries(codes, scaled(NUM_QUERIES), seed=2)
+    return codes, index, queries
+
+
+def _naive_qps(index, queries) -> float:
+    started = time.perf_counter()
+    for query in queries:
+        index.search(query, DEFAULT_THRESHOLD)
+    return len(queries) / (time.perf_counter() - started)
+
+
+def _served_qps(index, queries, workers, updates=0, cache=CACHE_CAPACITY):
+    """(queries/s, ServiceStats) of one service run over ``queries``.
+
+    The service reads the shared prebuilt index; runs with ``updates``
+    interleave that many H-Insert/H-Delete pairs, so they snapshot the
+    index first to leave the shared structure untouched.
+    """
+    served_index = index.snapshot() if updates else index
+    service = HammingQueryService(
+        served_index,
+        workers=workers,
+        max_batch=MAX_BATCH,
+        queue_limit=len(queries) + 2 * updates + 8,
+        cache_capacity=cache,
+    )
+    update_every = max(1, len(queries) // (updates + 1)) if updates else 0
+    started = time.perf_counter()
+    with service:
+        tickets = []
+        for position, query in enumerate(queries):
+            tickets.append(
+                service.submit("select", query, DEFAULT_THRESHOLD)
+            )
+            if update_every and position % update_every == 0:
+                service.insert(query, 1_000_000 + position)
+                service.delete(query, 1_000_000 + position)
+        for ticket in tickets:
+            ticket.result()
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+    return len(queries) / elapsed, stats
+
+
+def test_batched_service_beats_naive_loop(benchmark, served_workload):
+    """Acceptance: >= 2x throughput on the Zipf-skewed workload."""
+    codes, index, queries = served_workload
+
+    def run():
+        naive = _naive_qps(index, queries)
+        rows = [["naive loop", f"{naive:,.0f}", "1.00", "-", "-"]]
+        best = 0.0
+        for workers in WORKER_SWEEP:
+            qps, stats = _served_qps(index, queries, workers)
+            best = max(best, qps)
+            rows.append(
+                [
+                    f"service w={workers}",
+                    f"{qps:,.0f}",
+                    f"{qps / naive:.2f}",
+                    f"{stats.cache.hit_rate * 100.0:.1f}%",
+                    f"{stats.mean_batch_size:.1f}",
+                ]
+            )
+        table = render_table(
+            f"Extension: online serving throughput "
+            f"(NUS-WIDE-like, n={len(codes)}, "
+            f"{len(queries)} zipf queries, h={DEFAULT_THRESHOLD})",
+            ["serving path", "queries/s", "speedup", "hit rate", "batch"],
+            rows,
+            note=(
+                "Speedup comes from micro-batch dedup plus the "
+                "epoch-keyed LRU cache; traversal itself is serialized "
+                "(GIL), so worker count mostly affects batching."
+            ),
+        )
+        return naive, best, table
+
+    naive, best, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ext_service_throughput", table)
+    assert best >= 2.0 * naive, (
+        f"batched serving {best:,.0f} q/s must be >= 2x naive "
+        f"{naive:,.0f} q/s"
+    )
+
+
+def test_cache_hit_rate_by_workload(benchmark, served_workload):
+    """Acceptance: > 30% hit rate on the skewed (zipf) workload."""
+    codes, index, _ = served_workload
+    count = scaled(NUM_QUERIES)
+    shapes = {
+        "zipf": zipf_queries(codes, count, seed=5),
+        "member": member_queries(codes, count, seed=6),
+        "near-miss": near_miss_queries(codes, count, seed=7),
+    }
+
+    def run():
+        rows = []
+        rates = {}
+        for shape, queries in shapes.items():
+            qps, stats = _served_qps(index, queries, workers=4)
+            rates[shape] = stats.cache.hit_rate
+            rows.append(
+                [
+                    shape,
+                    f"{qps:,.0f}",
+                    f"{stats.cache.hit_rate * 100.0:.1f}%",
+                    stats.dedup_saved,
+                    stats.executed,
+                ]
+            )
+        # Epoch churn: mutations invalidate the hot set repeatedly.
+        qps, stats = _served_qps(
+            index, shapes["zipf"], workers=4, updates=32
+        )
+        rows.append(
+            [
+                "zipf+updates",
+                f"{qps:,.0f}",
+                f"{stats.cache.hit_rate * 100.0:.1f}%",
+                stats.dedup_saved,
+                stats.executed,
+            ]
+        )
+        table = render_table(
+            f"Extension: cache effectiveness by workload shape "
+            f"(n={len(codes)}, {count} queries, h={DEFAULT_THRESHOLD}, "
+            f"cache {CACHE_CAPACITY})",
+            ["workload", "queries/s", "hit rate", "dedup", "traversals"],
+            rows,
+            note=(
+                "Zipf streams concentrate on a hot set the cache "
+                "absorbs; near-miss streams (unique perturbed codes) "
+                "are the cache's worst case.  The updates row shows "
+                "epoch churn re-priming the cache after mutations."
+            ),
+        )
+        return rates, table
+
+    rates, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ext_service_cache", table)
+    assert rates["zipf"] > 0.30, (
+        f"zipf hit rate {rates['zipf']:.2%} must exceed 30%"
+    )

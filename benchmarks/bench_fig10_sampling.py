@@ -17,9 +17,7 @@ paper's own observation.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.bitvector import CodeSet
 from repro.core.knn import knn_join
 from repro.distributed.hamming_join import mapreduce_hamming_join
 from repro.distributed.pivots import partition_balance

@@ -7,6 +7,7 @@ Commands:
 * ``join``    — centralized Hamming self-join with index comparison.
 * ``knn``     — approximate kNN-select through the HA-Index.
 * ``mrjoin``  — the distributed three-phase join with shuffle stats.
+* ``serve-bench`` — the online query service under a skewed workload.
 * ``info``    — version, registered index families, dataset generators.
 
 Every command prints a small, self-describing report; sizes stay
@@ -127,6 +128,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable speculative execution of straggler tasks",
     )
 
+    serve = commands.add_parser(
+        "serve-bench",
+        help="drive the online query service and print ServiceStats",
+    )
+    add_workload_arguments(serve)
+    serve.add_argument("--threshold", type=int, default=3)
+    serve.add_argument(
+        "--queries", type=int, default=2000,
+        help="queries issued through the service (default 2000)",
+    )
+    serve.add_argument(
+        "--workload", choices=["member", "zipf", "near-miss", "mixed"],
+        default="zipf",
+        help="query stream shape (default zipf: skewed hot codes)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="micro-batch worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=32,
+        help="max queries coalesced per batch (default 32)",
+    )
+    serve.add_argument(
+        "--cache", type=int, default=4096,
+        help="result cache capacity, 0 disables (default 4096)",
+    )
+    serve.add_argument(
+        "--updates", type=int, default=32,
+        help="H-Insert/H-Delete pairs interleaved with the stream "
+             "(default 32; each bumps the epoch)",
+    )
+
     verify = commands.add_parser(
         "verify", help="cross-check every index family against a scan"
     )
@@ -167,6 +201,9 @@ def _command_info() -> int:
     print("dataset generators:")
     for alias, name in sorted(_DATASET_CHOICES.items()):
         print(f"  {alias} -> {name}")
+    print("serving:")
+    print("  HammingQueryService (micro-batching, epoch cache, "
+          "backpressure) -> repro serve-bench")
     return 0
 
 
@@ -277,6 +314,68 @@ def _command_mrjoin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from repro.data.workloads import WORKLOAD_SHAPES, mixed_workload
+    from repro.service import HammingQueryService
+
+    _, codes = _encoded_workload(args)
+    if args.workload == "mixed":
+        queries = mixed_workload(codes, args.queries, seed=args.seed)
+    else:
+        queries = WORKLOAD_SHAPES[args.workload](
+            codes, args.queries, args.seed
+        )
+
+    # Naive baseline: one uncached, unbatched search per query.
+    baseline = DynamicHAIndex.build(codes)
+    started = time.perf_counter()
+    for query in queries:
+        baseline.search(query, args.threshold)
+    naive_seconds = time.perf_counter() - started
+    naive_qps = len(queries) / naive_seconds if naive_seconds else 0.0
+
+    service = HammingQueryService(
+        DynamicHAIndex.build(codes),
+        workers=args.workers,
+        max_batch=args.batch,
+        queue_limit=len(queries) + 2 * args.updates + 8,
+        cache_capacity=args.cache,
+    )
+    update_every = (
+        max(1, len(queries) // (args.updates + 1)) if args.updates else 0
+    )
+    started = time.perf_counter()
+    tickets = []
+    fresh_id = len(codes)
+    with service:
+        for position, query in enumerate(queries):
+            tickets.append(
+                service.submit("select", query, args.threshold)
+            )
+            if update_every and position % update_every == 0:
+                # One H-Insert + H-Delete pair through the live service:
+                # the epoch bumps twice and stale cache entries die.
+                victim = codes[position % len(codes)]
+                service.insert(victim, fresh_id)
+                service.delete(victim, fresh_id)
+                fresh_id += 1
+        for ticket in tickets:
+            ticket.result()
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+    served_qps = len(queries) / elapsed if elapsed else 0.0
+    speedup = served_qps / naive_qps if naive_qps else float("inf")
+    print(f"online serving of {len(queries)} {args.workload} queries "
+          f"over {len(codes)} x {args.bits}-bit codes, "
+          f"h={args.threshold}:")
+    print(f"  naive loop:  {naive_qps:,.0f} queries/s")
+    print(f"  service:     {served_qps:,.0f} queries/s "
+          f"({speedup:.2f}x, {args.workers} workers, "
+          f"batch {args.batch}, cache {args.cache})")
+    print(stats.render())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -292,6 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_knn(args)
     if args.command == "mrjoin":
         return _command_mrjoin(args)
+    if args.command == "serve-bench":
+        return _command_serve_bench(args)
     if args.command == "verify":
         return _command_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")

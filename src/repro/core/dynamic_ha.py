@@ -486,6 +486,7 @@ class DynamicHAIndex(HammingIndex):
             raise IndexStateError(
                 "cannot insert into a leaf-less (keep_ids=False) index"
             )
+        self._note_mutation()
         leaf = self._leaf_by_code.get(code)
         if leaf is not None:
             leaf.ids.append(tuple_id)
@@ -526,12 +527,14 @@ class DynamicHAIndex(HammingIndex):
         if leaf is not None and tuple_id in leaf.ids:
             leaf.ids.remove(tuple_id)
             self._size -= 1
+            self._note_mutation()
             self._decrement_path(leaf, code)
             return
         for position, (buffered_code, buffered_id) in enumerate(self._buffer):
             if buffered_code == code and buffered_id == tuple_id:
                 del self._buffer[position]
                 self._size -= 1
+                self._note_mutation()
                 return
         raise IndexStateError(
             f"tuple {tuple_id} with code {code:#x} not present"
@@ -765,6 +768,8 @@ class DynamicHAIndex(HammingIndex):
 
     def __setstate__(self, state: dict) -> None:
         self._code_length = state["code_length"]
+        self._mutations = 0
+        self.last_search_ops = 0
         self._window = state["window"]
         self._max_depth = state["max_depth"]
         self._rebuild_buffer = state["rebuild_buffer"]

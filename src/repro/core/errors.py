@@ -51,3 +51,28 @@ class WorkerLostError(JobExecutionError):
 
 class CheckpointError(ReproError):
     """A pipeline checkpoint could not be persisted or read back."""
+
+
+class ServiceError(ReproError):
+    """Base class for online query-serving failures (:mod:`repro.service`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a query because the queue is full.
+
+    Carries ``retry_after_seconds`` — the service's estimate of when the
+    backlog will have drained enough to admit the query, so callers can
+    back off instead of hammering a saturated server.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ServiceTimeoutError(ServiceError):
+    """A query missed its deadline before (or while) being executed."""
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was attempted on a stopped query service."""

@@ -15,6 +15,7 @@ front-ends and the benchmark harness can treat them interchangeably:
 
 from __future__ import annotations
 
+import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -73,6 +74,7 @@ class HammingIndex(ABC):
             raise InvalidParameterError("code length must be positive")
         self._code_length = code_length
         self._size = 0
+        self._mutations = 0
         #: Distance computations performed by the most recent search.
         self.last_search_ops = 0
 
@@ -80,6 +82,32 @@ class HammingIndex(ABC):
     def code_length(self) -> int:
         """Bit length of the indexed codes."""
         return self._code_length
+
+    @property
+    def mutation_count(self) -> int:
+        """Structural mutations (inserts/deletes) applied so far.
+
+        The online serving layer (:mod:`repro.service`) derives its cache
+        epoch from this counter; indexes bump it through
+        :meth:`_note_mutation` in their maintenance paths.
+        """
+        return getattr(self, "_mutations", 0)
+
+    def _note_mutation(self) -> None:
+        self._mutations = self.mutation_count + 1
+
+    def snapshot(self) -> "HammingIndex":
+        """A deep, independent copy of the index.
+
+        The serving layer's copy-on-swap refresh path mutates a snapshot
+        offline and atomically swaps it in, so readers never observe a
+        half-rebuilt structure.  The copy is taken through the pickle wire
+        format (compact for :class:`DynamicHAIndex`); its mutation counter
+        restarts at the copied state.
+        """
+        return pickle.loads(
+            pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
     def __len__(self) -> int:
         """Number of indexed tuples."""

@@ -72,6 +72,7 @@ class StaticHAIndex(HammingIndex):
 
     def insert(self, code: int, tuple_id: int) -> None:
         self._check_query(code, 0)
+        self._note_mutation()
         node = self._root
         node.count += 1
         for value in self._segments(code):
@@ -102,6 +103,7 @@ class StaticHAIndex(HammingIndex):
             )
         node.ids.remove(tuple_id)
         self._size -= 1
+        self._note_mutation()
         self._root.count -= 1
         child = node
         for parent, value in reversed(path):

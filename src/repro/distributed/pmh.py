@@ -22,7 +22,6 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.baselines.multi_hash import MultiHashTableIndex
-from repro.core.bitvector import CodeSet
 from repro.distributed.hamming_join import Record, preprocess
 from repro.hashing.base import SimilarityHash
 from repro.mapreduce.job import MapReduceJob, TaskContext

@@ -8,6 +8,7 @@ comparisons need.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -73,6 +74,44 @@ def exact_knn_join(
             (right_ids[i], float(distances[i])) for i in order
         ]
     return result
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1]).
+
+    The serving layer's latency reporting uses nearest-rank (not
+    interpolated) percentiles so p99 is always an actually observed
+    latency.  Raises on an empty sample set or a fraction outside [0, 1].
+    """
+    if not samples:
+        raise InvalidParameterError("percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError("fraction must be in [0, 1]")
+    ordered = sorted(samples)
+    rank = max(1, int(math.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+def latency_summary(samples: Sequence[float]) -> dict[str, float]:
+    """Mean/p50/p95/p99/max of a latency sample set (milliseconds).
+
+    Returns zeros for an empty set so a quiet service still renders a
+    stats block.  Keys: ``count``, ``mean_ms``, ``p50_ms``, ``p95_ms``,
+    ``p99_ms``, ``max_ms``.
+    """
+    if not samples:
+        return {
+            "count": 0.0, "mean_ms": 0.0, "p50_ms": 0.0,
+            "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0,
+        }
+    return {
+        "count": float(len(samples)),
+        "mean_ms": float(sum(samples) / len(samples)),
+        "p50_ms": percentile(samples, 0.50),
+        "p95_ms": percentile(samples, 0.95),
+        "p99_ms": percentile(samples, 0.99),
+        "max_ms": max(samples),
+    }
 
 
 def format_bytes(num_bytes: int) -> str:

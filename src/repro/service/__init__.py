@@ -1,0 +1,48 @@
+"""Online query serving over the HA-Index family.
+
+The paper motivates the Dynamic HA-Index's H-Insert/H-Delete maintenance
+(Algorithm 2) with online workloads; this package is the serving layer
+that story implies: a long-lived, thread-safe query server with
+micro-batching, an epoch-keyed LRU result cache, copy-on-swap index
+refresh, and admission control with explicit backpressure.  See
+``docs/service.md`` for the architecture.
+"""
+
+from repro.core.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+)
+from repro.service.admission import AdmissionQueue
+from repro.service.batching import (
+    MicroBatchScheduler,
+    QueryRequest,
+    QueryTicket,
+)
+from repro.service.cache import MISS, ResultCache
+from repro.service.server import (
+    HammingQueryService,
+    QUERY_KINDS,
+    ServedResult,
+)
+from repro.service.stats import CacheStats, ServiceAccounting, ServiceStats
+
+__all__ = [
+    "AdmissionQueue",
+    "CacheStats",
+    "HammingQueryService",
+    "MISS",
+    "MicroBatchScheduler",
+    "QUERY_KINDS",
+    "QueryRequest",
+    "QueryTicket",
+    "ResultCache",
+    "ServedResult",
+    "ServiceAccounting",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceStats",
+    "ServiceTimeoutError",
+]

@@ -1,0 +1,143 @@
+"""Admission control: a bounded queue with reject-and-retry-after.
+
+Overload must degrade gracefully: instead of letting the backlog (and
+memory) grow without bound, :class:`AdmissionQueue` holds at most
+``capacity`` waiting queries and *rejects* the rest at submission time
+with :class:`~repro.core.errors.ServiceOverloadError`, carrying a
+retry-after estimate derived from the current depth and an exponential
+moving average of recent per-query service time.  Producers therefore
+never block — backpressure is explicit, and a saturated service keeps
+serving at its own pace rather than OOMing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+from repro.core.errors import (
+    InvalidParameterError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+
+T = TypeVar("T")
+
+#: Smoothing factor of the per-query service-time EWMA.
+EWMA_ALPHA = 0.2
+#: Retry-after floor (seconds) so callers always back off a little.
+MIN_RETRY_AFTER = 0.005
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded FIFO between submitters and the micro-batch workers.
+
+    Args:
+        capacity: maximum queries waiting at once.
+        workers_hint: worker-pool size, used to scale the retry-after
+            estimate (a deeper pool drains the backlog faster).
+    """
+
+    def __init__(self, capacity: int, workers_hint: int = 1) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("queue capacity must be positive")
+        if workers_hint < 1:
+            raise InvalidParameterError("workers_hint must be positive")
+        self._capacity = capacity
+        self._workers_hint = workers_hint
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._service_time_ewma = 0.0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    # -- producer side -----------------------------------------------------
+
+    def offer(self, item: T) -> None:
+        """Admit ``item`` or raise; never blocks.
+
+        Raises:
+            ServiceClosedError: the service is shutting down.
+            ServiceOverloadError: the queue is full; carries the
+                retry-after estimate.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("query service is closed")
+            if len(self._items) >= self._capacity:
+                retry_after = self._retry_after_locked()
+                raise ServiceOverloadError(
+                    f"admission queue full ({self._capacity} waiting); "
+                    f"retry in {retry_after:.3f}s",
+                    retry_after_seconds=retry_after,
+                )
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def _retry_after_locked(self) -> float:
+        backlog_seconds = (
+            len(self._items)
+            * self._service_time_ewma
+            / self._workers_hint
+        )
+        return max(MIN_RETRY_AFTER, backlog_seconds)
+
+    def retry_after(self) -> float:
+        """Current backlog-drain estimate in seconds."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def note_service_time(self, seconds_per_query: float) -> None:
+        """Feed the EWMA with an observed per-query service time."""
+        if seconds_per_query < 0:
+            return
+        with self._lock:
+            if self._service_time_ewma == 0.0:
+                self._service_time_ewma = seconds_per_query
+            else:
+                self._service_time_ewma += EWMA_ALPHA * (
+                    seconds_per_query - self._service_time_ewma
+                )
+
+    # -- consumer side -----------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> T | None:
+        """Next item, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout, or immediately once the queue is
+        closed *and* drained — the worker-exit signal.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def take_nowait(self) -> T | None:
+        """Next item if one is immediately available, else ``None``."""
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; queued items remain takeable (drain)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -1,0 +1,172 @@
+"""Micro-batching: tickets, requests, and the worker pool.
+
+Queries arrive one at a time but are *executed* in coalesced batches: a
+worker blocks for the first waiting request, then drains up to
+``max_batch - 1`` more (optionally lingering a few hundred microseconds
+to let a burst accumulate) and hands the whole batch to the server's
+executor.  Batching amortizes the per-traversal overhead — one index
+lock acquisition, one epoch read — and enables in-batch deduplication:
+identical ``(kind, query, param)`` requests share a single traversal,
+which on skewed (Zipfian) workloads eliminates most of the work before
+the cache is even consulted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import InvalidParameterError, ServiceTimeoutError
+from repro.service.admission import AdmissionQueue
+
+#: How long an idle worker waits before re-checking for shutdown.
+_IDLE_POLL_SECONDS = 0.05
+
+
+class QueryTicket:
+    """Handle to an in-flight query; resolved exactly once by a worker."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: object = None
+        self._error: BaseException | None = None
+
+    def resolve(self, value: object) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> object:
+        """The served result; blocks until resolved.
+
+        Raises the server-side failure if the query errored (including
+        :class:`~repro.core.errors.ServiceTimeoutError` for a missed
+        deadline), or ``ServiceTimeoutError`` if the caller-side wait
+        itself exceeds ``timeout``.
+        """
+        if not self._event.wait(timeout=timeout):
+            raise ServiceTimeoutError("timed out waiting for query result")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass(slots=True)
+class QueryRequest:
+    """One admitted query waiting for a worker.
+
+    ``kind`` is ``"select"``, ``"probe"`` or ``"knn"``; ``param`` is the
+    Hamming threshold (select/probe) or ``k`` (knn).  Timestamps are
+    ``time.monotonic()`` values; ``deadline`` of ``None`` means the query
+    never expires server-side.
+    """
+
+    kind: str
+    query: int
+    param: int
+    submitted_at: float
+    deadline: float | None
+    ticket: QueryTicket = field(default_factory=QueryTicket)
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        """Dedup/cache identity (epoch is appended by the server)."""
+        return (self.kind, self.query, self.param)
+
+
+class MicroBatchScheduler:
+    """Worker pool pulling coalesced batches off the admission queue.
+
+    Args:
+        queue: the admission queue feeding the pool.
+        execute_batch: server callback receiving a list of live
+            :class:`QueryRequest` and resolving every ticket.
+        workers: pool size.
+        max_batch: most requests coalesced into one executor call.
+        linger_seconds: after the first request of a batch, how long a
+            worker waits for stragglers before executing a short batch
+            (``0`` drains only what is already queued).
+    """
+
+    def __init__(
+        self,
+        queue: AdmissionQueue[QueryRequest],
+        execute_batch: Callable[[list[QueryRequest]], None],
+        workers: int,
+        max_batch: int,
+        linger_seconds: float = 0.0,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError("need at least one worker")
+        if max_batch < 1:
+            raise InvalidParameterError("max_batch must be positive")
+        if linger_seconds < 0:
+            raise InvalidParameterError("linger_seconds must be >= 0")
+        self._queue = queue
+        self._execute_batch = execute_batch
+        self._workers = workers
+        self._max_batch = max_batch
+        self._linger = linger_seconds
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for slot in range(self._workers):
+            thread = threading.Thread(
+                target=self._run,
+                name=f"repro-serve-{slot}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def join(self) -> None:
+        """Wait for every worker to exit (queue must be closed first)."""
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    # -- worker loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        queue = self._queue
+        while True:
+            first = queue.take(timeout=_IDLE_POLL_SECONDS)
+            if first is None:
+                if queue.closed and queue.depth() == 0:
+                    return
+                continue
+            batch = self._fill_batch(first)
+            try:
+                self._execute_batch(batch)
+            except BaseException as error:  # never kill the worker
+                for request in batch:
+                    if not request.ticket.done():
+                        request.ticket.fail(error)
+
+    def _fill_batch(self, first: QueryRequest) -> list[QueryRequest]:
+        batch = [first]
+        while len(batch) < self._max_batch:
+            item = self._queue.take_nowait()
+            if item is None:
+                if not self._linger:
+                    break
+                item = self._queue.take(timeout=self._linger)
+                if item is None:
+                    break
+            batch.append(item)
+        return batch

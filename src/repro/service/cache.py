@@ -1,0 +1,114 @@
+"""Bounded LRU result cache keyed by (kind, query, param, epoch).
+
+The epoch is the last key element and comes from the service's mutation
+counter, so a cache entry is *implicitly invalidated* by any index
+mutation: the next lookup for the same query carries the new epoch,
+misses, and recomputes, while the stale entry ages out of the LRU order
+(or is swept eagerly by :meth:`ResultCache.purge_stale`).  This is the
+classic epoch-validation scheme serving layers use instead of explicit
+invalidation broadcasts.
+
+Cached values are treated as immutable (the server stores tuples), so a
+single entry can be handed to any number of concurrent readers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.core.errors import InvalidParameterError
+from repro.service.stats import CacheStats
+
+#: Returned by :meth:`ResultCache.get` on a miss, distinguishing a miss
+#: from a cached falsy value (``()``/``False`` are legitimate results).
+MISS = object()
+
+
+class ResultCache:
+    """Thread-safe bounded LRU with per-request hit/miss accounting.
+
+    Args:
+        capacity: maximum entries kept; ``0`` disables caching entirely
+            (every lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise InvalidParameterError("cache capacity must be >= 0")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable, weight: int = 1) -> object:
+        """The cached value, or :data:`MISS`.
+
+        ``weight`` is how many coalesced query requests this lookup
+        answers at once — the micro-batcher deduplicates identical
+        queries before probing, and hit/miss tallies count *requests*
+        so the reported hit rate reflects request traffic.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += weight
+                return self._entries[key]
+            self._misses += weight
+            return MISS
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def purge_stale(self, current_epoch: int) -> int:
+        """Eagerly drop entries from epochs before ``current_epoch``.
+
+        Optional housekeeping: stale entries are already unreachable
+        (lookups carry the current epoch), but a write-heavy workload can
+        fill the LRU with dead epochs and evict live entries; sweeping
+        reclaims that capacity.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key[-1] < current_epoch  # epoch is the last key element
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )

@@ -1,0 +1,402 @@
+"""The long-lived, thread-safe HA-Index query service.
+
+:class:`HammingQueryService` wraps one :class:`~repro.core.index_base.
+HammingIndex` (Dynamic or Static HA-Index, or any index honouring the
+contract) and serves three query kinds concurrently:
+
+* ``select`` — exact Hamming-select, returning the matching tuple ids;
+* ``probe``  — the similarity semi-join existence probe
+  (``contains_within``), the building block of online join processing:
+  a stream of outer tuples probes the served index;
+* ``knn``    — expanding-threshold kNN-select (Section 2 of the paper).
+
+Concurrency model
+-----------------
+Queries are admitted through a bounded queue (backpressure), coalesced
+into micro-batches and executed by a worker pool.  The index itself is
+guarded by a single traversal mutex: H-Search stamps per-node visited
+epochs into the shared node graph, so traversals of one structure are
+inherently serialized — and under CPython's GIL parallel traversal buys
+nothing anyway.  The real serving-layer wins are (a) one lock/epoch
+acquisition per *batch* instead of per query, (b) in-batch dedup of
+identical queries, and (c) the epoch-keyed LRU result cache, which on
+skewed workloads absorbs most traffic without touching the index.
+
+Writers apply H-Insert/H-Delete (Algorithm 2) through the service under
+the same mutex; every mutation bumps the *epoch*, so cached results of
+older states become unreachable rather than wrong.  Bulk reloads go
+through :meth:`refresh`: the replacement index is built *outside* the
+mutex and swapped in with a pointer assignment, so readers never block
+on a rebuild (copy-on-swap).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import (
+    InvalidParameterError,
+    ServiceClosedError,
+    ServiceTimeoutError,
+)
+from repro.core.index_base import HammingIndex
+from repro.core.knn import knn_select
+from repro.service.admission import AdmissionQueue
+from repro.service.batching import (
+    MicroBatchScheduler,
+    QueryRequest,
+    QueryTicket,
+)
+from repro.service.cache import MISS, ResultCache
+from repro.service.stats import ServiceAccounting, ServiceStats
+
+#: Query kinds the service understands.
+QUERY_KINDS = ("select", "probe", "knn")
+
+DEFAULT_WORKERS = 4
+DEFAULT_MAX_BATCH = 32
+DEFAULT_QUEUE_LIMIT = 1024
+DEFAULT_CACHE_CAPACITY = 4096
+
+
+class ServedResult:
+    """What a resolved ticket carries: value + serving context.
+
+    Attributes:
+        value: tuple of tuple-ids (``select``), ``bool`` (``probe``) or
+            tuple of ``(tuple_id, distance)`` pairs (``knn``).  Tuples,
+            not lists: one cached value may be shared by many readers.
+        epoch: the index epoch the query was answered against.
+        cached: whether the result came from the cache.
+    """
+
+    __slots__ = ("value", "epoch", "cached")
+
+    def __init__(self, value: object, epoch: int, cached: bool) -> None:
+        self.value = value
+        self.epoch = epoch
+        self.cached = cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServedResult(value={self.value!r}, epoch={self.epoch}, "
+            f"cached={self.cached})"
+        )
+
+
+class HammingQueryService:
+    """Concurrent batched query server over a Hamming index.
+
+    Args:
+        index: the index to serve; the service takes ownership (mutate
+            it only through :meth:`insert`/:meth:`delete`/:meth:`refresh`).
+        workers: micro-batch worker threads.
+        max_batch: most queries coalesced into one batch.
+        queue_limit: admission bound (waiting queries) before
+            backpressure rejections start.
+        cache_capacity: LRU result-cache entries (0 disables caching).
+        default_timeout: server-side deadline in seconds applied to
+            queries submitted without an explicit timeout (``None``
+            means queries never expire).
+        linger_seconds: how long a worker waits for a batch to fill
+            (0 drains only what is already queued).
+        start: spawn the worker pool immediately; pass ``False`` to
+            stage requests before serving begins (tests use this to
+            exercise backpressure deterministically).
+    """
+
+    def __init__(
+        self,
+        index: HammingIndex,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        default_timeout: float | None = None,
+        linger_seconds: float = 0.0,
+        start: bool = True,
+    ) -> None:
+        if default_timeout is not None and default_timeout <= 0:
+            raise InvalidParameterError("default_timeout must be positive")
+        self._index = index
+        self._index_lock = threading.Lock()
+        self._epoch = 0
+        self._default_timeout = default_timeout
+        self._closed = False
+        self._cache = ResultCache(cache_capacity)
+        self._accounting = ServiceAccounting()
+        self._queue: AdmissionQueue[QueryRequest] = AdmissionQueue(
+            queue_limit, workers_hint=workers
+        )
+        self._scheduler = MicroBatchScheduler(
+            self._queue,
+            self._execute_batch,
+            workers=workers,
+            max_batch=max_batch,
+            linger_seconds=linger_seconds,
+        )
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("cannot restart a closed service")
+        self._scheduler.start()
+
+    def close(self) -> None:
+        """Stop admitting, drain queued queries, join the workers.
+
+        Every already-admitted query is still answered (or times out on
+        its own deadline) — shutdown never silently drops work.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.start()  # ensure someone drains the backlog
+        self._queue.close()
+        self._scheduler.join()
+
+    def __enter__(self) -> "HammingQueryService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def epoch(self) -> int:
+        with self._index_lock:
+            return self._epoch
+
+    @property
+    def code_length(self) -> int:
+        return self._index.code_length
+
+    def __len__(self) -> int:
+        with self._index_lock:
+            return len(self._index)
+
+    # -- query side --------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        query: int,
+        param: int,
+        timeout: float | None = None,
+    ) -> QueryTicket:
+        """Admit one query; returns its ticket immediately.
+
+        Raises:
+            ServiceOverloadError: queue full (carries retry-after).
+            ServiceClosedError: service shut down.
+            InvalidParameterError / CodeLengthError: malformed query.
+        """
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+        if kind not in QUERY_KINDS:
+            raise InvalidParameterError(
+                f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
+            )
+        if kind == "knn":
+            if param < 1:
+                raise InvalidParameterError("k must be positive")
+            self._index._check_query(query, 0)
+        else:
+            self._index._check_query(query, param)
+        now = time.monotonic()
+        if timeout is None:
+            timeout = self._default_timeout
+        deadline = None if timeout is None else now + timeout
+        request = QueryRequest(
+            kind=kind,
+            query=query,
+            param=param,
+            submitted_at=now,
+            deadline=deadline,
+        )
+        try:
+            self._queue.offer(request)
+        except ServiceClosedError:
+            raise
+        except Exception:
+            self._accounting.record_rejected()
+            raise
+        return request.ticket
+
+    def select(
+        self, query: int, threshold: int, timeout: float | None = None
+    ) -> ServedResult:
+        """Blocking Hamming-select; ``value`` is a tuple of tuple ids."""
+        return self._await(self.submit("select", query, threshold, timeout))
+
+    def probe(
+        self, query: int, threshold: int, timeout: float | None = None
+    ) -> ServedResult:
+        """Blocking join-probe; ``value`` is ``True`` iff any indexed
+        code lies within ``threshold`` (the semi-join existence test)."""
+        return self._await(self.submit("probe", query, threshold, timeout))
+
+    def knn(
+        self, query: int, k: int, timeout: float | None = None
+    ) -> ServedResult:
+        """Blocking kNN-select; ``value`` is ``((tuple_id, distance), ...)``."""
+        return self._await(self.submit("knn", query, k, timeout))
+
+    @staticmethod
+    def _await(ticket: QueryTicket) -> ServedResult:
+        result = ticket.result()
+        assert isinstance(result, ServedResult)
+        return result
+
+    # -- writer side (Algorithm 2 through the service) ---------------------
+
+    def insert(self, code: int, tuple_id: int) -> int:
+        """H-Insert one tuple; returns the new epoch."""
+        self._check_open()
+        with self._index_lock:
+            self._index.insert(code, tuple_id)
+            self._epoch += 1
+            return self._epoch
+
+    def delete(self, code: int, tuple_id: int) -> int:
+        """H-Delete one tuple; returns the new epoch."""
+        self._check_open()
+        with self._index_lock:
+            self._index.delete(code, tuple_id)
+            self._epoch += 1
+            return self._epoch
+
+    def refresh(self, source: HammingIndex | CodeSet) -> int:
+        """Copy-on-swap bulk reload; returns the new epoch.
+
+        ``source`` may be a pre-built index or a :class:`CodeSet` (the
+        replacement is then H-Built here with the served index's type
+        and default parameters).  The expensive build happens *outside*
+        the traversal mutex; readers only ever wait for the pointer
+        swap.
+        """
+        self._check_open()
+        if isinstance(source, HammingIndex):
+            replacement = source
+        else:
+            replacement = type(self._index).build(source)
+        if replacement.code_length != self._index.code_length:
+            raise InvalidParameterError(
+                f"refresh code length {replacement.code_length} != served "
+                f"{self._index.code_length}"
+            )
+        with self._index_lock:
+            self._index = replacement
+            self._epoch += 1
+            epoch = self._epoch
+        self._accounting.record_refresh()
+        # A bulk reload obsoletes every older epoch at once; sweep them so
+        # the LRU capacity is spent on the new state.
+        self._cache.purge_stale(epoch)
+        return epoch
+
+    def snapshot_index(self) -> HammingIndex:
+        """A deep copy of the served index at a consistent epoch.
+
+        Mutate it offline and hand it back to :meth:`refresh` — the
+        copy-on-swap maintenance cycle for bulk changes.
+        """
+        with self._index_lock:
+            return self._index.snapshot()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+
+    # -- batch execution (runs on worker threads) --------------------------
+
+    def _execute_batch(self, batch: list[QueryRequest]) -> None:
+        started = time.monotonic()
+        live: list[QueryRequest] = []
+        for request in batch:
+            if request.deadline is not None and started > request.deadline:
+                self._accounting.record_timed_out()
+                request.ticket.fail(
+                    _deadline_error(request, started)
+                )
+                continue
+            live.append(request)
+        if not live:
+            return
+        groups: dict[tuple[str, int, int], list[QueryRequest]] = {}
+        for request in live:
+            groups.setdefault(request.key, []).append(request)
+        executed = 0
+        dedup_saved = 0
+        resolutions: list[tuple[QueryRequest, ServedResult]] = []
+        with self._index_lock:
+            epoch = self._epoch
+            index = self._index
+            for key, requests in groups.items():
+                cache_key = key + (epoch,)
+                value = self._cache.get(cache_key, weight=len(requests))
+                cached = value is not MISS
+                if not cached:
+                    value = _run_query(index, *key)
+                    executed += 1
+                    dedup_saved += len(requests) - 1
+                    self._cache.put(cache_key, value)
+                result = ServedResult(value, epoch, cached)
+                resolutions.extend(
+                    (request, result) for request in requests
+                )
+        finished = time.monotonic()
+        for request, result in resolutions:
+            self._accounting.record_served(
+                (finished - request.submitted_at) * 1000.0
+            )
+            request.ticket.resolve(result)
+        self._accounting.record_batch(len(live), executed, dedup_saved)
+        self._queue.note_service_time((finished - started) / len(live))
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent :class:`ServiceStats` snapshot."""
+        with self._index_lock:
+            epoch = self._epoch
+        return self._accounting.snapshot(
+            queue_depth=self._queue.depth(),
+            queue_capacity=self._queue.capacity,
+            workers=self._scheduler.workers,
+            epoch=epoch,
+            cache=self._cache.stats(),
+        )
+
+
+def _run_query(
+    index: HammingIndex, kind: str, query: int, param: int
+) -> object:
+    """Execute one deduplicated query against the locked index."""
+    if kind == "select":
+        return tuple(index.search(query, param))
+    if kind == "probe":
+        probe = getattr(index, "contains_within", None)
+        if probe is not None:
+            return bool(probe(query, param))
+        return bool(index.search(query, param))
+    if kind == "knn":
+        return tuple(knn_select(query, index, param))
+    raise InvalidParameterError(f"unknown query kind {kind!r}")
+
+
+def _deadline_error(
+    request: QueryRequest, now: float
+) -> ServiceTimeoutError:
+    waited_ms = (now - request.submitted_at) * 1000.0
+    return ServiceTimeoutError(
+        f"{request.kind} query missed its deadline after waiting "
+        f"{waited_ms:.1f} ms in the admission queue"
+    )

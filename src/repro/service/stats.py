@@ -1,0 +1,185 @@
+"""Serving-side accounting: counters, a latency reservoir, ServiceStats.
+
+Every observable the serve-bench and the admission controller need lives
+here: how many queries were served/rejected/timed out, how well the
+micro-batcher coalesced work (batch sizes, in-batch dedup savings), the
+result cache's hit/miss/eviction tallies, and wall-clock latency
+percentiles over a bounded reservoir of recent samples.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidParameterError
+from repro.metrics import latency_summary
+
+#: Latency samples kept for percentile reporting (a sliding window, so a
+#: long-lived service reports *recent* tail latency, not its lifetime's).
+DEFAULT_LATENCY_WINDOW = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Result-cache accounting at one point in time.
+
+    ``hits``/``misses`` count *query requests* (a batch of five identical
+    queries served by one cached entry counts five hits), so
+    :attr:`hit_rate` is the fraction of request traffic absorbed by the
+    cache.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """A consistent snapshot of the query service's counters.
+
+    Attributes:
+        served: queries answered successfully.
+        rejected: queries refused at admission (queue full).
+        timed_out: queries that missed their deadline.
+        batches: non-empty micro-batches executed.
+        batched_requests: live queries across all executed batches.
+        executed: index traversals actually performed (after cache and
+            in-batch dedup).
+        dedup_saved: traversals avoided because identical queries shared
+            one execution within a batch.
+        queue_depth: queries waiting at snapshot time.
+        queue_capacity: admission bound.
+        workers: worker threads in the pool.
+        epoch: current index epoch (bumped by every mutation/refresh).
+        refreshes: copy-on-swap snapshot refreshes applied.
+        cache: result-cache accounting.
+        latency: ``repro.metrics.latency_summary`` of recent queries
+            (count / mean / p50 / p95 / p99 / max, milliseconds).
+    """
+
+    served: int
+    rejected: int
+    timed_out: int
+    batches: int
+    batched_requests: int
+    executed: int
+    dedup_saved: int
+    queue_depth: int
+    queue_capacity: int
+    workers: int
+    epoch: int
+    refreshes: int
+    cache: CacheStats
+    latency: dict[str, float]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def render(self) -> str:
+        """Human-readable multi-line stats block (CLI and examples)."""
+        cache = self.cache
+        latency = self.latency
+        lines = [
+            "service stats",
+            f"  queries:  {self.served} served, {self.rejected} rejected, "
+            f"{self.timed_out} timed out",
+            f"  batches:  {self.batches} "
+            f"(mean size {self.mean_batch_size:.2f}, "
+            f"{self.executed} traversals, "
+            f"{self.dedup_saved} deduplicated in-batch)",
+            f"  cache:    {cache.hits} hits / {cache.misses} misses "
+            f"({cache.hit_rate * 100.0:.1f}% hit rate, "
+            f"{cache.evictions} evictions, "
+            f"size {cache.size}/{cache.capacity})",
+            f"  latency:  p50 {latency['p50_ms']:.3f} ms, "
+            f"p95 {latency['p95_ms']:.3f} ms, "
+            f"p99 {latency['p99_ms']:.3f} ms "
+            f"(mean {latency['mean_ms']:.3f} ms "
+            f"over {int(latency['count'])} samples)",
+            f"  index:    epoch {self.epoch}, "
+            f"{self.refreshes} snapshot refreshes",
+            f"  backlog:  {self.queue_depth}/{self.queue_capacity} queued, "
+            f"{self.workers} workers",
+        ]
+        return "\n".join(lines)
+
+
+class ServiceAccounting:
+    """Thread-safe mutable counters behind :class:`ServiceStats`."""
+
+    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+        if latency_window < 1:
+            raise InvalidParameterError("latency_window must be positive")
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self.served = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.executed = 0
+        self.dedup_saved = 0
+        self.refreshes = 0
+
+    def record_batch(
+        self, live: int, executed: int, dedup_saved: int
+    ) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += live
+            self.executed += executed
+            self.dedup_saved += dedup_saved
+
+    def record_served(self, latency_ms: float) -> None:
+        with self._lock:
+            self.served += 1
+            self._latencies.append(latency_ms)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_timed_out(self) -> None:
+        with self._lock:
+            self.timed_out += 1
+
+    def record_refresh(self) -> None:
+        with self._lock:
+            self.refreshes += 1
+
+    def snapshot(
+        self,
+        queue_depth: int,
+        queue_capacity: int,
+        workers: int,
+        epoch: int,
+        cache: CacheStats,
+    ) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                served=self.served,
+                rejected=self.rejected,
+                timed_out=self.timed_out,
+                batches=self.batches,
+                batched_requests=self.batched_requests,
+                executed=self.executed,
+                dedup_saved=self.dedup_saved,
+                queue_depth=queue_depth,
+                queue_capacity=queue_capacity,
+                workers=workers,
+                epoch=epoch,
+                refreshes=self.refreshes,
+                cache=cache,
+                latency=latency_summary(list(self._latencies)),
+            )

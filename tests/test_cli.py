@@ -35,6 +35,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DHA-Index" in out
         assert "nuswide -> NUS-WIDE" in out
+        assert "serve-bench" in out
+
+    def test_help_lists_serve_bench(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "serve-bench" in capsys.readouterr().out
 
     def test_select_small(self, capsys):
         assert main(
@@ -76,6 +82,17 @@ class TestCommands:
             ["mrjoin", "--n", "150", "--bits", "16", "--workers", "4"]
         ) == 0
         assert "MRHA-Index-A" in capsys.readouterr().out
+
+    def test_serve_bench_smoke(self, capsys):
+        assert main(
+            ["serve-bench", "--n", "300", "--bits", "16",
+             "--queries", "200", "--workers", "2", "--updates", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "service stats" in out
+        assert "hit rate" in out
+        assert "0 rejected" in out
 
     def test_verify_command(self, capsys):
         assert main(["verify", "--n", "200", "--bits", "16"]) == 0

@@ -5,10 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.bitvector import CodeSet
 from repro.core.errors import InvalidParameterError
 from repro.core.join import nested_loops_join
-from repro.data.synthetic import flickr_like, nuswide_like
+from repro.data.synthetic import nuswide_like
 from repro.distributed.hamming_join import (
     mapreduce_hamming_join,
 )

@@ -139,6 +139,84 @@ class TestMaintenance:
         assert 50 in [i for i, _ in index.search_with_distances(0, 1)]
         assert 0b000000001 in index.search_codes(0, 1)
 
+    def test_buffered_inserts_visible_on_every_read_path(self, table_s):
+        # Regression: a search issued between insert() and flush() must
+        # see the buffered code through *all* read entry points, not
+        # just search().
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        fresh_code, fresh_id = 0b000010001, 61
+        index.insert(fresh_code, fresh_id)
+        assert index._buffer, "test requires the insert to stay buffered"
+        assert fresh_id in index.search(fresh_code, 0)
+        assert fresh_code in index.search_codes(fresh_code, 0)
+        assert (fresh_id, 0) in index.search_with_distances(fresh_code, 0)
+        assert index.count_within(fresh_code, 0) == 1
+        assert index.contains_within(fresh_code, 0)
+        assert fresh_id in index.ids_for_code(fresh_code)
+        assert (fresh_code, fresh_id) in list(index.code_id_pairs())
+
+    def test_interleaved_insert_delete_search_never_flushes(self, table_s):
+        # Interleave insert/delete/search with the buffer never merging;
+        # every intermediate state must match the brute-force oracle.
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=10_000)
+        live = {
+            (code, tuple_id)
+            for code, tuple_id in zip(table_s.codes, table_s.ids)
+        }
+        script = [
+            ("insert", 0b000000001, 100),
+            ("insert", 0b000000011, 101),
+            ("delete", table_s[2], 2),      # structural delete
+            ("insert", 0b000000001, 102),   # duplicate buffered code
+            ("delete", 0b000000011, 101),   # delete straight from buffer
+            ("insert", 0b110110110, 103),
+            ("delete", table_s[5], 5),
+            ("delete", 0b000000001, 100),
+        ]
+        for operation, code, tuple_id in script:
+            if operation == "insert":
+                index.insert(code, tuple_id)
+                live.add((code, tuple_id))
+            else:
+                index.delete(code, tuple_id)
+                live.discard((code, tuple_id))
+            for query in (code, EXAMPLE_QUERY, 0b000000000):
+                for threshold in (0, 2, 4):
+                    expected = sorted(
+                        i for c, i in live
+                        if (c ^ query).bit_count() <= threshold
+                    )
+                    assert sorted(index.search(query, threshold)) == expected
+                    assert index.count_within(query, threshold) == len(
+                        expected
+                    )
+                    assert index.contains_within(query, threshold) == bool(
+                        expected
+                    )
+        assert index._buffer, "script should leave codes in the buffer"
+        assert len(index) == len(live)
+
+    def test_mutation_count_tracks_inserts_and_deletes(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        assert index.mutation_count == 0
+        index.insert(0b000000001, 50)
+        index.insert(table_s[0], 51)
+        index.delete(table_s[0], 51)
+        assert index.mutation_count == 3
+        with pytest.raises(IndexStateError):
+            index.delete(0b000000001, 999)
+        assert index.mutation_count == 3  # failed deletes do not count
+
+    def test_snapshot_is_independent(self, table_s):
+        index = DynamicHAIndex.build(table_s, rebuild_buffer=100)
+        index.insert(0b000000001, 50)
+        copy = index.snapshot()
+        copy.insert(0b111111110, 60)
+        index.delete(0b000000001, 50)
+        assert 60 not in index.search(0b111111110, 0)
+        assert 50 in copy.search(0b000000001, 0)
+        copy.check_invariants()
+
     def test_delete_from_structure(self, table_s):
         index = DynamicHAIndex.build(table_s)
         index.delete(table_s[3], 3)

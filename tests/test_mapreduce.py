@@ -18,7 +18,7 @@ from repro.mapreduce.counters import (
     Counters,
 )
 from repro.mapreduce.hashjoin import mapreduce_hash_join
-from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.partitioner import RangePartitioner, hash_partitioner
 from repro.mapreduce.runtime import MapReduceRuntime, _wall_clock
 from repro.mapreduce.types import InputSplit, make_splits, record_bytes

@@ -8,7 +8,6 @@ implementation to the paper's own narrative.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bitvector import CodeSet, code_from_string
 from repro.core.dynamic_ha import DynamicHAIndex

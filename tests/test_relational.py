@@ -3,7 +3,6 @@ the paper's Section 7, after Marri et al. SISAP 2014)."""
 
 from __future__ import annotations
 
-import random
 
 import pytest
 

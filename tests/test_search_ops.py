@@ -8,7 +8,6 @@ pin the semantics of that counter and the claim itself.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.hengine import HEngineIndex
 from repro.baselines.multi_hash import MultiHashTableIndex

@@ -1,0 +1,300 @@
+"""Unit tests for the online query-serving subsystem (repro.service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import (
+    InvalidParameterError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+)
+from repro.core.static_ha import StaticHAIndex
+from repro.service import (
+    MISS,
+    AdmissionQueue,
+    HammingQueryService,
+    QueryTicket,
+    ResultCache,
+)
+
+from .conftest import EXAMPLE_QUERY, EXAMPLE_SELECT_IDS
+
+
+def build_service(table_s, **overrides) -> HammingQueryService:
+    parameters = dict(workers=2, max_batch=8, queue_limit=64)
+    parameters.update(overrides)
+    index = DynamicHAIndex.build(table_s, window=2, max_depth=3)
+    return HammingQueryService(index, **parameters)
+
+
+class TestResultCache:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = ResultCache(2)
+        assert cache.get(("select", 1, 3, 0)) is MISS
+        cache.put(("select", 1, 3, 0), (1, 2))
+        cache.put(("select", 2, 3, 0), (3,))
+        assert cache.get(("select", 1, 3, 0)) == (1, 2)
+        cache.put(("select", 3, 3, 0), ())  # evicts key 2 (LRU)
+        assert cache.get(("select", 2, 3, 0)) is MISS
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.evictions == 1
+        assert stats.size == 2
+
+    def test_weight_counts_requests_not_lookups(self):
+        cache = ResultCache(8)
+        cache.put(("probe", 5, 1, 0), True)
+        cache.get(("probe", 5, 1, 0), weight=5)
+        cache.get(("probe", 6, 1, 0), weight=3)
+        stats = cache.stats()
+        assert stats.hits == 5
+        assert stats.misses == 3
+        assert stats.hit_rate == pytest.approx(5 / 8)
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put(("select", 1, 3, 0), (1,))
+        assert cache.get(("select", 1, 3, 0)) is MISS
+        assert len(cache) == 0
+
+    def test_cached_falsy_values_are_hits(self):
+        cache = ResultCache(4)
+        cache.put(("select", 9, 0, 0), ())
+        cache.put(("probe", 9, 0, 0), False)
+        assert cache.get(("select", 9, 0, 0)) == ()
+        assert cache.get(("probe", 9, 0, 0)) is False
+
+    def test_purge_stale_drops_older_epochs_only(self):
+        cache = ResultCache(8)
+        cache.put(("select", 1, 3, 0), (1,))
+        cache.put(("select", 1, 3, 1), (1,))
+        cache.put(("select", 2, 3, 2), (2,))
+        assert cache.purge_stale(2) == 2
+        assert cache.get(("select", 2, 3, 2)) == (2,)
+        assert cache.get(("select", 1, 3, 1)) is MISS
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(-1)
+
+
+class TestAdmissionQueue:
+    def test_fifo_and_depth(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        for item in (1, 2, 3):
+            queue.offer(item)
+        assert queue.depth() == 3
+        assert queue.take() == 1
+        assert queue.take_nowait() == 2
+        assert queue.depth() == 1
+
+    def test_overload_rejects_with_retry_after(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(2, workers_hint=2)
+        queue.offer(1)
+        queue.offer(2)
+        queue.note_service_time(0.01)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            queue.offer(3)
+        assert excinfo.value.retry_after_seconds > 0
+        assert queue.depth() == 2  # nothing was dropped
+
+    def test_retry_after_scales_with_backlog_and_workers(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(100, workers_hint=1)
+        queue.note_service_time(0.1)
+        for item in range(10):
+            queue.offer(item)
+        assert queue.retry_after() == pytest.approx(1.0, rel=0.01)
+
+    def test_close_drains_then_signals_exit(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        queue.offer(1)
+        queue.close()
+        with pytest.raises(ServiceClosedError):
+            queue.offer(2)
+        assert queue.take() == 1  # drained after close
+        assert queue.take(timeout=0.01) is None
+
+    def test_take_times_out(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(4)
+        assert queue.take(timeout=0.01) is None
+
+
+class TestQueryTicket:
+    def test_result_waits_and_raises_stored_error(self):
+        ticket = QueryTicket()
+        ticket.fail(ServiceTimeoutError("late"))
+        with pytest.raises(ServiceTimeoutError):
+            ticket.result()
+
+    def test_result_wait_timeout(self):
+        ticket = QueryTicket()
+        with pytest.raises(ServiceTimeoutError):
+            ticket.result(timeout=0.01)
+        assert not ticket.done()
+
+
+class TestServiceQueries:
+    def test_select_matches_paper_example(self, table_s):
+        with build_service(table_s) as service:
+            result = service.select(EXAMPLE_QUERY, 3)
+        assert sorted(result.value) == EXAMPLE_SELECT_IDS
+        assert result.epoch == 0
+        assert not result.cached
+
+    def test_repeat_query_is_served_from_cache(self, table_s):
+        with build_service(table_s) as service:
+            first = service.select(EXAMPLE_QUERY, 3)
+            second = service.select(EXAMPLE_QUERY, 3)
+            stats = service.stats()
+        assert not first.cached and second.cached
+        assert first.value == second.value
+        assert stats.cache.hits == 1
+        assert stats.executed == 1
+
+    def test_probe_and_knn_kinds(self, table_s):
+        with build_service(table_s) as service:
+            assert service.probe(EXAMPLE_QUERY, 3).value is True
+            assert service.probe(0b010110101, 0).value is False
+            neighbours = service.knn(EXAMPLE_QUERY, 3).value
+        assert len(neighbours) == 3
+        assert [t for t, _ in neighbours][0] in EXAMPLE_SELECT_IDS
+
+    def test_static_ha_index_is_servable(self, table_s):
+        index = StaticHAIndex.build(table_s, segment_bits=3)
+        with HammingQueryService(index, workers=1) as service:
+            select = service.select(EXAMPLE_QUERY, 3)
+            assert sorted(select.value) == EXAMPLE_SELECT_IDS
+            # StaticHAIndex has no contains_within; probe falls back.
+            assert service.probe(EXAMPLE_QUERY, 3).value is True
+
+    def test_rejects_malformed_queries(self, table_s):
+        with build_service(table_s) as service:
+            with pytest.raises(InvalidParameterError):
+                service.submit("nope", EXAMPLE_QUERY, 3)
+            with pytest.raises(InvalidParameterError):
+                service.submit("select", EXAMPLE_QUERY, -1)
+            with pytest.raises(InvalidParameterError):
+                service.submit("knn", EXAMPLE_QUERY, 0)
+
+
+class TestServiceMutation:
+    def test_insert_bumps_epoch_and_invalidates_cache(self, table_s):
+        with build_service(table_s) as service:
+            before = service.select(EXAMPLE_QUERY, 3)
+            epoch = service.insert(EXAMPLE_QUERY, 99)
+            after = service.select(EXAMPLE_QUERY, 3)
+        assert epoch == 1
+        assert before.epoch == 0 and after.epoch == 1
+        assert not after.cached  # epoch key change forced a recompute
+        assert 99 in after.value and 99 not in before.value
+
+    def test_delete_bumps_epoch(self, table_s):
+        with build_service(table_s) as service:
+            service.delete(table_s[3], 3)
+            result = service.select(EXAMPLE_QUERY, 3)
+        assert result.epoch == 1
+        assert 3 not in result.value
+
+    def test_refresh_swaps_index_and_purges_cache(self, table_s):
+        replacement = CodeSet.from_strings(["101100010", "101100011"])
+        with build_service(table_s) as service:
+            service.select(EXAMPLE_QUERY, 3)
+            epoch = service.refresh(replacement)
+            result = service.select(EXAMPLE_QUERY, 1)
+            stats = service.stats()
+        assert epoch == 1
+        assert sorted(result.value) == [0, 1]
+        assert stats.refreshes == 1
+        assert stats.cache.size == 1  # pre-refresh entry was purged
+
+    def test_refresh_accepts_prebuilt_index_and_checks_length(self, table_s):
+        with build_service(table_s) as service:
+            rebuilt = DynamicHAIndex.build(table_s, window=4)
+            assert service.refresh(rebuilt) == 1
+            wrong = DynamicHAIndex(code_length=5)
+            with pytest.raises(InvalidParameterError):
+                service.refresh(wrong)
+
+    def test_snapshot_roundtrip_through_refresh(self, table_s):
+        with build_service(table_s) as service:
+            snapshot = service.snapshot_index()
+            snapshot.insert(0b000000001, 77)
+            # The live service does not see the offline mutation...
+            assert 77 not in service.select(0b000000001, 0).value
+            # ...until the snapshot is swapped back in.
+            service.refresh(snapshot)
+            assert 77 in service.select(0b000000001, 0).value
+
+
+class TestServiceLifecycle:
+    def test_backpressure_rejects_but_never_drops(self, table_s):
+        service = build_service(
+            table_s, workers=1, queue_limit=4, start=False
+        )
+        tickets = [
+            service.submit("select", EXAMPLE_QUERY, threshold)
+            for threshold in range(4)
+        ]
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            service.submit("select", EXAMPLE_QUERY, 5)
+        assert excinfo.value.retry_after_seconds >= 0
+        service.start()
+        values = [ticket.result(timeout=10.0) for ticket in tickets]
+        service.close()
+        stats = service.stats()
+        assert stats.rejected == 1
+        assert stats.served == 4
+        assert all(value is not None for value in values)
+
+    def test_deadline_expires_in_queue(self, table_s):
+        import time
+
+        service = build_service(table_s, workers=1, start=False)
+        ticket = service.submit("select", EXAMPLE_QUERY, 3, timeout=0.01)
+        time.sleep(0.05)
+        service.start()
+        with pytest.raises(ServiceTimeoutError):
+            ticket.result(timeout=10.0)
+        service.close()
+        assert service.stats().timed_out == 1
+
+    def test_close_drains_pending_queries(self, table_s):
+        service = build_service(table_s, workers=2, start=False)
+        tickets = [
+            service.submit("select", code, 2) for code in table_s.codes
+        ]
+        service.close()  # starts workers, drains, joins
+        assert all(ticket.done() for ticket in tickets)
+        with pytest.raises(ServiceClosedError):
+            service.select(EXAMPLE_QUERY, 3)
+        with pytest.raises(ServiceClosedError):
+            service.insert(0, 0)
+
+    def test_stats_render_mentions_every_surface(self, table_s):
+        with build_service(table_s) as service:
+            service.select(EXAMPLE_QUERY, 3)
+            text = service.stats().render()
+        for fragment in ("served", "hit rate", "p99", "epoch", "workers"):
+            assert fragment in text
+
+    def test_in_batch_dedup_shares_one_traversal(self, table_s):
+        service = build_service(
+            table_s, workers=1, max_batch=8, start=False
+        )
+        tickets = [
+            service.submit("select", EXAMPLE_QUERY, 3) for _ in range(6)
+        ]
+        service.start()
+        results = [ticket.result(timeout=10.0) for ticket in tickets]
+        service.close()
+        stats = service.stats()
+        # All six queries were answered by at most two traversals (the
+        # worker may have split them across at most two batches).
+        assert stats.executed <= 2
+        assert stats.dedup_saved + stats.cache.hits >= 4
+        assert len({result.value for result in results}) == 1
