@@ -8,6 +8,8 @@ Commands:
 * ``knn``     — approximate kNN-select through the HA-Index.
 * ``mrjoin``  — the distributed three-phase join with shuffle stats.
 * ``serve-bench`` — the online query service under a skewed workload.
+* ``bench-kernel`` — flat compiled kernel vs node walk (``--verify``
+  runs an exact-equivalence smoke instead of timing).
 * ``info``    — version, registered index families, dataset generators.
 
 Every command prints a small, self-describing report; sizes stay
@@ -81,10 +83,22 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument(
         "--query-id", type=int, default=0, help="tuple used as the query"
     )
+    select.add_argument(
+        "--engine", choices=["nodes", "flat"], default="nodes",
+        help="H-Search plane: Python node walk or compiled flat kernel",
+    )
 
     join = commands.add_parser("join", help="Hamming self-join demo")
     add_workload_arguments(join)
     join.add_argument("--threshold", type=int, default=3)
+    join.add_argument(
+        "--engine", choices=["nodes", "flat"], default="nodes",
+        help="probe plane: node walk or compiled flat kernel",
+    )
+    join.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel probe workers (0 = serial; implies --engine flat)",
+    )
 
     knn = commands.add_parser("knn", help="approximate kNN-select demo")
     add_workload_arguments(knn)
@@ -160,6 +174,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="H-Insert/H-Delete pairs interleaved with the stream "
              "(default 32; each bumps the epoch)",
     )
+    serve.add_argument(
+        "--engine", choices=["nodes", "flat"], default="flat",
+        help="batch execution plane: flat runs uncached select batches "
+             "through the vectorized kernel (default flat)",
+    )
+
+    bench_kernel = commands.add_parser(
+        "bench-kernel",
+        help="time the flat H-Search kernel against the node walk",
+    )
+    add_workload_arguments(bench_kernel)
+    bench_kernel.add_argument("--threshold", type=int, default=3)
+    bench_kernel.add_argument(
+        "--queries", type=int, default=64,
+        help="queries timed per engine (default 64)",
+    )
+    bench_kernel.add_argument(
+        "--batch", type=int, default=32,
+        help="batch size for search_batch timing (default 32)",
+    )
+    bench_kernel.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions, best-of (default 5)",
+    )
+    bench_kernel.add_argument(
+        "--verify", action="store_true",
+        help="equivalence smoke instead of timing: flat vs node walk "
+             "on a seeded workload, thresholds 0..8; exits nonzero on "
+             "any mismatch",
+    )
 
     verify = commands.add_parser(
         "verify", help="cross-check every index family against a scan"
@@ -213,17 +257,30 @@ def _command_select(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     index = builder(codes)
     build_seconds = time.perf_counter() - started
+    engine = index
+    if args.engine == "flat":
+        compile_index = getattr(index, "compile", None)
+        if compile_index is None:
+            print(f"error: {args.index} has no compiled flat plane; "
+                  f"use --engine nodes", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        engine = compile_index()
+        compile_ms = (time.perf_counter() - started) * 1000.0
+        print(f"compiled flat kernel in {compile_ms:.1f} ms "
+              f"({engine.num_nodes} nodes, {engine.num_levels} levels)")
     query = codes[args.query_id % len(codes)]
     started = time.perf_counter()
-    matches = index.search(query, args.threshold)
+    matches = engine.search(query, args.threshold)
     query_ms = (time.perf_counter() - started) * 1000.0
     stats = index.stats()
-    print(f"{args.index} over {len(codes)} x {args.bits}-bit codes")
+    print(f"{args.index} [{args.engine}] over {len(codes)} x "
+          f"{args.bits}-bit codes")
     print(f"  build: {build_seconds:.2f} s, "
           f"memory (modelled): {format_bytes(stats.memory_bytes)}")
     print(f"  h-select(h={args.threshold}): {len(matches)} matches "
           f"in {query_ms:.3f} ms "
-          f"({index.last_search_ops} distance computations)")
+          f"({engine.last_search_ops} distance computations)")
     return 0
 
 
@@ -231,10 +288,19 @@ def _command_join(args: argparse.Namespace) -> int:
     from repro.core.join import self_join
 
     _, codes = _encoded_workload(args)
+    engine = "flat" if args.workers else args.engine
     started = time.perf_counter()
-    pairs = self_join(codes, args.threshold)
+    pairs = self_join(
+        codes,
+        args.threshold,
+        engine=engine,
+        parallel=args.workers > 0,
+        workers=args.workers or None,
+    )
     elapsed = time.perf_counter() - started
-    print(f"self h-join over {len(codes)} codes, h={args.threshold}:")
+    workers = f", {args.workers} workers" if args.workers else ""
+    print(f"self h-join [{engine}{workers}] over {len(codes)} codes, "
+          f"h={args.threshold}:")
     print(f"  {len(pairs)} pairs in {elapsed:.2f} s")
     return 0
 
@@ -340,6 +406,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         max_batch=args.batch,
         queue_limit=len(queries) + 2 * args.updates + 8,
         cache_capacity=args.cache,
+        batch_kernel=args.engine == "flat",
     )
     update_every = (
         max(1, len(queries) // (args.updates + 1)) if args.updates else 0
@@ -376,6 +443,87 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_kernel(args: argparse.Namespace) -> int:
+    import random
+
+    _, codes = _encoded_workload(args)
+    index = DynamicHAIndex.build(codes)
+    flat = index.compile()
+
+    if args.verify:
+        rng = random.Random(args.seed)
+        probes = [codes[rng.randrange(len(codes))] for _ in range(12)]
+        probes += [rng.getrandbits(args.bits) for _ in range(12)]
+        # Buffered H-Inserts so the smoke covers the buffer scan too.
+        for offset in range(8):
+            index.insert(rng.getrandbits(args.bits), len(codes) + offset)
+        flat = index.compile()
+        mismatches = 0
+        for threshold in range(9):
+            batched = flat.search_batch(probes, threshold)
+            for query, batch_ids in zip(probes, batched):
+                expected = sorted(index.search(query, threshold))
+                node_ops = index.last_search_ops
+                got = sorted(flat.search(query, threshold))
+                same = (
+                    expected == got == sorted(batch_ids)
+                    and node_ops == flat.last_search_ops
+                    and index.count_within(query, threshold)
+                    == flat.count_within(query, threshold)
+                )
+                if not same:
+                    mismatches += 1
+                    print(f"MISMATCH h={threshold} query={query:#x}: "
+                          f"nodes={expected} flat={got} "
+                          f"batch={sorted(batch_ids)}")
+        if mismatches:
+            print(f"kernel equivalence FAILED: {mismatches} mismatches")
+            return 1
+        print(f"kernel equivalence OK: {len(probes)} queries x "
+              f"thresholds 0..8 over {len(codes)} codes "
+              f"(search, search_batch, count_within, ops; "
+              f"8 buffered inserts)")
+        return 0
+
+    queries = [codes[i * 31 % len(codes)] for i in range(args.queries)]
+    batches = [
+        queries[lo:lo + args.batch]
+        for lo in range(0, len(queries), args.batch)
+    ]
+
+    def best_of(run) -> float:
+        run()  # warm-up
+        return min(
+            _timed(run) for _ in range(max(1, args.repeats))
+        )
+
+    def _timed(run) -> float:
+        started = time.perf_counter()
+        run()
+        return time.perf_counter() - started
+
+    node_s = best_of(
+        lambda: [index.search(q, args.threshold) for q in queries]
+    )
+    flat_s = best_of(
+        lambda: [flat.search(q, args.threshold) for q in queries]
+    )
+    batch_s = best_of(
+        lambda: [flat.search_batch(b, args.threshold) for b in batches]
+    )
+    per = len(queries)
+    print(f"H-Search kernel over {len(codes)} x {args.bits}-bit codes, "
+          f"h={args.threshold}, {per} queries "
+          f"(best of {args.repeats}):")
+    print(f"  node walk:          {node_s / per * 1000:8.3f} ms/query")
+    print(f"  flat kernel:        {flat_s / per * 1000:8.3f} ms/query "
+          f"({node_s / flat_s:5.1f}x)")
+    print(f"  flat batch({args.batch:>3}):    "
+          f"{batch_s / per * 1000:8.3f} ms/query "
+          f"({node_s / batch_s:5.1f}x)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -393,6 +541,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_mrjoin(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
+    if args.command == "bench-kernel":
+        return _command_bench_kernel(args)
     if args.command == "verify":
         return _command_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")

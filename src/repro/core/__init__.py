@@ -3,6 +3,7 @@
 from repro.core.bitvector import CodeSet, hamming_distance
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.errors import ReproError
+from repro.core.flat_ha import FlatHAIndex
 from repro.core.index_base import HammingIndex, IndexStats
 from repro.core.join import hamming_join, nested_loops_join, self_join
 from repro.core.knn import knn_join, knn_select
@@ -20,6 +21,7 @@ __all__ = [
     "CodeSet",
     "hamming_distance",
     "DynamicHAIndex",
+    "FlatHAIndex",
     "ReproError",
     "HammingIndex",
     "IndexStats",

@@ -25,6 +25,32 @@ from repro.core.errors import CodeLengthError, InvalidParameterError
 #: Maximum code length representable in a packed ``uint64`` batch.
 MAX_PACKED_LENGTH = 64
 
+#: ``np.bitwise_count`` landed in numpy 2.0; the table fallback below
+#: keeps the declared ``numpy>=1.24`` floor honest.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Per-byte popcounts for the pre-2.0 fallback kernel.
+_POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount64(array: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array (any shape).
+
+    Dispatches to ``np.bitwise_count`` on numpy >= 2.0; older numpy
+    gets an exact byte-table kernel (view each word as 8 bytes, look
+    up per-byte counts, sum).  Both paths return ``uint8`` counts.
+    """
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(array)
+    contiguous = np.ascontiguousarray(array)
+    return (
+        _POPCOUNT_TABLE[contiguous.view(np.uint8)]
+        .reshape(contiguous.shape + (8,))
+        .sum(axis=-1, dtype=np.uint8)
+    )
+
 
 def hamming_distance(code_a: int, code_b: int) -> int:
     """Return the Hamming distance between two codes of equal length.
@@ -104,11 +130,15 @@ def pack_codes_wide(codes: Iterable[int], length: int) -> np.ndarray:
     for value in values:
         _check_code(value, length)
     words = (length + 63) // 64
-    packed = np.zeros((len(values), words), dtype=np.uint64)
+    packed = np.empty((len(values), words), dtype=np.uint64)
+    if not values:
+        return packed
+    # Shift/mask the whole column at once: the per-word loop runs
+    # ``words`` times (2 for 128-bit codes), not ``rows * words``.
+    column = np.array(values, dtype=object)
     mask = (1 << 64) - 1
-    for row, value in enumerate(values):
-        for word in range(words):
-            packed[row, word] = (value >> (word * 64)) & mask
+    for word in range(words):
+        packed[:, word] = ((column >> (word * 64)) & mask).astype(np.uint64)
     return packed
 
 
@@ -123,7 +153,7 @@ def _query_words(query: int, words: int) -> np.ndarray:
 def batch_hamming_wide(packed: np.ndarray, query: int) -> np.ndarray:
     """Vectorized distances for wide (multi-word) packed codes."""
     xor = np.bitwise_xor(packed, _query_words(query, packed.shape[1]))
-    return np.bitwise_count(xor).sum(axis=1).astype(np.uint16)
+    return popcount64(xor).sum(axis=1).astype(np.uint16)
 
 
 def batch_hamming(packed: np.ndarray, query: int) -> np.ndarray:
@@ -133,7 +163,7 @@ def batch_hamming(packed: np.ndarray, query: int) -> np.ndarray:
     nested-loops baseline (Section 6, "Nested-Loops").
     """
     xor = np.bitwise_xor(packed, np.uint64(query))
-    return np.bitwise_count(xor).astype(np.uint8)
+    return popcount64(xor).astype(np.uint8)
 
 
 def batch_select(packed: np.ndarray, query: int, threshold: int) -> np.ndarray:
@@ -151,7 +181,7 @@ class CodeSet:
     ``ids`` are supplied.
     """
 
-    __slots__ = ("_codes", "_length", "_ids")
+    __slots__ = ("_codes", "_length", "_ids", "_packed", "_packed_wide")
 
     def __init__(
         self,
@@ -170,6 +200,8 @@ class CodeSet:
         self._codes = tuple(codes)
         self._length = length
         self._ids = tuple(ids) if ids is not None else None
+        self._packed: np.ndarray | None = None
+        self._packed_wide: np.ndarray | None = None
 
     @property
     def length(self) -> int:
@@ -211,12 +243,33 @@ class CodeSet:
         return f"CodeSet(n={len(self)}, length={self._length})"
 
     def packed(self) -> np.ndarray:
-        """The codes as a ``uint64`` numpy array (length must be <= 64)."""
-        return pack_codes(self._codes, self._length)
+        """The codes as a ``uint64`` numpy array (length must be <= 64).
+
+        The array is computed once, cached (the set is immutable) and
+        returned read-only, so select/join/validation callers packing
+        the same set repeatedly share one packing pass.
+        """
+        if self._packed is None:
+            packed = pack_codes(self._codes, self._length)
+            packed.setflags(write=False)
+            self._packed = packed
+        return self._packed
 
     def packed_wide(self) -> np.ndarray:
-        """The codes as an (n, words) ``uint64`` matrix, any length."""
-        return pack_codes_wide(self._codes, self._length)
+        """The codes as an (n, words) ``uint64`` matrix, any length.
+
+        Cached and read-only, like :meth:`packed`.
+        """
+        if self._packed_wide is None:
+            packed = pack_codes_wide(self._codes, self._length)
+            packed.setflags(write=False)
+            self._packed_wide = packed
+        return self._packed_wide
+
+    def __reduce__(self):
+        # Pickle the logical content only; packed caches are rebuilt
+        # on demand instead of shipped across process boundaries.
+        return (type(self), (self._codes, self._length, self._ids))
 
     def with_ids(self, ids: Sequence[int]) -> "CodeSet":
         """A copy of this set carrying explicit tuple identifiers."""

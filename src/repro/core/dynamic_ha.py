@@ -147,6 +147,10 @@ class DynamicHAIndex(HammingIndex):
         self._leaf_by_code: dict[int, _DhaNode] = {}
         self._buffer: list[tuple[int, int]] = []
         self._frozen = False
+        self._compiled = None
+        self._compiled_mutations = -1
+        self._compiled_tree_version = -1
+        self._tree_version = 0
 
     @property
     def window(self) -> int:
@@ -176,6 +180,9 @@ class DynamicHAIndex(HammingIndex):
 
     def _rebuild(self, grouped: dict[int, list[int]]) -> None:
         """(Re)run H-Build over distinct codes and their id lists."""
+        self._compiled = None
+        self._compiled_mutations = -1
+        self._tree_version += 1
         self._top = []
         self._leaf_by_code = {}
         self._buffer = []
@@ -469,6 +476,56 @@ class DynamicHAIndex(HammingIndex):
                 results.append((tuple_id, distance))
         return results
 
+    # -- compiled query plane (FlatHAIndex) ------------------------------------
+
+    def compile(self, force: bool = False):
+        """The flat, vectorized query kernel for this index state.
+
+        Flattens the pattern tree into the array layout of
+        :class:`~repro.core.flat_ha.FlatHAIndex` and caches the result
+        keyed by :attr:`mutation_count`: any H-Insert/H-Delete (and any
+        rebuild, including buffer merges) invalidates the cache, so a
+        stale kernel is never consulted.  ``force=True`` recompiles
+        unconditionally.
+        """
+        from repro.core.flat_ha import FlatHAIndex
+
+        cached = self._compiled
+        if not force and cached is not None:
+            if self._compiled_mutations == self.mutation_count:
+                return cached
+            if self._compiled_tree_version == self._tree_version:
+                # Only the insert buffer changed since the cached
+                # compile: reuse the flattened tree arrays and just
+                # re-snapshot the buffer — the cheap path that keeps
+                # batched serving viable under buffered-write traffic.
+                compiled = FlatHAIndex.rebuffered(cached, self)
+                self._compiled = compiled
+                self._compiled_mutations = self.mutation_count
+                return compiled
+        compiled = FlatHAIndex(self)
+        self._compiled = compiled
+        self._compiled_mutations = self.mutation_count
+        self._compiled_tree_version = self._tree_version
+        return compiled
+
+    def search_batch(
+        self, queries: Sequence[int], threshold: int
+    ) -> list[list[int]]:
+        """Vectorized H-Search for a whole query batch.
+
+        Compiles (or reuses) the flat kernel and runs one shared
+        frontier sweep; each returned id list equals the corresponding
+        ``search(query, threshold)`` as a multiset.
+        """
+        return self.compile().search_batch(queries, threshold)
+
+    def search_codes_batch(
+        self, queries: Sequence[int], threshold: int
+    ) -> list[list[int]]:
+        """Batched :meth:`search_codes` through the flat kernel."""
+        return self.compile().search_codes_batch(queries, threshold)
+
     # -- maintenance (Section 4.5) --------------------------------------------
 
     def insert(self, code: int, tuple_id: int) -> None:
@@ -489,6 +546,7 @@ class DynamicHAIndex(HammingIndex):
         self._note_mutation()
         leaf = self._leaf_by_code.get(code)
         if leaf is not None:
+            self._tree_version += 1
             leaf.ids.append(tuple_id)
             self._size += 1
             node: _DhaNode | None = leaf
@@ -528,6 +586,7 @@ class DynamicHAIndex(HammingIndex):
             leaf.ids.remove(tuple_id)
             self._size -= 1
             self._note_mutation()
+            self._tree_version += 1
             self._decrement_path(leaf, code)
             return
         for position, (buffered_code, buffered_id) in enumerate(self._buffer):
@@ -770,6 +829,10 @@ class DynamicHAIndex(HammingIndex):
         self._code_length = state["code_length"]
         self._mutations = 0
         self.last_search_ops = 0
+        self._compiled = None
+        self._compiled_mutations = -1
+        self._compiled_tree_version = -1
+        self._tree_version = 0
         self._window = state["window"]
         self._max_depth = state["max_depth"]
         self._rebuild_buffer = state["rebuild_buffer"]

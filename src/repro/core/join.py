@@ -4,31 +4,163 @@
 whose codes lie within the threshold.  The index-based plan follows
 Section 5's opening: build an HA-Index over the smaller input and run
 H-Search once per tuple of the larger one.  The quadratic nested-loops
-plan is kept as ground truth for tests and as the cost yardstick the
-paper's introduction argues against.
+plan is kept as ground truth for tests — including the parallel-join
+tests, which compare every engine/worker combination against it — and
+as the cost yardstick the paper's introduction argues against.
+
+Two probe engines are available:
+
+* ``engine="nodes"`` (default) walks the Python node tree per probe
+  code, exactly as before;
+* ``engine="flat"`` compiles the index (:class:`FlatHAIndex`) and
+  probes it in chunks through ``search_batch``, one vectorized frontier
+  sweep per chunk.
+
+``parallel=True`` additionally fans the probe chunks out over a
+``concurrent.futures`` process pool (the compiled kernel is a bundle of
+numpy arrays, so it pickles cheaply into the workers), falling back to
+threads when process pools are unavailable in the host environment.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import itertools
+from typing import Callable, Sequence
 
-from repro.core.bitvector import CodeSet, batch_hamming
+import numpy as np
+
+from repro.core.bitvector import (
+    MAX_PACKED_LENGTH,
+    CodeSet,
+    batch_hamming,
+    batch_hamming_wide,
+)
 from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
 from repro.core.index_base import HammingIndex
+
+#: Probe codes handled per ``search_batch`` call (and per parallel task).
+PROBE_CHUNK = 512
+
+#: Compiled kernel installed in each pool worker by the initializer.
+_WORKER_FLAT = None
 
 
 def nested_loops_join(
     left: CodeSet, right: CodeSet, threshold: int
 ) -> list[tuple[int, int]]:
-    """Exact quadratic join; vectorized on the inner table."""
+    """Exact quadratic join, vectorized on the inner table.
+
+    One ``batch_hamming`` pass per outer tuple, with the qualifying
+    inner ids gathered through ``np.flatnonzero`` and appended in bulk.
+    Handles any code length (wide codes use the multi-word kernel).
+    This is the documented oracle for the index-based and parallel
+    join paths: every other plan must reproduce its pairs exactly.
+    """
     pairs: list[tuple[int, int]] = []
-    right_packed = right.packed()
-    right_ids = right.ids
+    wide = right.length > MAX_PACKED_LENGTH
+    right_packed = right.packed_wide() if wide else right.packed()
+    distances_to = batch_hamming_wide if wide else batch_hamming
+    right_ids = np.asarray(right.ids, dtype=np.int64)
     for code, left_id in zip(left.codes, left.ids):
-        distances = batch_hamming(right_packed, code)
-        for position in (distances <= threshold).nonzero()[0]:
-            pairs.append((left_id, right_ids[position]))
+        matches = np.flatnonzero(
+            distances_to(right_packed, code) <= threshold
+        )
+        if matches.size:
+            pairs.extend(
+                zip(
+                    itertools.repeat(left_id),
+                    right_ids[matches].tolist(),
+                )
+            )
     return pairs
+
+
+def _init_probe_worker(flat) -> None:
+    """Pool initializer: unpickle the compiled kernel once per worker."""
+    global _WORKER_FLAT
+    _WORKER_FLAT = flat
+
+
+def _probe_ids_chunk(payload: tuple[Sequence[int], int]) -> list[list[int]]:
+    codes, threshold = payload
+    return _WORKER_FLAT.search_batch(codes, threshold)
+
+
+def _probe_codes_chunk(payload: tuple[Sequence[int], int]) -> list[list[int]]:
+    codes, threshold = payload
+    return _WORKER_FLAT.search_codes_batch(codes, threshold)
+
+
+def _chunked(codes: Sequence[int]) -> list[Sequence[int]]:
+    return [
+        codes[i:i + PROBE_CHUNK] for i in range(0, len(codes), PROBE_CHUNK)
+    ]
+
+
+def _parallel_probe(
+    flat,
+    codes: Sequence[int],
+    threshold: int,
+    workers: int | None,
+    probe_fn: Callable,
+) -> list[list[int]]:
+    """Fan probe chunks over a process pool; threads as a fallback.
+
+    ``pool.map`` preserves chunk order, so the flattened result lines
+    up with ``codes``.  Pool-infrastructure failures (fork not
+    available, broken pool, unpicklable state) degrade to a thread
+    pool — same results, no crash — since the point of the process
+    pool is only to sidestep the GIL for the numpy sweeps.
+    """
+    import concurrent.futures as futures
+
+    chunks = _chunked(codes)
+    payloads = [(chunk, threshold) for chunk in chunks]
+    try:
+        with futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_probe_worker,
+            initargs=(flat,),
+        ) as pool:
+            per_chunk = list(pool.map(probe_fn, payloads))
+    except (OSError, ValueError, RuntimeError, futures.BrokenExecutor):
+        with futures.ThreadPoolExecutor(
+            max_workers=workers,
+            initializer=_init_probe_worker,
+            initargs=(flat,),
+        ) as pool:
+            per_chunk = list(pool.map(probe_fn, payloads))
+    return [result for chunk in per_chunk for result in chunk]
+
+
+def _flat_probe(
+    flat,
+    codes: Sequence[int],
+    threshold: int,
+    parallel: bool,
+    workers: int | None,
+    probe_fn_name: str,
+) -> list[list[int]]:
+    if parallel:
+        probe_fn = (
+            _probe_ids_chunk
+            if probe_fn_name == "search_batch"
+            else _probe_codes_chunk
+        )
+        return _parallel_probe(flat, codes, threshold, workers, probe_fn)
+    batched = getattr(flat, probe_fn_name)
+    results: list[list[int]] = []
+    for chunk in _chunked(codes):
+        results.extend(batched(chunk, threshold))
+    return results
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ("nodes", "flat"):
+        raise InvalidParameterError(
+            f"unknown join engine {engine!r}; expected 'nodes' or 'flat'"
+        )
 
 
 def hamming_join(
@@ -36,20 +168,48 @@ def hamming_join(
     right: CodeSet,
     threshold: int,
     index_builder: Callable[[CodeSet], HammingIndex] | None = None,
+    *,
+    engine: str = "nodes",
+    parallel: bool = False,
+    workers: int | None = None,
 ) -> list[tuple[int, int]]:
     """Index-based ``h-join``: index the smaller side, probe the larger.
 
     Returns (left id, right id) pairs regardless of which side was
     indexed, so the result is directly comparable with
     :func:`nested_loops_join`.  The default index is the Dynamic
-    HA-Index.
+    HA-Index.  ``engine="flat"`` (implied by ``parallel=True``) probes
+    the compiled kernel in batches; ``workers`` bounds the pool size
+    when parallel.  Custom ``index_builder`` indexes without a
+    ``compile`` method fall back to the per-code node walk.
     """
+    _check_engine(engine)
     if index_builder is None:
         index_builder = DynamicHAIndex.build
     swap = len(left) > len(right)
     build_side, probe_side = (right, left) if swap else (left, right)
     index = index_builder(build_side)
     pairs: list[tuple[int, int]] = []
+    compile_index = getattr(index, "compile", None)
+    if (parallel or engine == "flat") and compile_index is not None:
+        id_lists = _flat_probe(
+            compile_index(),
+            list(probe_side.codes),
+            threshold,
+            parallel,
+            workers,
+            "search_batch",
+        )
+        for probe_id, build_ids in zip(probe_side.ids, id_lists):
+            if swap:
+                pairs.extend(
+                    zip(itertools.repeat(probe_id), build_ids)
+                )
+            else:
+                pairs.extend(
+                    zip(build_ids, itertools.repeat(probe_id))
+                )
+        return pairs
     for code, probe_id in zip(probe_side.codes, probe_side.ids):
         for build_id in index.search(code, threshold):
             if swap:
@@ -59,33 +219,78 @@ def hamming_join(
     return pairs
 
 
-def self_join(codes: CodeSet, threshold: int) -> list[tuple[int, int]]:
+def _duplicate_pairs(group: np.ndarray) -> list[tuple[int, int]]:
+    """All unordered id pairs inside one duplicate-code group."""
+    rows, cols = np.triu_indices(group.size, k=1)
+    a = group[rows]
+    b = group[cols]
+    return list(
+        zip(np.minimum(a, b).tolist(), np.maximum(a, b).tolist())
+    )
+
+
+def _cross_pairs(
+    left_ids: np.ndarray, right_ids: np.ndarray
+) -> list[tuple[int, int]]:
+    """All ordered id pairs between two distinct-code groups."""
+    lows = np.minimum.outer(left_ids, right_ids).ravel()
+    highs = np.maximum.outer(left_ids, right_ids).ravel()
+    return list(zip(lows.tolist(), highs.tolist()))
+
+
+def self_join(
+    codes: CodeSet,
+    threshold: int,
+    *,
+    engine: str = "nodes",
+    parallel: bool = False,
+    workers: int | None = None,
+) -> list[tuple[int, int]]:
     """``h-join(S, S)`` without the trivial (x, x) pairs, each pair once.
 
     The MapReduce experiments of Section 6.2 evaluate self-joins.  The
     implementation exploits duplicate codes: H-Search runs once per
     *distinct* code, and the id pairs are expanded from the duplicate
-    groups — on hashed real data (many near-duplicates) this saves most
-    of the probing.
+    groups (``np.triu_indices`` within a group, outer min/max across
+    groups) — on hashed real data (many near-duplicates) this saves
+    most of the probing.  ``engine``/``parallel``/``workers`` choose
+    the probe plan exactly as in :func:`hamming_join`.
     """
+    _check_engine(engine)
     index = DynamicHAIndex.build(codes)
     grouped: dict[int, list[int]] = {}
     for code, tuple_id in zip(codes.codes, codes.ids):
         grouped.setdefault(code, []).append(tuple_id)
+    groups = {
+        code: np.asarray(ids, dtype=np.int64)
+        for code, ids in grouped.items()
+    }
     pairs: list[tuple[int, int]] = []
-    for code, left_ids in grouped.items():
+    for group in groups.values():
         # Pairs among duplicates of this code (distance 0).
-        for position, left_id in enumerate(left_ids):
-            for right_id in left_ids[position + 1 :]:
-                pairs.append(_ordered(left_id, right_id))
+        if group.size > 1:
+            pairs.extend(_duplicate_pairs(group))
+    distinct = list(groups)
+    if parallel or engine == "flat":
+        neighbor_lists = _flat_probe(
+            index.compile(),
+            distinct,
+            threshold,
+            parallel,
+            workers,
+            "search_codes_batch",
+        )
+    else:
+        neighbor_lists = [
+            index.search_codes(code, threshold) for code in distinct
+        ]
+    for code, neighbors in zip(distinct, neighbor_lists):
         # Pairs against other qualifying codes, counted once by
         # restricting to strictly larger code values.
-        for other in index.search_codes(code, threshold):
+        for other in neighbors:
             if other <= code:
                 continue
-            for left_id in left_ids:
-                for right_id in grouped[other]:
-                    pairs.append(_ordered(left_id, right_id))
+            pairs.extend(_cross_pairs(groups[code], groups[other]))
     return pairs
 
 

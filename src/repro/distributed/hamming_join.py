@@ -208,6 +208,15 @@ def _join_reducer_option_a(
 ) -> Iterator[tuple[int, int]]:
     index: DynamicHAIndex = context.cached(CACHE_GLOBAL_INDEX)
     threshold: int = context.cached("hamming.threshold")
+    search_batch = getattr(index, "search_batch", None)
+    if search_batch is not None:
+        # One vectorized frontier sweep over the whole probe partition
+        # instead of a node walk per probe code.
+        id_lists = search_batch([code for code, _ in values], threshold)
+        for (_, s_id), r_ids in zip(values, id_lists):
+            for r_id in r_ids:
+                yield r_id, s_id
+        return
     for code, s_id in values:
         for r_id in index.search(code, threshold):
             yield r_id, s_id
@@ -218,6 +227,15 @@ def _join_reducer_option_b(
 ) -> Iterator[tuple[int, int]]:
     index: DynamicHAIndex = context.cached(CACHE_GLOBAL_INDEX)
     threshold: int = context.cached("hamming.threshold")
+    search_codes_batch = getattr(index, "search_codes_batch", None)
+    if search_codes_batch is not None:
+        code_lists = search_codes_batch(
+            [code for code, _ in values], threshold
+        )
+        for (_, s_id), r_codes in zip(values, code_lists):
+            for r_code in r_codes:
+                yield r_code, s_id
+        return
     for code, s_id in values:
         for r_code in index.search_codes(code, threshold):
             yield r_code, s_id

@@ -97,6 +97,11 @@ class HammingQueryService:
         queue_limit: admission bound (waiting queries) before
             backpressure rejections start.
         cache_capacity: LRU result-cache entries (0 disables caching).
+        batch_kernel: execute the uncached ``select`` queries of a
+            micro-batch through the index's vectorized ``search_batch``
+            (one shared frontier sweep per distinct threshold) when the
+            served index offers one; other kinds and indexes without a
+            batch kernel run query-at-a-time as before.
         default_timeout: server-side deadline in seconds applied to
             queries submitted without an explicit timeout (``None``
             means queries never expire).
@@ -115,6 +120,7 @@ class HammingQueryService:
         max_batch: int = DEFAULT_MAX_BATCH,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        batch_kernel: bool = True,
         default_timeout: float | None = None,
         linger_seconds: float = 0.0,
         start: bool = True,
@@ -123,6 +129,7 @@ class HammingQueryService:
             raise InvalidParameterError("default_timeout must be positive")
         self._index = index
         self._index_lock = threading.Lock()
+        self._batch_kernel = batch_kernel
         self._epoch = 0
         self._default_timeout = default_timeout
         self._closed = False
@@ -339,15 +346,22 @@ class HammingQueryService:
         with self._index_lock:
             epoch = self._epoch
             index = self._index
+            values: dict[tuple[str, int, int], tuple[object, bool]] = {}
+            misses: list[tuple[str, int, int]] = []
             for key, requests in groups.items():
                 cache_key = key + (epoch,)
                 value = self._cache.get(cache_key, weight=len(requests))
-                cached = value is not MISS
-                if not cached:
-                    value = _run_query(index, *key)
-                    executed += 1
-                    dedup_saved += len(requests) - 1
-                    self._cache.put(cache_key, value)
+                if value is MISS:
+                    misses.append(key)
+                else:
+                    values[key] = (value, True)
+            for key, value in self._run_misses(index, misses):
+                executed += 1
+                dedup_saved += len(groups[key]) - 1
+                self._cache.put(key + (epoch,), value)
+                values[key] = (value, False)
+            for key, requests in groups.items():
+                value, cached = values[key]
                 result = ServedResult(value, epoch, cached)
                 resolutions.extend(
                     (request, result) for request in requests
@@ -360,6 +374,49 @@ class HammingQueryService:
             request.ticket.resolve(result)
         self._accounting.record_batch(len(live), executed, dedup_saved)
         self._queue.note_service_time((finished - started) / len(live))
+
+    def _run_misses(
+        self,
+        index: HammingIndex,
+        misses: list[tuple[str, int, int]],
+    ) -> list[tuple[tuple[str, int, int], object]]:
+        """Execute the uncached query groups of one micro-batch.
+
+        When the served index exposes ``search_batch`` (duck-typed, so
+        any conforming index qualifies), the ``select`` misses sharing
+        a threshold are answered by one vectorized frontier sweep
+        instead of serially; remaining kinds fall through to
+        :func:`_run_query`.  Runs under the index mutex.
+        """
+        search_batch = (
+            getattr(index, "search_batch", None)
+            if self._batch_kernel
+            else None
+        )
+        results: list[tuple[tuple[str, int, int], object]] = []
+        rest: list[tuple[str, int, int]] = []
+        if search_batch is not None:
+            by_threshold: dict[int, list[tuple[str, int, int]]] = {}
+            for key in misses:
+                if key[0] == "select":
+                    by_threshold.setdefault(key[2], []).append(key)
+                else:
+                    rest.append(key)
+            for threshold, keys in by_threshold.items():
+                if len(keys) < 2:
+                    rest.extend(keys)
+                    continue
+                id_lists = search_batch(
+                    [key[1] for key in keys], threshold
+                )
+                results.extend(
+                    (key, tuple(ids))
+                    for key, ids in zip(keys, id_lists)
+                )
+        else:
+            rest = misses
+        results.extend((key, _run_query(index, *key)) for key in rest)
+        return results
 
     # -- observability -----------------------------------------------------
 
