@@ -33,6 +33,7 @@ from repro.core.join import self_join
 from benchmarks.harness import (
     RESULTS_DIR,
     paper_codes,
+    profile_queries,
     record,
     render_table,
     sample_queries,
@@ -184,6 +185,12 @@ def test_flat_kernel_speedup(benchmark, kernel_workload):
             "scale": scale(),
             "select": {str(h): cell for h, cell in measured.items()},
             "batch_sizes": {str(s): cell for s, cell in sizes.items()},
+            # Per-phase span breakdown (h=3): where each engine's time
+            # and distance computations go, level by level.
+            "profile": {
+                "nodes": profile_queries(index, queries[:16], 3),
+                "flat": profile_queries(flat, queries[:16], 3),
+            },
         }
     )
     if scale() >= 1.0:

@@ -1,0 +1,183 @@
+"""Extension bench: observability overhead, disabled and enabled.
+
+The tracing layer promises to be effectively free when no trace is
+active (ROADMAP: < 2% on the hot search paths).  The disabled-path cost
+is exactly the instrumentation probes a query executes when no span
+stack exists: one no-op ``trace_span`` context on the public search
+method, one ``tracing()`` check per BFS level, and one early-return
+``note_search`` call.  This bench measures
+
+* mean per-query latency on both engines with instrumentation idle
+  (the production default) and with a live trace around every query;
+* the micro-cost of the no-op probes themselves, from which the
+  disabled-path overhead fraction is estimated as
+  ``probes_per_query * probe_cost / query_latency``.
+
+Results land in ``benchmarks/results/BENCH_obs.json`` and the text
+table quoted by docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.obs import note_search
+from repro.obs.trace import trace, trace_span, tracing
+
+from benchmarks.harness import (
+    paper_codes,
+    record,
+    record_json,
+    render_table,
+    sample_queries,
+    scale,
+    scaled,
+)
+
+WORKLOAD_SIZE = 30_000
+NUM_QUERIES = 64
+THRESHOLD = 3
+REPEATS = 5
+PROBE_ITERATIONS = 200_000
+
+
+@pytest.fixture(scope="module")
+def obs_workload():
+    codes = paper_codes("NUS-WIDE", scaled(WORKLOAD_SIZE))
+    index = DynamicHAIndex.build(codes)
+    flat = index.compile()
+    queries = sample_queries(codes, NUM_QUERIES, seed=7)
+    return index, flat, queries
+
+
+def _best_per_query_ms(run, queries, repeats: int = REPEATS) -> float:
+    run()
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best / len(queries) * 1000.0
+
+
+def _probe_costs_ns() -> dict[str, float]:
+    """Per-call cost of each idle probe kind, in nanoseconds."""
+
+    def per_call(loop) -> float:
+        started = time.perf_counter()
+        loop()
+        return (time.perf_counter() - started) / PROBE_ITERATIONS * 1e9
+
+    def span_loop():
+        for _ in range(PROBE_ITERATIONS):
+            with trace_span(
+                "h_search", engine="bench", threshold=THRESHOLD
+            ):
+                pass
+
+    def flag_loop():
+        for _ in range(PROBE_ITERATIONS):
+            tracing()
+
+    def note_loop():
+        for _ in range(PROBE_ITERATIONS):
+            note_search("bench", 100)
+
+    return {
+        "span": per_call(span_loop),
+        "flag": per_call(flag_loop),
+        "note": per_call(note_loop),
+    }
+
+
+def test_observability_overhead(benchmark, obs_workload):
+    """Acceptance: estimated disabled-path overhead < 2% per engine."""
+    index, flat, queries = obs_workload
+    assert not tracing(), "bench must start with no active trace"
+
+    def run():
+        measured = {}
+        for label, engine in (("nodes", index), ("flat", flat)):
+            idle_ms = _best_per_query_ms(
+                lambda: [engine.search(q, THRESHOLD) for q in queries],
+                queries,
+            )
+
+            def traced_sweep():
+                for q in queries:
+                    with trace("bench.query"):
+                        engine.search(q, THRESHOLD)
+
+            traced_ms = _best_per_query_ms(traced_sweep, queries)
+            measured[label] = {
+                "idle_ms": idle_ms,
+                "traced_ms": traced_ms,
+                "traced_overhead_pct": (traced_ms / idle_ms - 1.0)
+                * 100.0,
+            }
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    probes = _probe_costs_ns()
+    # Idle probes on one query: one no-op span context on the public
+    # method, one tracing() flag check per BFS level (depth <=
+    # ceil(code_length / window) + 1, ~6 for 32-bit / window 8), and
+    # one note_search early return.
+    idle_ns_per_query = (
+        probes["span"] + 6 * probes["flag"] + probes["note"]
+    )
+    rows = []
+    for label, cell in measured.items():
+        idle_overhead_pct = (
+            idle_ns_per_query / (cell["idle_ms"] * 1e6) * 100.0
+        )
+        cell["idle_probe_ns"] = idle_ns_per_query
+        cell["idle_overhead_pct"] = idle_overhead_pct
+        rows.append(
+            [
+                label,
+                f"{cell['idle_ms']:.3f}",
+                f"{idle_overhead_pct:.3f}%",
+                f"{cell['traced_ms']:.3f}",
+                f"{cell['traced_overhead_pct']:.1f}%",
+            ]
+        )
+    table = render_table(
+        f"Extension: observability overhead "
+        f"(NUS-WIDE-like, h={THRESHOLD}, {len(queries)} queries, "
+        f"best of {REPEATS})",
+        ["engine", "idle ms/q", "idle overhead", "traced ms/q",
+         "traced overhead"],
+        rows,
+        note=(
+            "Idle overhead is the estimated share of query time spent "
+            "in no-op instrumentation probes (span context + flag "
+            "checks) when no trace is active; traced overhead is the "
+            "full cost of recording per-level spans."
+        ),
+    )
+    record("ext_obs_overhead", table)
+    record_json(
+        "BENCH_obs",
+        {
+            "workload": "NUS-WIDE-like",
+            "threshold": THRESHOLD,
+            "num_queries": len(queries),
+            "scale": scale(),
+            "probe_ns": probes,
+            "engines": measured,
+        },
+    )
+    # The < 2% promise is stated at full workload scale; tiny scaled-
+    # down corpora make queries so fast that fixed probe costs loom
+    # larger, so the reduced-scale lane only sanity-checks the bound.
+    limit = 2.0 if scale() >= 1.0 else 10.0
+    for label, cell in measured.items():
+        assert cell["idle_overhead_pct"] < limit, (
+            f"{label}: idle instrumentation overhead "
+            f"{cell['idle_overhead_pct']:.3f}% must stay < {limit}%"
+        )

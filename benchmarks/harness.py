@@ -7,12 +7,15 @@ evaluation (Section 6).  The harness provides:
   controlled by ``REPRO_BENCH_SCALE`` (default 1.0; the paper's corpora
   are 10-100x larger — see EXPERIMENTS.md for the mapping),
 * single-shot sweep timing (``time_queries``) used inside report benches,
+* traced per-phase profiles (``profile_queries``) so BENCH JSONs can
+  carry span breakdowns next to the headline timings,
 * fixed-width table rendering and result recording under
   ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import time
@@ -25,6 +28,7 @@ from repro.core.index_base import HammingIndex
 from repro.data.containers import Dataset
 from repro.data.synthetic import PAPER_DATASETS
 from repro.hashing.spectral import SpectralHash
+from repro.obs.trace import last_trace, trace
 
 #: Directory where rendered tables are written for EXPERIMENTS.md.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -95,6 +99,45 @@ def mean_search_ops(
         index.search(query, threshold)
         total += index.last_search_ops
     return total / len(queries)
+
+
+def profile_queries(
+    index: HammingIndex, queries: Sequence[int], threshold: int
+) -> dict[str, dict[str, float]]:
+    """Per-phase span profile of a query sweep.
+
+    Runs every query under a trace and aggregates the span tree by span
+    name: total seconds, total distance computations, and span count.
+    The returned mapping (``{"h_search.level": {"seconds": ...,
+    "ops": ..., "count": ...}, ...}``) is JSON-ready, so benches can
+    record a phase breakdown alongside their headline timings.
+    """
+    phases: dict[str, dict[str, float]] = {}
+
+    def fold(span) -> None:
+        entry = phases.setdefault(
+            span.name, {"seconds": 0.0, "ops": 0, "count": 0}
+        )
+        entry["seconds"] += span.seconds
+        entry["ops"] += span.ops
+        entry["count"] += 1
+        for child in span.children:
+            fold(child)
+
+    for query in queries:
+        with trace("profile"):
+            index.search(query, threshold)
+        for child in last_trace().children:
+            fold(child)
+    return phases
+
+
+def record_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable result under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def time_update(

@@ -10,6 +10,10 @@ Commands:
 * ``serve-bench`` — the online query service under a skewed workload.
 * ``bench-kernel`` — flat compiled kernel vs node walk (``--verify``
   runs an exact-equivalence smoke instead of timing).
+* ``trace``   — span tree of one traced Hamming-select (per-level op
+  attribution, checked against ``last_search_ops``).
+* ``metrics`` — short instrumented serving run, then the metrics
+  registry in Prometheus or JSON form.
 * ``info``    — version, registered index families, dataset generators.
 
 Every command prints a small, self-describing report; sizes stay
@@ -209,6 +213,37 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="cross-check every index family against a scan"
     )
     add_workload_arguments(verify)
+
+    trace = commands.add_parser(
+        "trace",
+        help="span tree of one traced Hamming-select, with the "
+             "per-level ops checked against last_search_ops",
+    )
+    add_workload_arguments(trace)
+    trace.add_argument("--threshold", type=int, default=3)
+    trace.add_argument(
+        "--query-id", type=int, default=0, help="tuple used as the query"
+    )
+    trace.add_argument(
+        "--engine", choices=["nodes", "flat", "both"], default="both",
+        help="which H-Search plane(s) to trace (default both)",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a short instrumented serving workload and print the "
+             "metrics registry",
+    )
+    add_workload_arguments(metrics)
+    metrics.add_argument("--threshold", type=int, default=3)
+    metrics.add_argument(
+        "--queries", type=int, default=500,
+        help="queries driven through the service (default 500)",
+    )
+    metrics.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="Prometheus text exposition or a JSON snapshot",
+    )
     return parser
 
 
@@ -524,6 +559,70 @@ def _command_bench_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import last_trace, render_span_tree, trace
+
+    _, codes = _encoded_workload(args)
+    index = DynamicHAIndex.build(codes)
+    query = codes[args.query_id % len(codes)]
+    engines = (
+        ["nodes", "flat"] if args.engine == "both" else [args.engine]
+    )
+    print(f"h-select(h={args.threshold}) over {len(codes)} x "
+          f"{args.bits}-bit codes, query tuple {args.query_id}:\n")
+    failures = 0
+    for engine_name in engines:
+        engine = index if engine_name == "nodes" else index.compile()
+        with trace("h_select", engine=engine_name,
+                   threshold=args.threshold):
+            matches = engine.search(query, args.threshold)
+        tree = last_trace()
+        print(render_span_tree(tree))
+        expected = engine.last_search_ops
+        total = tree.total_ops
+        verdict = "OK" if total == expected else "MISMATCH"
+        print(f"{engine_name}: {len(matches)} matches; span ops {total} "
+              f"vs last_search_ops {expected} -> {verdict}\n")
+        if total != expected:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.data.workloads import WORKLOAD_SHAPES
+    from repro.obs import registry, set_metrics_enabled
+    from repro.service import HammingQueryService
+
+    _, codes = _encoded_workload(args)
+    queries = WORKLOAD_SHAPES["zipf"](codes, args.queries, args.seed)
+    set_metrics_enabled(True)
+    try:
+        service = HammingQueryService(
+            DynamicHAIndex.build(codes),
+            queue_limit=len(queries) + 8,
+        )
+        with service:
+            tickets = [
+                service.submit("select", query, args.threshold)
+                for query in queries
+            ]
+            for ticket in tickets:
+                ticket.result()
+            service.publish_metrics()
+        if args.format == "json":
+            print(json.dumps(
+                registry().snapshot(), indent=2, sort_keys=True
+            ))
+        else:
+            print(registry().render_prometheus(), end="")
+    finally:
+        set_metrics_enabled(False)
+        registry().clear()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -545,6 +644,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_bench_kernel(args)
     if args.command == "verify":
         return _command_verify(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "metrics":
+        return _command_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

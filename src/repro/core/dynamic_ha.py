@@ -36,6 +36,8 @@ from repro.core.errors import IndexStateError, InvalidParameterError
 from repro.core.gray import gray_rank
 from repro.core.index_base import HammingIndex, IndexStats
 from repro.core.pattern import MaskedPattern, common_of_patterns
+from repro.obs import note_search
+from repro.obs.trace import record_span, trace_span, tracing
 
 #: Default sliding-window slots (paper Figure 8 sweeps 0.005n .. 0.04n).
 DEFAULT_WINDOW = 8
@@ -251,6 +253,8 @@ class DynamicHAIndex(HammingIndex):
         the paper's per-node visited flag, so a node reachable through
         several qualifying parents is expanded once.
         """
+        if tracing():
+            return self._search_nodes_traced(query, threshold)
         DynamicHAIndex._search_epoch += 1
         epoch = DynamicHAIndex._search_epoch
         length = self._code_length
@@ -289,6 +293,70 @@ class DynamicHAIndex(HammingIndex):
                         else:
                             queue.append(child)
         self.last_search_ops = ops + len(self._buffer)
+        return leaves
+
+    def _search_nodes_traced(
+        self, query: int, threshold: int
+    ) -> list[_DhaNode]:
+        """`_search_nodes` with per-level span attribution.
+
+        Level-synchronous replay of the same breadth-first walk (a FIFO
+        queue visits nodes in level order, so examination order, epoch
+        stamping and therefore the op count are identical).  Each BFS
+        level becomes one ``h_search.level`` span and the insert-buffer
+        charge one ``h_search.buffer`` span, so the trace's ops sum to
+        ``last_search_ops`` exactly.
+        """
+        DynamicHAIndex._search_epoch += 1
+        epoch = DynamicHAIndex._search_epoch
+        length = self._code_length
+        leaves: list[_DhaNode] = []
+        total_ops = 0
+        expanded: list[_DhaNode] = []
+        with trace_span("h_search.level", depth=0) as span:
+            ops = 0
+            for node in self._top:
+                ops += 1
+                if ((node.bits ^ query) & node.mask).bit_count() \
+                        <= threshold:
+                    node.epoch = epoch
+                    if node.children:
+                        expanded.append(node)
+                    else:
+                        leaves.append(node)
+            span.add_ops(ops)
+            span.annotate(examined=ops, expanded=len(expanded))
+            total_ops += ops
+        depth = 1
+        while expanded:
+            candidates = [
+                child for node in expanded for child in node.children
+            ]
+            with trace_span("h_search.level", depth=depth) as span:
+                ops = 0
+                expanded = []
+                for child in candidates:
+                    if child.epoch == epoch:
+                        continue
+                    ops += 1
+                    distance = (
+                        (child.bits ^ query) & child.mask
+                    ).bit_count()
+                    if distance <= threshold:
+                        child.epoch = epoch
+                        if (
+                            distance + length - child.mask.bit_count()
+                            <= threshold
+                        ):
+                            self._collect_leaves(child, epoch, leaves)
+                        else:
+                            expanded.append(child)
+                span.add_ops(ops)
+                span.annotate(examined=ops, expanded=len(expanded))
+                total_ops += ops
+            depth += 1
+        record_span("h_search.buffer", 0.0, ops=len(self._buffer))
+        self.last_search_ops = total_ops + len(self._buffer)
         return leaves
 
     @staticmethod
@@ -359,12 +427,14 @@ class DynamicHAIndex(HammingIndex):
                 "index built with keep_ids=False; use search_codes()"
             )
         self._check_query(query, threshold)
-        results: list[int] = []
-        for leaf in self._search_nodes(query, threshold):
-            results.extend(leaf.ids)
-        for code, tuple_id in self._buffer:
-            if (code ^ query).bit_count() <= threshold:
-                results.append(tuple_id)
+        with trace_span("h_search", engine="nodes", threshold=threshold):
+            results: list[int] = []
+            for leaf in self._search_nodes(query, threshold):
+                results.extend(leaf.ids)
+            for code, tuple_id in self._buffer:
+                if (code ^ query).bit_count() <= threshold:
+                    results.append(tuple_id)
+        note_search("nodes", self.last_search_ops)
         return results
 
     def count_within(self, query: int, threshold: int) -> int:
@@ -446,15 +516,17 @@ class DynamicHAIndex(HammingIndex):
     def search_codes(self, query: int, threshold: int) -> list[int]:
         """Distinct qualifying codes (Option B of the MapReduce join)."""
         self._check_query(query, threshold)
-        codes = [
-            leaf.bits for leaf in self._search_nodes(query, threshold)
-        ]
-        buffered = {
-            code
-            for code, _ in self._buffer
-            if (code ^ query).bit_count() <= threshold
-        }
-        codes.extend(buffered - set(codes))
+        with trace_span("h_search", engine="nodes", threshold=threshold):
+            codes = [
+                leaf.bits for leaf in self._search_nodes(query, threshold)
+            ]
+            buffered = {
+                code
+                for code, _ in self._buffer
+                if (code ^ query).bit_count() <= threshold
+            }
+            codes.extend(buffered - set(codes))
+        note_search("nodes", self.last_search_ops)
         return codes
 
     def search_with_distances(
@@ -466,14 +538,18 @@ class DynamicHAIndex(HammingIndex):
                 "index built with keep_ids=False; use search_codes()"
             )
         self._check_query(query, threshold)
-        results = []
-        for leaf in self._search_nodes(query, threshold):
-            distance = (leaf.bits ^ query).bit_count()
-            results.extend((tuple_id, distance) for tuple_id in leaf.ids)
-        for code, tuple_id in self._buffer:
-            distance = (code ^ query).bit_count()
-            if distance <= threshold:
-                results.append((tuple_id, distance))
+        with trace_span("h_search", engine="nodes", threshold=threshold):
+            results = []
+            for leaf in self._search_nodes(query, threshold):
+                distance = (leaf.bits ^ query).bit_count()
+                results.extend(
+                    (tuple_id, distance) for tuple_id in leaf.ids
+                )
+            for code, tuple_id in self._buffer:
+                distance = (code ^ query).bit_count()
+                if distance <= threshold:
+                    results.append((tuple_id, distance))
+        note_search("nodes", self.last_search_ops)
         return results
 
     # -- compiled query plane (FlatHAIndex) ------------------------------------

@@ -36,9 +36,27 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from time import perf_counter
+
 from repro.core.bitvector import popcount64
 from repro.core.errors import IndexStateError
 from repro.core.index_base import HammingIndex, IndexStats
+from repro.obs import note_search
+from repro.obs.trace import record_span, trace_span, tracing
+
+
+def _note_level(
+    depth: int, examined: int, expanded: int, started: float
+) -> None:
+    """Attach one per-BFS-level span of a traced frontier sweep."""
+    record_span(
+        "h_search.level",
+        perf_counter() - started,
+        ops=examined,
+        depth=depth,
+        examined=examined,
+        expanded=expanded,
+    )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.dynamic_ha import DynamicHAIndex
@@ -313,12 +331,18 @@ class FlatHAIndex(HammingIndex):
         frontier = self._top_slots
         simple = self._cover_is_collect
         one_word = self._words == 1
+        traced = tracing()
+        depth = 0
+        started = 0.0
         if one_word:
             bits1, masks1, unc8 = self._bits1, self._masks1, self._unc8
             query64 = qwords[0]
             leaf_start = self._leaf_level_start
         while frontier.size:
-            ops += int(frontier.size)
+            size = int(frontier.size)
+            ops += size
+            if traced:
+                started = perf_counter()
             if one_word:
                 if frontier[0] >= leaf_start:
                     # Terminal all-leaf level: distances are exact (no
@@ -328,6 +352,8 @@ class FlatHAIndex(HammingIndex):
                     taken = frontier[popcount64(xor) <= threshold]
                     if taken.size:
                         taken_parts.append(taken)
+                    if traced:
+                        _note_level(depth, size, 0, started)
                     break
                 xor = bits1.take(frontier, mode="clip")
                 np.bitwise_xor(xor, query64, out=xor)
@@ -346,6 +372,9 @@ class FlatHAIndex(HammingIndex):
             if taken.size:
                 taken_parts.append(taken)
             expand = frontier[(dist <= threshold) & ~cover]
+            if traced:
+                _note_level(depth, size, int(expand.size), started)
+                depth += 1
             if not expand.size:
                 break
             frontier = _expand_ranges(
@@ -374,30 +403,37 @@ class FlatHAIndex(HammingIndex):
         """Exact Hamming-select; same answer multiset as the node walk."""
         self._require_ids()
         self._check_query(query, threshold)
-        qwords = self._query_words(query)
-        taken, ops = self._sweep(qwords, threshold)
-        self.last_search_ops = ops + len(self._buf_codes)
-        results = self._range_ids(taken).tolist()
-        if self._buf_ids.size:
-            near = self._buffer_distances(qwords) <= threshold
-            results.extend(self._buf_ids[near].tolist())
+        with trace_span("h_search", engine="flat", threshold=threshold):
+            qwords = self._query_words(query)
+            taken, ops = self._sweep(qwords, threshold)
+            self.last_search_ops = ops + len(self._buf_codes)
+            record_span("h_search.buffer", 0.0, ops=len(self._buf_codes))
+            results = self._range_ids(taken).tolist()
+            if self._buf_ids.size:
+                near = self._buffer_distances(qwords) <= threshold
+                results.extend(self._buf_ids[near].tolist())
+        note_search("flat", self.last_search_ops)
         return results
 
     def search_codes(self, query: int, threshold: int) -> list[int]:
         """Distinct qualifying codes (Option B of the MapReduce join)."""
         self._check_query(query, threshold)
-        qwords = self._query_words(query)
-        taken, ops = self._sweep(qwords, threshold)
-        self.last_search_ops = ops + len(self._buf_codes)
-        lo = self._leaf_lo[taken]
-        positions = _expand_ranges(lo, self._leaf_hi[taken] - lo)
-        codes = [self._leaf_codes[i] for i in positions.tolist()]
-        if self._buf_ids.size:
-            near = self._buffer_distances(qwords) <= threshold
-            buffered = {
-                self._buf_codes[i] for i in np.flatnonzero(near).tolist()
-            }
-            codes.extend(buffered - set(codes))
+        with trace_span("h_search", engine="flat", threshold=threshold):
+            qwords = self._query_words(query)
+            taken, ops = self._sweep(qwords, threshold)
+            self.last_search_ops = ops + len(self._buf_codes)
+            record_span("h_search.buffer", 0.0, ops=len(self._buf_codes))
+            lo = self._leaf_lo[taken]
+            positions = _expand_ranges(lo, self._leaf_hi[taken] - lo)
+            codes = [self._leaf_codes[i] for i in positions.tolist()]
+            if self._buf_ids.size:
+                near = self._buffer_distances(qwords) <= threshold
+                buffered = {
+                    self._buf_codes[i]
+                    for i in np.flatnonzero(near).tolist()
+                }
+                codes.extend(buffered - set(codes))
+        note_search("flat", self.last_search_ops)
         return codes
 
     def search_with_distances(
@@ -406,9 +442,17 @@ class FlatHAIndex(HammingIndex):
         """(tuple id, exact distance) pairs; used by the kNN front-end."""
         self._require_ids()
         self._check_query(query, threshold)
+        with trace_span("h_search", engine="flat", threshold=threshold):
+            return self._search_with_distances_body(query, threshold)
+
+    def _search_with_distances_body(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
         qwords = self._query_words(query)
         taken, ops = self._sweep(qwords, threshold)
         self.last_search_ops = ops + len(self._buf_codes)
+        record_span("h_search.buffer", 0.0, ops=len(self._buf_codes))
+        note_search("flat", self.last_search_ops)
         lo = self._leaf_lo[taken]
         leaf_positions = _expand_ranges(lo, self._leaf_hi[taken] - lo)
         results: list[tuple[int, int]] = []
@@ -548,12 +592,18 @@ class FlatHAIndex(HammingIndex):
         ops = 0
         simple = self._cover_is_collect
         one_word = self._words == 1
+        traced = tracing()
+        depth = 0
+        started = 0.0
         if one_word:
             bits1, masks1, unc8 = self._bits1, self._masks1, self._unc8
             qcol = np.ascontiguousarray(qmat[:, 0])
             leaf_start = self._leaf_level_start
         while nodes.size:
-            ops += int(nodes.size)
+            size = int(nodes.size)
+            ops += size
+            if traced:
+                started = perf_counter()
             if one_word:
                 if nodes[0] >= leaf_start:
                     xor = bits1.take(nodes, mode="clip")
@@ -562,6 +612,8 @@ class FlatHAIndex(HammingIndex):
                     if near.any():
                         taken_nodes.append(nodes[near])
                         taken_owners.append(owners[near])
+                    if traced:
+                        _note_level(depth, size, 0, started)
                     break
                 xor = bits1.take(nodes, mode="clip")
                 np.bitwise_xor(xor, qcol.take(owners, mode="clip"), out=xor)
@@ -581,6 +633,9 @@ class FlatHAIndex(HammingIndex):
                 taken_owners.append(owners[collect])
             expand = (dist <= threshold) & ~collect
             parents = nodes[expand]
+            if traced:
+                _note_level(depth, size, int(parents.size), started)
+                depth += 1
             if not parents.size:
                 break
             counts = self._child_count.take(parents, mode="clip")
@@ -626,9 +681,27 @@ class FlatHAIndex(HammingIndex):
         if not queries:
             return []
         batch = len(queries)
-        qmat = _pack_column(queries, self._words)
-        nodes, owners, ops = self._sweep_batch(qmat, threshold)
-        self.last_search_ops = ops + len(self._buf_codes) * batch
+        with trace_span(
+            "h_search", engine="flat", batch=batch, threshold=threshold
+        ):
+            qmat = _pack_column(queries, self._words)
+            nodes, owners, ops = self._sweep_batch(qmat, threshold)
+            self.last_search_ops = ops + len(self._buf_codes) * batch
+            record_span(
+                "h_search.buffer", 0.0,
+                ops=len(self._buf_codes) * batch,
+            )
+            return self._batch_ids(qmat, nodes, owners, batch, threshold)
+
+    def _batch_ids(
+        self,
+        qmat: np.ndarray,
+        nodes: np.ndarray,
+        owners: np.ndarray,
+        batch: int,
+        threshold: int,
+    ) -> list[list[int]]:
+        note_search("flat", self.last_search_ops, queries=batch)
         id_lo = self._id_offsets[self._leaf_lo[nodes]]
         counts = self._id_offsets[self._leaf_hi[nodes]] - id_lo
         all_ids = self._ids_flat[_expand_ranges(id_lo, counts)]
@@ -653,9 +726,27 @@ class FlatHAIndex(HammingIndex):
         if not queries:
             return []
         batch = len(queries)
-        qmat = _pack_column(queries, self._words)
-        nodes, owners, ops = self._sweep_batch(qmat, threshold)
-        self.last_search_ops = ops + len(self._buf_codes) * batch
+        with trace_span(
+            "h_search", engine="flat", batch=batch, threshold=threshold
+        ):
+            qmat = _pack_column(queries, self._words)
+            nodes, owners, ops = self._sweep_batch(qmat, threshold)
+            self.last_search_ops = ops + len(self._buf_codes) * batch
+            record_span(
+                "h_search.buffer", 0.0,
+                ops=len(self._buf_codes) * batch,
+            )
+            return self._batch_codes(qmat, nodes, owners, batch, threshold)
+
+    def _batch_codes(
+        self,
+        qmat: np.ndarray,
+        nodes: np.ndarray,
+        owners: np.ndarray,
+        batch: int,
+        threshold: int,
+    ) -> list[list[int]]:
+        note_search("flat", self.last_search_ops, queries=batch)
         lo = self._leaf_lo[nodes]
         spans = self._leaf_hi[nodes] - lo
         leaf_positions = _expand_ranges(lo, spans)

@@ -38,6 +38,8 @@ from repro.core.bitvector import (
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.errors import InvalidParameterError
 from repro.core.index_base import HammingIndex
+from repro.obs import maybe_trace
+from repro.obs.trace import trace_span
 
 #: Probe codes handled per ``search_batch`` call (and per parallel task).
 PROBE_CHUNK = 512
@@ -172,6 +174,7 @@ def hamming_join(
     engine: str = "nodes",
     parallel: bool = False,
     workers: int | None = None,
+    profile: bool = False,
 ) -> list[tuple[int, int]]:
     """Index-based ``h-join``: index the smaller side, probe the larger.
 
@@ -182,41 +185,51 @@ def hamming_join(
     the compiled kernel in batches; ``workers`` bounds the pool size
     when parallel.  Custom ``index_builder`` indexes without a
     ``compile`` method fall back to the per-code node walk.
+    ``profile=True`` runs the join under an ``h_join`` trace
+    (build/probe phase spans; :func:`repro.obs.last_trace`).
     """
     _check_engine(engine)
     if index_builder is None:
         index_builder = DynamicHAIndex.build
-    swap = len(left) > len(right)
-    build_side, probe_side = (right, left) if swap else (left, right)
-    index = index_builder(build_side)
-    pairs: list[tuple[int, int]] = []
-    compile_index = getattr(index, "compile", None)
-    if (parallel or engine == "flat") and compile_index is not None:
-        id_lists = _flat_probe(
-            compile_index(),
-            list(probe_side.codes),
-            threshold,
-            parallel,
-            workers,
-            "search_batch",
-        )
-        for probe_id, build_ids in zip(probe_side.ids, id_lists):
-            if swap:
-                pairs.extend(
-                    zip(itertools.repeat(probe_id), build_ids)
+    with maybe_trace(
+        "h_join", profile,
+        threshold=threshold, engine=engine, parallel=parallel,
+    ):
+        swap = len(left) > len(right)
+        build_side, probe_side = (right, left) if swap else (left, right)
+        with trace_span("h_join.build", side_size=len(build_side)):
+            index = index_builder(build_side)
+        pairs: list[tuple[int, int]] = []
+        compile_index = getattr(index, "compile", None)
+        if (parallel or engine == "flat") and compile_index is not None:
+            with trace_span("h_join.probe", probes=len(probe_side)):
+                id_lists = _flat_probe(
+                    compile_index(),
+                    list(probe_side.codes),
+                    threshold,
+                    parallel,
+                    workers,
+                    "search_batch",
                 )
-            else:
-                pairs.extend(
-                    zip(build_ids, itertools.repeat(probe_id))
-                )
+            with trace_span("h_join.expand"):
+                for probe_id, build_ids in zip(probe_side.ids, id_lists):
+                    if swap:
+                        pairs.extend(
+                            zip(itertools.repeat(probe_id), build_ids)
+                        )
+                    else:
+                        pairs.extend(
+                            zip(build_ids, itertools.repeat(probe_id))
+                        )
+            return pairs
+        with trace_span("h_join.probe", probes=len(probe_side)):
+            for code, probe_id in zip(probe_side.codes, probe_side.ids):
+                for build_id in index.search(code, threshold):
+                    if swap:
+                        pairs.append((probe_id, build_id))
+                    else:
+                        pairs.append((build_id, probe_id))
         return pairs
-    for code, probe_id in zip(probe_side.codes, probe_side.ids):
-        for build_id in index.search(code, threshold):
-            if swap:
-                pairs.append((probe_id, build_id))
-            else:
-                pairs.append((build_id, probe_id))
-    return pairs
 
 
 def _duplicate_pairs(group: np.ndarray) -> list[tuple[int, int]]:
@@ -245,6 +258,7 @@ def self_join(
     engine: str = "nodes",
     parallel: bool = False,
     workers: int | None = None,
+    profile: bool = False,
 ) -> list[tuple[int, int]]:
     """``h-join(S, S)`` without the trivial (x, x) pairs, each pair once.
 
@@ -254,44 +268,55 @@ def self_join(
     groups (``np.triu_indices`` within a group, outer min/max across
     groups) — on hashed real data (many near-duplicates) this saves
     most of the probing.  ``engine``/``parallel``/``workers`` choose
-    the probe plan exactly as in :func:`hamming_join`.
+    the probe plan exactly as in :func:`hamming_join`, and
+    ``profile=True`` traces the phases the same way.
     """
     _check_engine(engine)
-    index = DynamicHAIndex.build(codes)
-    grouped: dict[int, list[int]] = {}
-    for code, tuple_id in zip(codes.codes, codes.ids):
-        grouped.setdefault(code, []).append(tuple_id)
-    groups = {
-        code: np.asarray(ids, dtype=np.int64)
-        for code, ids in grouped.items()
-    }
-    pairs: list[tuple[int, int]] = []
-    for group in groups.values():
-        # Pairs among duplicates of this code (distance 0).
-        if group.size > 1:
-            pairs.extend(_duplicate_pairs(group))
-    distinct = list(groups)
-    if parallel or engine == "flat":
-        neighbor_lists = _flat_probe(
-            index.compile(),
-            distinct,
-            threshold,
-            parallel,
-            workers,
-            "search_codes_batch",
-        )
-    else:
-        neighbor_lists = [
-            index.search_codes(code, threshold) for code in distinct
-        ]
-    for code, neighbors in zip(distinct, neighbor_lists):
-        # Pairs against other qualifying codes, counted once by
-        # restricting to strictly larger code values.
-        for other in neighbors:
-            if other <= code:
-                continue
-            pairs.extend(_cross_pairs(groups[code], groups[other]))
-    return pairs
+    with maybe_trace(
+        "h_join", profile,
+        threshold=threshold, engine=engine, parallel=parallel, self=True,
+    ):
+        with trace_span("h_join.build", side_size=len(codes)):
+            index = DynamicHAIndex.build(codes)
+            grouped: dict[int, list[int]] = {}
+            for code, tuple_id in zip(codes.codes, codes.ids):
+                grouped.setdefault(code, []).append(tuple_id)
+            groups = {
+                code: np.asarray(ids, dtype=np.int64)
+                for code, ids in grouped.items()
+            }
+        pairs: list[tuple[int, int]] = []
+        for group in groups.values():
+            # Pairs among duplicates of this code (distance 0).
+            if group.size > 1:
+                pairs.extend(_duplicate_pairs(group))
+        distinct = list(groups)
+        with trace_span("h_join.probe", probes=len(distinct)):
+            if parallel or engine == "flat":
+                neighbor_lists = _flat_probe(
+                    index.compile(),
+                    distinct,
+                    threshold,
+                    parallel,
+                    workers,
+                    "search_codes_batch",
+                )
+            else:
+                neighbor_lists = [
+                    index.search_codes(code, threshold)
+                    for code in distinct
+                ]
+        with trace_span("h_join.expand"):
+            for code, neighbors in zip(distinct, neighbor_lists):
+                # Pairs against other qualifying codes, counted once by
+                # restricting to strictly larger code values.
+                for other in neighbors:
+                    if other <= code:
+                        continue
+                    pairs.extend(
+                        _cross_pairs(groups[code], groups[other])
+                    )
+        return pairs
 
 
 def _ordered(a: int, b: int) -> tuple[int, int]:

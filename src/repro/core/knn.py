@@ -16,6 +16,8 @@ from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.errors import InvalidParameterError
 from repro.core.index_base import HammingIndex
+from repro.obs import maybe_trace
+from repro.obs.trace import trace_span
 
 #: Default starting threshold for the expanding search.
 DEFAULT_INITIAL_THRESHOLD = 2
@@ -27,6 +29,8 @@ def knn_select(
     k: int,
     initial_threshold: int = DEFAULT_INITIAL_THRESHOLD,
     threshold_step: int | None = None,
+    *,
+    profile: bool = False,
 ) -> list[tuple[int, int]]:
     """The ``k`` Hamming-nearest tuples as (tuple id, distance) pairs.
 
@@ -36,6 +40,8 @@ def knn_select(
     "larger distance threshold is estimated and the near neighbor query
     is repeated" loop of Section 2, scaled so long codes (whose useful
     radii are proportionally larger) do not pay dozens of rounds.
+    ``profile=True`` traces each expansion round as a ``knn.round``
+    span (:func:`repro.obs.last_trace`).
     """
     if k < 1:
         raise InvalidParameterError("k must be positive")
@@ -48,12 +54,21 @@ def knn_select(
     threshold = initial_threshold
     available = len(index)
     target = min(k, available)
-    while True:
-        matches = _matches_with_distances(index, query, threshold)
-        if len(matches) >= target or threshold >= index.code_length:
-            matches.sort(key=lambda pair: (pair[1], pair[0]))
-            return matches[:k]
-        threshold = min(threshold + threshold_step, index.code_length)
+    with maybe_trace("knn", profile, k=k):
+        while True:
+            with trace_span(
+                "knn.round", threshold=threshold
+            ) as round_span:
+                matches = _matches_with_distances(
+                    index, query, threshold
+                )
+                round_span.annotate(matches=len(matches))
+            if len(matches) >= target or threshold >= index.code_length:
+                matches.sort(key=lambda pair: (pair[1], pair[0]))
+                return matches[:k]
+            threshold = min(
+                threshold + threshold_step, index.code_length
+            )
 
 
 def _matches_with_distances(

@@ -16,12 +16,15 @@ from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.index_base import HammingIndex
 from repro.core.radix_tree import RadixTreeIndex
 from repro.core.static_ha import StaticHAIndex
+from repro.obs import maybe_trace
 
 
 def hamming_select(
     query: int,
     target: HammingIndex | CodeSet,
     threshold: int,
+    *,
+    profile: bool = False,
 ) -> list[int]:
     """Tuple ids of ``target`` within Hamming distance ``threshold``.
 
@@ -33,16 +36,22 @@ def hamming_select(
 
     (The paper's Example 1: the query ``"101100010"`` with ``h = 3``
     selects tuples ``t0, t3, t4, t6`` of Table 2a.)
+
+    With ``profile=True`` the evaluation runs under an ``h_select``
+    trace whose span tree (per-level op attribution when an HA-Index
+    engine serves the query) is afterwards available from
+    :func:`repro.obs.last_trace`.
     """
-    if isinstance(target, HammingIndex):
-        return target.search(query, threshold)
-    ids = target.ids
-    if target.length <= 64:
-        matches = batch_select(target.packed(), query, threshold)
-    else:
-        distances = batch_hamming_wide(target.packed_wide(), query)
-        matches = (distances <= threshold).nonzero()[0]
-    return [ids[i] for i in matches]
+    with maybe_trace("h_select", profile, threshold=threshold):
+        if isinstance(target, HammingIndex):
+            return target.search(query, threshold)
+        ids = target.ids
+        if target.length <= 64:
+            matches = batch_select(target.packed(), query, threshold)
+        else:
+            distances = batch_hamming_wide(target.packed_wide(), query)
+            matches = (distances <= threshold).nonzero()[0]
+        return [ids[i] for i in matches]
 
 
 def _build_nested_loops(codes: CodeSet) -> HammingIndex:

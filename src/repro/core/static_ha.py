@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from repro.core.errors import IndexStateError, InvalidParameterError
 from repro.core.index_base import HammingIndex, IndexStats
+from repro.obs import note_search
+from repro.obs.trace import record_span, trace_span, tracing
 
 #: Default segment width; the paper's Figure 2 uses 3-bit segments.
 DEFAULT_SEGMENT_BITS = 8
@@ -126,6 +128,11 @@ class StaticHAIndex(HammingIndex):
         """(tuple id, exact distance) pairs; the leaf's accumulated
         per-segment distance is the full Hamming distance."""
         self._check_query(query, threshold)
+        if tracing():
+            with trace_span(
+                "h_search", engine="static", threshold=threshold
+            ):
+                return self._search_traced(query, threshold)
         query_segments = self._segments(query)
         # One distance computation per distinct (layer, segment value):
         # the static HA-Index's node sharing.
@@ -154,6 +161,50 @@ class StaticHAIndex(HammingIndex):
                 if total <= threshold:
                     stack.append((child, layer + 1, total))
         self.last_search_ops = ops
+        note_search("static", ops)
+        return results
+
+    def _search_traced(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """`search_with_distances` with per-layer op attribution.
+
+        Identical depth-first walk; memo misses are tallied per trie
+        layer and emitted as one ``h_search.layer`` span each (the DFS
+        interleaves layers, so per-layer wall clock is not separable
+        and the spans carry ops only).  The layer ops sum to
+        ``last_search_ops``.
+        """
+        query_segments = self._segments(query)
+        memo: list[dict[int, int]] = [{} for _ in self._boundaries]
+        layer_ops = [0] * len(self._boundaries)
+        results: list[tuple[int, int]] = []
+        stack: list[tuple[_SegmentNode, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, layer, accumulated = stack.pop()
+            if layer == len(self._boundaries):
+                results.extend(
+                    (tuple_id, accumulated) for tuple_id in node.ids
+                )
+                continue
+            layer_memo = memo[layer]
+            query_value = query_segments[layer]
+            for value, child in node.children.items():
+                distance = layer_memo.get(value)
+                if distance is None:
+                    layer_ops[layer] += 1
+                    distance = (value ^ query_value).bit_count()
+                    layer_memo[value] = distance
+                total = accumulated + distance
+                if total <= threshold:
+                    stack.append((child, layer + 1, total))
+        for layer, ops in enumerate(layer_ops):
+            record_span(
+                "h_search.layer", 0.0, ops=ops,
+                depth=layer, distinct_values=len(memo[layer]),
+            )
+        self.last_search_ops = sum(layer_ops)
+        note_search("static", self.last_search_ops)
         return results
 
     # -- accounting ----------------------------------------------------------

@@ -51,6 +51,7 @@ from repro.mapreduce.hashjoin import mapreduce_hash_join
 from repro.mapreduce.job import MapReduceJob, TaskContext
 from repro.mapreduce.partitioner import RangePartitioner
 from repro.mapreduce.runtime import MapReduceRuntime
+from repro.obs.trace import trace_span
 
 #: Tuple-count limit for the in-memory id-recovery join of Option B.
 DEFAULT_IN_MEMORY_LIMIT = 100_000
@@ -279,77 +280,105 @@ def mapreduce_hamming_join(
     cluster = runtime.cluster
     broadcast_before = cluster.counters.get("broadcast.bytes")
 
-    preprocess(
-        runtime,
-        left_records,
-        right_records,
-        num_bits=num_bits,
-        sample_size=sample_size,
-        seed=seed,
-        report=report,
-        checkpoints=checkpoints,
-    )
+    with trace_span(
+        "dist_join", option=option, threshold=threshold
+    ) as join_span:
+        with trace_span("dist_join.preprocess") as span:
+            preprocess(
+                runtime,
+                left_records,
+                right_records,
+                num_bits=num_bits,
+                sample_size=sample_size,
+                seed=seed,
+                report=report,
+                checkpoints=checkpoints,
+            )
+            span.annotate(seconds_breakdown=report.preprocess_seconds)
 
-    build_started = time.perf_counter()
-    build = build_global_index(
-        runtime,
-        left_records,
-        window=window,
-        max_depth=max_depth,
-        checkpoints=checkpoints,
-    )
-    merge_seconds = time.perf_counter() - build_started
-    merge_seconds -= sum(build.job.map_task_seconds)
-    merge_seconds -= sum(build.job.reduce_task_seconds)
-    report.build_seconds = build.job.simulated_seconds + max(
-        merge_seconds, 0.0
-    )
-    report.build_shuffle_bytes = build.job.counters.get("shuffle.bytes")
-    report.partition_sizes = build.partition_sizes
-    report.build_restored = build.restored
+        with trace_span("dist_join.build") as span:
+            build_started = time.perf_counter()
+            build = build_global_index(
+                runtime,
+                left_records,
+                window=window,
+                max_depth=max_depth,
+                checkpoints=checkpoints,
+            )
+            merge_seconds = time.perf_counter() - build_started
+            merge_seconds -= sum(build.job.map_task_seconds)
+            merge_seconds -= sum(build.job.reduce_task_seconds)
+            report.build_seconds = build.job.simulated_seconds + max(
+                merge_seconds, 0.0
+            )
+            report.build_shuffle_bytes = build.job.counters.get(
+                "shuffle.bytes"
+            )
+            report.partition_sizes = build.partition_sizes
+            report.build_restored = build.restored
+            span.annotate(
+                simulated_seconds=report.build_seconds,
+                shuffle_bytes=report.build_shuffle_bytes,
+            )
 
-    global_index = build.index
-    index_broadcast_before = cluster.counters.get("broadcast.bytes")
-    if option == "A":
-        cluster.broadcast(CACHE_GLOBAL_INDEX, global_index)
-        reducer = _join_reducer_option_a
-    else:
-        cluster.broadcast(CACHE_GLOBAL_INDEX, global_index.strip_ids())
-        reducer = _join_reducer_option_b
-    report.index_broadcast_bytes = (
-        cluster.counters.get("broadcast.bytes") - index_broadcast_before
-    )
-    cluster.broadcast("hamming.threshold", threshold)
-
-    join_job = MapReduceJob(
-        name=f"hamming-join-{option}",
-        mapper=_make_probe_mapper(),
-        reducer=reducer,
-        partitioner=lambda key, n: key % n,
-        num_reducers=cluster.num_workers,
-    )
-    join_result = runtime.run(join_job, right_records)
-    report.join_seconds = join_result.simulated_seconds
-    report.join_shuffle_bytes = join_result.counters.get("shuffle.bytes")
-
-    if option == "A":
-        pairs = list(join_result.output)
-    else:
-        pairs = _recover_ids(
-            runtime, global_index, join_result.output, in_memory_limit, report
+        global_index = build.index
+        index_broadcast_before = cluster.counters.get("broadcast.bytes")
+        if option == "A":
+            cluster.broadcast(CACHE_GLOBAL_INDEX, global_index)
+            reducer = _join_reducer_option_a
+        else:
+            cluster.broadcast(
+                CACHE_GLOBAL_INDEX, global_index.strip_ids()
+            )
+            reducer = _join_reducer_option_b
+        report.index_broadcast_bytes = (
+            cluster.counters.get("broadcast.bytes")
+            - index_broadcast_before
         )
-    if exclude_self_pairs:
-        pairs = sorted({(a, b) for a, b in pairs if a < b})
-    report.pairs = pairs
-    report.broadcast_bytes = (
-        cluster.counters.get("broadcast.bytes") - broadcast_before
-    )
-    # Informational breakout: broadcast transfer is already folded into
-    # the simulated time of the job following each broadcast.
-    report.broadcast_seconds = (
-        build.job.broadcast_transfer_seconds
-        + join_result.broadcast_transfer_seconds
-    )
+        cluster.broadcast("hamming.threshold", threshold)
+
+        join_job = MapReduceJob(
+            name=f"hamming-join-{option}",
+            mapper=_make_probe_mapper(),
+            reducer=reducer,
+            partitioner=lambda key, n: key % n,
+            num_reducers=cluster.num_workers,
+        )
+        with trace_span("dist_join.join") as span:
+            join_result = runtime.run(join_job, right_records)
+            report.join_seconds = join_result.simulated_seconds
+            report.join_shuffle_bytes = join_result.counters.get(
+                "shuffle.bytes"
+            )
+            span.annotate(
+                simulated_seconds=report.join_seconds,
+                shuffle_bytes=report.join_shuffle_bytes,
+            )
+
+        with trace_span("dist_join.postprocess"):
+            if option == "A":
+                pairs = list(join_result.output)
+            else:
+                pairs = _recover_ids(
+                    runtime, global_index, join_result.output,
+                    in_memory_limit, report,
+                )
+            if exclude_self_pairs:
+                pairs = sorted({(a, b) for a, b in pairs if a < b})
+        report.pairs = pairs
+        report.broadcast_bytes = (
+            cluster.counters.get("broadcast.bytes") - broadcast_before
+        )
+        # Informational breakout: broadcast transfer is already folded
+        # into the simulated time of the job following each broadcast.
+        report.broadcast_seconds = (
+            build.job.broadcast_transfer_seconds
+            + join_result.broadcast_transfer_seconds
+        )
+        join_span.annotate(
+            pairs=len(report.pairs),
+            simulated_seconds=report.total_seconds,
+        )
     return report
 
 

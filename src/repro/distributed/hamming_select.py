@@ -34,6 +34,7 @@ from repro.hashing.base import SimilarityHash
 from repro.mapreduce.job import MapReduceJob, TaskContext
 from repro.mapreduce.partitioner import RangePartitioner
 from repro.mapreduce.runtime import MapReduceRuntime
+from repro.obs.trace import trace_span
 
 _CACHE_QUERIES = "hamming.select-queries"
 _CACHE_THRESHOLD = "hamming.select-threshold"
@@ -114,45 +115,61 @@ def mapreduce_hamming_select(
     report = HammingSelectReport(matches={})
     cluster = runtime.cluster
 
-    started = time.perf_counter()
-    hasher, _ = preprocess(
-        runtime, records, query_vectors,
-        num_bits=num_bits, sample_size=sample_size, seed=seed,
-        checkpoints=checkpoints,
-    )
-    query_matrix = np.asarray([vector for _, vector in query_vectors])
-    query_codes = hasher.encode(query_matrix)
-    query_batch = [
-        (query_id, code)
-        for (query_id, _), code in zip(query_vectors, query_codes)
-    ]
-    cluster.broadcast(_CACHE_QUERIES, query_batch)
-    cluster.broadcast(_CACHE_THRESHOLD, threshold)
-    report.preprocess_seconds = time.perf_counter() - started
+    with trace_span(
+        "dist_select", queries=len(query_vectors), threshold=threshold
+    ) as select_span:
+        with trace_span("dist_select.preprocess"):
+            started = time.perf_counter()
+            hasher, _ = preprocess(
+                runtime, records, query_vectors,
+                num_bits=num_bits, sample_size=sample_size, seed=seed,
+                checkpoints=checkpoints,
+            )
+            query_matrix = np.asarray(
+                [vector for _, vector in query_vectors]
+            )
+            query_codes = hasher.encode(query_matrix)
+            query_batch = [
+                (query_id, code)
+                for (query_id, _), code in zip(
+                    query_vectors, query_codes
+                )
+            ]
+            cluster.broadcast(_CACHE_QUERIES, query_batch)
+            cluster.broadcast(_CACHE_THRESHOLD, threshold)
+            report.preprocess_seconds = time.perf_counter() - started
 
-    job = MapReduceJob(
-        name="hamming-select-batch",
-        mapper=_encode_route_mapper,
-        reducer=_make_select_reducer(window, max_depth),
-        partitioner=lambda key, n: key % n,
-        num_reducers=cluster.num_workers,
-    )
-    result = runtime.run(job, records)
-    report.job_seconds = result.simulated_seconds
-    report.shuffle_bytes = result.counters.get("shuffle.bytes")
+        job = MapReduceJob(
+            name="hamming-select-batch",
+            mapper=_encode_route_mapper,
+            reducer=_make_select_reducer(window, max_depth),
+            partitioner=lambda key, n: key % n,
+            num_reducers=cluster.num_workers,
+        )
+        with trace_span("dist_select.job") as span:
+            result = runtime.run(job, records)
+            report.job_seconds = result.simulated_seconds
+            report.shuffle_bytes = result.counters.get("shuffle.bytes")
+            span.annotate(
+                simulated_seconds=report.job_seconds,
+                shuffle_bytes=report.shuffle_bytes,
+            )
 
-    matches: dict[int, list[int]] = {
-        query_id: [] for query_id, _ in query_vectors
-    }
-    partition_counts: dict[int, int] = {}
-    for query_id, (tuple_id, partition) in result.output:
-        matches[query_id].append(tuple_id)
-        partition_counts[partition] = partition_counts.get(partition, 0) + 1
-    report.matches = {
-        query_id: sorted(ids) for query_id, ids in matches.items()
-    }
-    # Matches produced per partition (not dataset partition sizes).
-    report.partition_sizes = [
-        partition_counts[key] for key in sorted(partition_counts)
-    ]
+        matches: dict[int, list[int]] = {
+            query_id: [] for query_id, _ in query_vectors
+        }
+        partition_counts: dict[int, int] = {}
+        for query_id, (tuple_id, partition) in result.output:
+            matches[query_id].append(tuple_id)
+            partition_counts[partition] = (
+                partition_counts.get(partition, 0) + 1
+            )
+        report.matches = {
+            query_id: sorted(ids) for query_id, ids in matches.items()
+        }
+        # Matches produced per partition (not dataset partition sizes).
+        report.partition_sizes = [
+            partition_counts[key] for key in sorted(partition_counts)
+        ]
+        select_span.annotate(simulated_seconds=report.total_seconds)
     return report

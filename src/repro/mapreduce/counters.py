@@ -69,3 +69,29 @@ class Counters:
     def total_shuffle_bytes(self) -> int:
         """Shuffled plus broadcast bytes: the paper's shuffle-cost metric."""
         return self.get(SHUFFLE_BYTES) + self.get(BROADCAST_BYTES)
+
+
+def metric_name(counter_name: str) -> str:
+    """Prometheus-safe metric name for a job counter.
+
+    ``shuffle.bytes`` becomes ``mr_shuffle_bytes`` — the ``mr_`` prefix
+    namespaces the MapReduce plane inside the shared registry.
+    """
+    return "mr_" + counter_name.replace(".", "_").replace("-", "_")
+
+
+def publish_counters(counters: Counters, job: str) -> None:
+    """Fold a job's counters into the process metrics registry.
+
+    No-op unless ambient metric collection is enabled; each counter
+    lands as ``mr_<name>{job=...}`` so per-job and cluster-wide totals
+    are both recoverable from one exposition.
+    """
+    from repro.obs import REGISTRY
+
+    if not REGISTRY.enabled:
+        return
+    for name, value in counters.as_dict().items():
+        if value < 0:  # defensive: counters must only rise
+            continue
+        REGISTRY.counter(metric_name(name), job=job).inc(value)

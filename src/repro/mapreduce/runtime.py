@@ -65,8 +65,10 @@ from repro.mapreduce.counters import (
     WORKERS_BLACKLISTED,
     WORKERS_LOST,
     Counters,
+    publish_counters,
 )
 from repro.mapreduce.faults import FaultPlan, hash_unit
+from repro.obs.trace import record_span, trace_span
 from repro.mapreduce.job import MapReduceJob, TaskContext
 from repro.mapreduce.types import InputSplit, KeyValue, make_splits, record_bytes
 
@@ -249,45 +251,79 @@ class MapReduceRuntime:
             self._cluster.take_pending_broadcast_bytes()
         )
 
-        try:
-            partitions: list[list[KeyValue]] = [
-                [] for _ in range(num_reducers)
-            ]
-            map_runners = [self._map_runner(job, split) for split in splits]
-            map_payloads, result.map_task_seconds, result.map_wall_seconds = (
-                self._execute_phase(job, "map", map_runners, counters)
-            )
-            for split, (emitted, context) in zip(splits, map_payloads):
-                counters.add(MAP_INPUT_RECORDS, len(split))
-                for record in emitted:
-                    counters.add(SHUFFLE_RECORDS)
-                    counters.add(SHUFFLE_BYTES, record_bytes(record))
-                    partitions[
-                        job.partitioner(record[0], num_reducers)
-                    ].append(record)
-                counters.merge(context.counters)
+        with trace_span("mr.job", job=job.name) as job_span:
+            try:
+                partitions: list[list[KeyValue]] = [
+                    [] for _ in range(num_reducers)
+                ]
+                map_runners = [
+                    self._map_runner(job, split) for split in splits
+                ]
+                (
+                    map_payloads,
+                    result.map_task_seconds,
+                    result.map_wall_seconds,
+                ) = self._execute_phase(job, "map", map_runners, counters)
+                record_span(
+                    "mr.map", result.map_wall_seconds,
+                    simulated=True, tasks=len(map_runners),
+                )
+                for split, (emitted, context) in zip(splits, map_payloads):
+                    counters.add(MAP_INPUT_RECORDS, len(split))
+                    for record in emitted:
+                        counters.add(SHUFFLE_RECORDS)
+                        counters.add(SHUFFLE_BYTES, record_bytes(record))
+                        partitions[
+                            job.partitioner(record[0], num_reducers)
+                        ].append(record)
+                    counters.merge(context.counters)
 
-            reduce_runners = [
-                self._reduce_runner(job, partition) for partition in partitions
-            ]
-            (
-                reduce_payloads,
-                result.reduce_task_seconds,
-                result.reduce_wall_seconds,
-            ) = self._execute_phase(job, "reduce", reduce_runners, counters)
-            for produced, context in reduce_payloads:
-                counters.add(REDUCE_OUTPUT_RECORDS, len(produced))
-                result.output.extend(produced)
-                counters.merge(context.counters)
+                reduce_runners = [
+                    self._reduce_runner(job, partition)
+                    for partition in partitions
+                ]
+                (
+                    reduce_payloads,
+                    result.reduce_task_seconds,
+                    result.reduce_wall_seconds,
+                ) = self._execute_phase(
+                    job, "reduce", reduce_runners, counters
+                )
+                for produced, context in reduce_payloads:
+                    counters.add(REDUCE_OUTPUT_RECORDS, len(produced))
+                    result.output.extend(produced)
+                    counters.merge(context.counters)
 
-            result.shuffle_transfer_seconds = self._cluster.transfer_seconds(
-                counters.get(SHUFFLE_BYTES)
-            )
-        finally:
-            # Even an aborted job surfaces its counters (retries, lost
-            # workers, backoff) on the cluster, like a failed Hadoop
-            # job's history file.
-            self._cluster.counters.merge(counters)
+                result.shuffle_transfer_seconds = (
+                    self._cluster.transfer_seconds(
+                        counters.get(SHUFFLE_BYTES)
+                    )
+                )
+                record_span(
+                    "mr.shuffle", result.shuffle_transfer_seconds,
+                    simulated=True,
+                    records=counters.get(SHUFFLE_RECORDS),
+                    bytes=counters.get(SHUFFLE_BYTES),
+                )
+                if result.broadcast_transfer_seconds:
+                    record_span(
+                        "mr.broadcast",
+                        result.broadcast_transfer_seconds,
+                        simulated=True,
+                    )
+                record_span(
+                    "mr.reduce", result.reduce_wall_seconds,
+                    simulated=True, tasks=len(reduce_runners),
+                )
+                job_span.annotate(
+                    simulated_seconds=result.simulated_seconds
+                )
+            finally:
+                # Even an aborted job surfaces its counters (retries,
+                # lost workers, backoff) on the cluster, like a failed
+                # Hadoop job's history file.
+                self._cluster.counters.merge(counters)
+                publish_counters(counters, job.name)
         return result
 
     def _as_splits(

@@ -87,6 +87,11 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
         raise InvalidParameterError("percentile of no samples")
     if not 0.0 <= fraction <= 1.0:
         raise InvalidParameterError("fraction must be in [0, 1]")
+    if any(math.isnan(sample) for sample in samples):
+        # NaN poisons sorted() (comparisons are all False, so the
+        # "order" depends on input position) — refuse rather than
+        # return an arbitrary element.
+        raise InvalidParameterError("percentile of NaN sample")
     ordered = sorted(samples)
     rank = max(1, int(math.ceil(fraction * len(ordered))))
     return ordered[rank - 1]
@@ -96,21 +101,24 @@ def latency_summary(samples: Sequence[float]) -> dict[str, float]:
     """Mean/p50/p95/p99/max of a latency sample set (milliseconds).
 
     Returns zeros for an empty set so a quiet service still renders a
-    stats block.  Keys: ``count``, ``mean_ms``, ``p50_ms``, ``p95_ms``,
-    ``p99_ms``, ``max_ms``.
+    stats block; non-finite samples (a poisoned timer reading) are
+    dropped rather than propagated into every percentile.  ``count``
+    reports only the finite samples summarized.  Keys: ``count``,
+    ``mean_ms``, ``p50_ms``, ``p95_ms``, ``p99_ms``, ``max_ms``.
     """
-    if not samples:
+    finite = [sample for sample in samples if math.isfinite(sample)]
+    if not finite:
         return {
             "count": 0.0, "mean_ms": 0.0, "p50_ms": 0.0,
             "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0,
         }
     return {
-        "count": float(len(samples)),
-        "mean_ms": float(sum(samples) / len(samples)),
-        "p50_ms": percentile(samples, 0.50),
-        "p95_ms": percentile(samples, 0.95),
-        "p99_ms": percentile(samples, 0.99),
-        "max_ms": max(samples),
+        "count": float(len(finite)),
+        "mean_ms": float(sum(finite) / len(finite)),
+        "p50_ms": percentile(finite, 0.50),
+        "p95_ms": percentile(finite, 0.95),
+        "p99_ms": percentile(finite, 0.99),
+        "max_ms": max(finite),
     }
 
 

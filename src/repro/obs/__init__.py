@@ -1,0 +1,130 @@
+"""Unified observability: query tracing + a process-wide metrics registry.
+
+Two complementary planes:
+
+* **Traces** (:mod:`repro.obs.trace`) — per-query span trees with
+  wall-clock and distance-computation attribution.  Open one with
+  :func:`trace`; instrumented code (the HA-Index engines, the MapReduce
+  runtime, the distributed pipelines) contributes spans whose op counts
+  sum exactly to the engines' ``last_search_ops``.  Inspect with
+  ``repro trace`` or the ``profile=`` kwarg of the search/join APIs.
+
+* **Metrics** (:mod:`repro.obs.registry`) — long-lived counters,
+  gauges and histograms with Prometheus text exposition and JSON
+  snapshots, fed by the serving path and the MapReduce counters when
+  :func:`set_metrics_enabled` has switched collection on.  Inspect with
+  ``repro metrics``.
+
+Both planes are **off by default** and each instrumentation site is
+guarded by a single cheap probe (:func:`tracing` /
+:func:`metrics_enabled`), keeping the disabled overhead under the 2%
+budget measured in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    add_ops,
+    current_span,
+    last_trace,
+    record_span,
+    render_span_tree,
+    trace,
+    trace_span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "trace",
+    "trace_span",
+    "record_span",
+    "tracing",
+    "current_span",
+    "add_ops",
+    "last_trace",
+    "render_span_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "registry",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "reset",
+]
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return REGISTRY
+
+
+def metrics_enabled() -> bool:
+    """True iff ambient metric collection is switched on."""
+    return REGISTRY.enabled
+
+
+def set_metrics_enabled(enabled: bool) -> None:
+    """Switch ambient metric collection on or off (default off)."""
+    REGISTRY.enabled = bool(enabled)
+
+
+def reset() -> None:
+    """Clear the default registry and disable collection (tests)."""
+    REGISTRY.enabled = False
+    REGISTRY.clear()
+
+
+class _NullTrace:
+    """Stand-in for :func:`trace` when ``profile=False``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_TRACE = _NullTrace()
+
+
+def maybe_trace(name: str, profile: bool, **attrs: object):
+    """:func:`trace` when ``profile`` is true, else a no-op context.
+
+    The backing of the ``profile=`` kwarg on the public search/join
+    APIs: with ``profile=True`` the call runs under a trace whose
+    finished tree is available from :func:`last_trace` (or, when a
+    trace was already open, attaches as a subtree of it).
+    """
+    if profile:
+        return trace(name, **attrs)
+    return _NULL_TRACE
+
+
+def note_search(engine: str, ops: int, queries: int = 1) -> None:
+    """Ambient per-search metrics (no-op unless metrics are enabled)."""
+    reg = REGISTRY
+    if not reg.enabled:
+        return
+    reg.counter(
+        "repro_search_total", "h-select queries executed", engine=engine
+    ).inc(queries)
+    reg.counter(
+        "repro_search_ops_total",
+        "distance computations performed by H-Search",
+        engine=engine,
+    ).inc(ops)

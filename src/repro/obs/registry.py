@@ -1,0 +1,337 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the serving-path complement of query traces: long-lived
+totals exposed in two formats — Prometheus text exposition
+(:meth:`MetricsRegistry.render_prometheus`) for scraping, and a nested
+JSON snapshot (:meth:`MetricsRegistry.snapshot`) for the CLI and bench
+result files.
+
+Ambient instrumentation (engine search counters, service request
+accounting, MapReduce job counters) is guarded by the registry's
+``enabled`` flag, default **off**: a disabled registry costs the
+instrumented paths one attribute probe.  Explicit use (benchmarks, the
+``repro metrics`` command, tests) flips it on with
+:func:`set_enabled`.
+
+Histograms keep a bounded reservoir of recent samples next to their
+cumulative buckets, and :meth:`Histogram.summary` reuses
+:func:`repro.metrics.latency_summary` — one percentile implementation
+across the serving stats and the observability layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable
+
+from repro.core.errors import InvalidParameterError
+from repro.metrics import latency_summary
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: Default histogram buckets for millisecond latencies (upper bounds).
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+    50.0, 100.0, 250.0, 1000.0,
+)
+
+#: Histogram reservoir size (recent samples kept for percentiles).
+DEFAULT_RESERVOIR = 2048
+
+
+def _format_value(value: float | int) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def _label_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared naming/label plumbing of every metric kind."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labels: dict[str, str]
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+    def expose(self) -> Iterable[tuple[str, str, float | int]]:
+        """(suffix, label text, value) samples for text exposition."""
+        raise NotImplementedError
+
+    def snapshot_value(self) -> object:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str = "", labels: dict[str, str] = {}
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self._value: float = 0
+
+    def inc(self, amount: float | int = 1) -> None:
+        if amount < 0:
+            raise InvalidParameterError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float | int:
+        return self._value
+
+    def expose(self) -> Iterable[tuple[str, str, float | int]]:
+        yield "", _label_text(self.labels), self._value
+
+    def snapshot_value(self) -> object:
+        return self._value
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str = "", labels: dict[str, str] = {}
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self._value: float = 0
+
+    def set(self, value: float | int) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float | int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float | int = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float | int:
+        return self._value
+
+    def expose(self) -> Iterable[tuple[str, str, float | int]]:
+        yield "", _label_text(self.labels), self._value
+
+    def snapshot_value(self) -> object:
+        return self._value
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram plus a bounded sample reservoir.
+
+    ``observe`` files a sample into every bucket whose upper bound it
+    does not exceed (Prometheus ``le`` semantics) and appends it to the
+    reservoir backing :meth:`summary`.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: dict[str, str] = {},
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+        reservoir: int = DEFAULT_RESERVOIR,
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise InvalidParameterError(
+                "histogram buckets must be a sorted, non-empty sequence"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._samples: deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._samples.append(value)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[position] += 1
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def summary(self) -> dict[str, float]:
+        """`latency_summary` of the recent-sample reservoir."""
+        with self._lock:
+            samples = list(self._samples)
+        return latency_summary(samples)
+
+    def expose(self) -> Iterable[tuple[str, str, float | int]]:
+        base = dict(self.labels)
+        cumulative = 0
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc = self._sum
+        for position, bound in enumerate(self.buckets):
+            cumulative = counts[position]
+            labels = dict(base)
+            labels["le"] = _format_value(bound)
+            yield "_bucket", _label_text(labels), cumulative
+        labels = dict(base)
+        labels["le"] = "+Inf"
+        yield "_bucket", _label_text(labels), counts[-1]
+        yield "_sum", _label_text(base), acc
+        yield "_count", _label_text(base), total
+
+    def snapshot_value(self) -> object:
+        with self._lock:
+            samples = list(self._samples)
+            value = {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": {
+                    _format_value(bound): self._counts[position]
+                    for position, bound in enumerate(self.buckets)
+                },
+            }
+        value["buckets"]["+Inf"] = self._counts[-1]
+        value["summary"] = latency_summary(samples)
+        return value
+
+
+def _key(name: str, labels: dict[str, str]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Named metric store with idempotent registration.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when called again with the same name and label set, so call sites
+    can resolve their metrics inline without import-order choreography.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, _Metric] = {}
+
+    def _get_or_create(self, factory, name: str, labels, kwargs) -> _Metric:
+        key = _key(name, labels or {})
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, labels=dict(labels or {}), **kwargs)
+                self._metrics[key] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> Counter:
+        metric = self._get_or_create(
+            Counter, name, labels, {"help_text": help_text}
+        )
+        assert isinstance(metric, Counter), f"{name} is not a counter"
+        return metric
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        metric = self._get_or_create(
+            Gauge, name, labels, {"help_text": help_text}
+        )
+        assert isinstance(metric, Gauge), f"{name} is not a gauge"
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+        **labels: str,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            Histogram, name, labels,
+            {"help_text": help_text, "buckets": buckets},
+        )
+        assert isinstance(metric, Histogram), f"{name} is not a histogram"
+        return metric
+
+    def clear(self) -> None:
+        """Drop every registered metric (tests and CLI resets)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def metrics(self) -> list[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in sorted(
+            self.metrics(), key=lambda m: (m.name, sorted(m.labels.items()))
+        ):
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help_text:
+                    lines.append(f"# HELP {metric.name} {metric.help_text}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for suffix, label_text, value in metric.expose():
+                lines.append(
+                    f"{metric.name}{suffix}{label_text} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """Nested JSON-able snapshot: name -> label text -> value."""
+        result: dict[str, dict] = {}
+        for metric in self.metrics():
+            entry = result.setdefault(
+                metric.name, {"type": metric.kind, "values": {}}
+            )
+            entry["values"][
+                _label_text(metric.labels) or "{}"
+            ] = metric.snapshot_value()
+        return result
+
+
+#: The process-wide default registry; disabled until someone opts in.
+REGISTRY = MetricsRegistry()

@@ -43,6 +43,8 @@ from repro.core.errors import (
 )
 from repro.core.index_base import HammingIndex
 from repro.core.knn import knn_select
+from repro.obs import REGISTRY
+from repro.obs.trace import trace
 from repro.service.admission import AdmissionQueue
 from repro.service.batching import (
     MicroBatchScheduler,
@@ -110,6 +112,11 @@ class HammingQueryService:
         start: spawn the worker pool immediately; pass ``False`` to
             stage requests before serving begins (tests use this to
             exercise backpressure deterministically).
+        trace_batches: open a ``service.batch`` trace around every
+            micro-batch execution, so the engine's per-level spans are
+            collected on the worker thread and the latest batch tree is
+            readable from :func:`repro.obs.last_trace` (off by
+            default — tracing every batch is not free).
     """
 
     def __init__(
@@ -124,12 +131,14 @@ class HammingQueryService:
         default_timeout: float | None = None,
         linger_seconds: float = 0.0,
         start: bool = True,
+        trace_batches: bool = False,
     ) -> None:
         if default_timeout is not None and default_timeout <= 0:
             raise InvalidParameterError("default_timeout must be positive")
         self._index = index
         self._index_lock = threading.Lock()
         self._batch_kernel = batch_kernel
+        self._trace_batches = trace_batches
         self._epoch = 0
         self._default_timeout = default_timeout
         self._closed = False
@@ -234,6 +243,11 @@ class HammingQueryService:
             raise
         except Exception:
             self._accounting.record_rejected()
+            if REGISTRY.enabled:
+                REGISTRY.counter(
+                    "service_rejected_total",
+                    "queries refused at admission",
+                ).inc()
             raise
         return request.ticket
 
@@ -325,16 +339,31 @@ class HammingQueryService:
     # -- batch execution (runs on worker threads) --------------------------
 
     def _execute_batch(self, batch: list[QueryRequest]) -> None:
+        if self._trace_batches:
+            # Worker threads have no client trace; open a root here so
+            # the engines' per-level spans are captured per batch.
+            with trace("service.batch", size=len(batch)):
+                self._execute_batch_inner(batch)
+        else:
+            self._execute_batch_inner(batch)
+
+    def _execute_batch_inner(self, batch: list[QueryRequest]) -> None:
         started = time.monotonic()
         live: list[QueryRequest] = []
+        timed_out = 0
         for request in batch:
             if request.deadline is not None and started > request.deadline:
                 self._accounting.record_timed_out()
+                timed_out += 1
                 request.ticket.fail(
                     _deadline_error(request, started)
                 )
                 continue
             live.append(request)
+        if REGISTRY.enabled and timed_out:
+            REGISTRY.counter(
+                "service_timed_out_total", "queries past their deadline"
+            ).inc(timed_out)
         if not live:
             return
         groups: dict[tuple[str, int, int], list[QueryRequest]] = {}
@@ -367,12 +396,38 @@ class HammingQueryService:
                     (request, result) for request in requests
                 )
         finished = time.monotonic()
+        publish = REGISTRY.enabled
+        hits = 0
         for request, result in resolutions:
-            self._accounting.record_served(
-                (finished - request.submitted_at) * 1000.0
-            )
+            latency_ms = (finished - request.submitted_at) * 1000.0
+            self._accounting.record_served(latency_ms)
+            if publish:
+                REGISTRY.histogram(
+                    "service_request_latency_ms",
+                    "submit-to-resolve latency",
+                    kind=request.kind,
+                ).observe(latency_ms)
+                if result.cached:
+                    hits += 1
             request.ticket.resolve(result)
         self._accounting.record_batch(len(live), executed, dedup_saved)
+        if publish:
+            REGISTRY.counter(
+                "service_served_total", "queries answered"
+            ).inc(len(resolutions))
+            REGISTRY.counter(
+                "service_cache_hits_total",
+                "requests absorbed by the result cache",
+            ).inc(hits)
+            REGISTRY.counter(
+                "service_traversals_total",
+                "index traversals after cache and dedup",
+            ).inc(executed)
+            REGISTRY.histogram(
+                "service_batch_size",
+                "live queries per micro-batch",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+            ).observe(float(len(live)))
         self._queue.note_service_time((finished - started) / len(live))
 
     def _run_misses(
@@ -431,6 +486,16 @@ class HammingQueryService:
             epoch=epoch,
             cache=self._cache.stats(),
         )
+
+    def publish_metrics(self) -> ServiceStats:
+        """Snapshot the stats and fold them into the metrics registry.
+
+        Respects the registry's ``enabled`` flag; returns the snapshot
+        either way so callers can render it too.
+        """
+        stats = self.stats()
+        stats.publish()
+        return stats
 
 
 def _run_query(

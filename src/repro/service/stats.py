@@ -114,6 +114,47 @@ class ServiceStats:
         ]
         return "\n".join(lines)
 
+    def publish(self, registry=None) -> None:
+        """Fold this snapshot into a metrics registry.
+
+        Snapshot totals land as gauges (``service_served`` etc.), so
+        republishing a newer snapshot overwrites rather than
+        double-counts; latency percentiles land as
+        ``service_latency_ms{quantile=...}``.  Defaults to the
+        process-wide registry and respects its ``enabled`` flag.
+        """
+        if registry is None:
+            from repro.obs import REGISTRY as registry
+        if not registry.enabled:
+            return
+        totals = {
+            "service_served": self.served,
+            "service_rejected": self.rejected,
+            "service_timed_out": self.timed_out,
+            "service_batches": self.batches,
+            "service_batched_requests": self.batched_requests,
+            "service_executed": self.executed,
+            "service_dedup_saved": self.dedup_saved,
+            "service_refreshes": self.refreshes,
+            "service_queue_depth": self.queue_depth,
+            "service_queue_capacity": self.queue_capacity,
+            "service_workers": self.workers,
+            "service_epoch": self.epoch,
+            "service_cache_hits": self.cache.hits,
+            "service_cache_misses": self.cache.misses,
+            "service_cache_evictions": self.cache.evictions,
+            "service_cache_size": self.cache.size,
+        }
+        for name, value in totals.items():
+            registry.gauge(name).set(value)
+        for key, value in self.latency.items():
+            quantile = key[:-3] if key.endswith("_ms") else key
+            if quantile == "count":
+                continue
+            registry.gauge(
+                "service_latency_ms", quantile=quantile
+            ).set(value)
+
 
 class ServiceAccounting:
     """Thread-safe mutable counters behind :class:`ServiceStats`."""

@@ -70,6 +70,25 @@ class TestWorkloadHelpers:
         assert (tmp_path / "unit.txt").read_text() == "hello table\n"
         assert "hello table" in capsys.readouterr().out
 
+    def test_record_json_writes_file(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        path = harness.record_json("unit", {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_profile_queries_accounts_ops(self):
+        codes = CodeSet(random_codes(200, 16, seed=3), 16)
+        index = DynamicHAIndex.build(codes)
+        queries = [codes[0], codes[1], codes[2]]
+        phases = harness.profile_queries(index, queries, 2)
+        assert "h_search" in phases
+        assert "h_search.level" in phases
+        # Per-phase ops across the sweep sum to the per-query totals.
+        total = sum(entry["ops"] for entry in phases.values())
+        expected = harness.mean_search_ops(index, queries, 2) * len(queries)
+        assert total == expected
+
 
 class TestCollectExperiments:
     def test_build_mentions_every_exhibit(self):

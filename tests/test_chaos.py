@@ -32,6 +32,8 @@ from repro.mapreduce.faults import ChaosPolicy, FaultPlan, hash_unit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import MapReduceRuntime
 
+pytestmark = pytest.mark.slow
+
 
 def _records(n: int, seed: int = 7):
     dataset = nuswide_like(n, seed=seed)

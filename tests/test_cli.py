@@ -98,3 +98,47 @@ class TestCommands:
         assert main(["verify", "--n", "200", "--bits", "16"]) == 0
         out = capsys.readouterr().out
         assert out.count("OK") == 7
+
+    def test_trace_command(self, capsys):
+        assert main(
+            ["trace", "--n", "400", "--bits", "16", "--threshold", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        # One span tree and one ops verdict per engine.
+        assert out.count("h_search.level") >= 2
+        assert out.count("total ops:") == 2
+        assert out.count("-> OK") == 2
+        assert "MISMATCH" not in out
+
+    def test_trace_single_engine(self, capsys):
+        assert main(
+            ["trace", "--n", "300", "--bits", "16", "--engine", "flat"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("-> OK") == 1
+        assert "engine=flat" in out
+
+    def test_metrics_command_prom(self, capsys):
+        from repro.obs import metrics_enabled, registry
+
+        assert main(
+            ["metrics", "--n", "300", "--bits", "16", "--queries", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_search_total counter" in out
+        assert "service_batch_size_bucket" in out
+        assert 'repro_search_total{engine="flat"}' in out
+        # The command must clean up the process-wide registry.
+        assert not metrics_enabled()
+        assert registry().snapshot() == {}
+
+    def test_metrics_command_json(self, capsys):
+        import json
+
+        assert main(
+            ["metrics", "--n", "300", "--bits", "16",
+             "--queries", "50", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repro_search_total"]["type"] == "counter"
+        assert "service_served" in payload

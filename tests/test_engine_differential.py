@@ -1,0 +1,160 @@
+"""Differential fuzzing: every query engine agrees on random corpora.
+
+Each seeded case draws a random corpus (varying code width, forced
+duplicate codes, a batch of buffered inserts and a batch of deletes)
+and checks that the node-walk Dynamic HA-Index, the compiled flat
+kernel, the Static HA-Index, and the nested-loops oracle return
+identical answers for h-select, h-join, and kNN — and that the two
+HA-Search planes account for exactly the same number of distance
+computations.  The parametrization spans > 200 cases, so a regression
+in any engine's traversal, buffer handling, or delete path surfaces as
+a concrete seed to replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.nested_loops import NestedLoopsIndex
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.join import hamming_join, nested_loops_join
+from repro.core.knn import knn_select
+from repro.core.select import hamming_select
+from repro.core.static_ha import StaticHAIndex
+
+WIDTHS = (16, 32, 64, 96)
+SELECT_SEEDS = range(25)
+KNN_SEEDS = range(13)
+JOIN_SEEDS = range(13)
+
+
+def _random_codes(
+    rng: random.Random, width: int, n: int
+) -> list[int]:
+    codes = [rng.getrandbits(width) for _ in range(n)]
+    # Force duplicate codes: distinct tuples sharing one leaf exercise
+    # the frequency bookkeeping and the id-list fan-out.
+    for _ in range(max(1, n // 6)):
+        codes[rng.randrange(n)] = codes[rng.randrange(n)]
+    return codes
+
+
+def _mutated_engines(rng: random.Random, width: int):
+    """(logical (code, id) pairs, dha, flat, sha) after random edits.
+
+    Builds every engine over a base corpus, then applies the same
+    insert and delete batches to each: inserts stay small enough to
+    remain in the Dynamic HA-Index's temporary buffer, and deletes hit
+    both tree-resident and buffered tuples.
+    """
+    n = rng.randrange(40, 161)
+    base = _random_codes(rng, width, n)
+    logical = list(zip(base, range(n)))
+    dha = DynamicHAIndex.build(CodeSet(base, width))
+    sha = StaticHAIndex.build(CodeSet(base, width))
+
+    inserts = [
+        (rng.getrandbits(width), n + position)
+        for position in range(rng.randrange(0, 6))
+    ]
+    for code, tuple_id in inserts:
+        dha.insert(code, tuple_id)
+        sha.insert(code, tuple_id)
+        logical.append((code, tuple_id))
+    victims = rng.sample(logical, k=min(len(logical), rng.randrange(0, 6)))
+    for code, tuple_id in victims:
+        dha.delete(code, tuple_id)
+        sha.delete(code, tuple_id)
+        logical.remove((code, tuple_id))
+
+    return logical, dha, dha.compile(), sha
+
+
+def _oracle_select(
+    logical: list[tuple[int, int]], query: int, threshold: int
+) -> list[int]:
+    return sorted(
+        tuple_id
+        for code, tuple_id in logical
+        if (code ^ query).bit_count() <= threshold
+    )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", SELECT_SEEDS)
+def test_select_engines_agree(width: int, seed: int) -> None:
+    rng = random.Random(seed * 1009 + width)
+    logical, dha, flat, sha = _mutated_engines(rng, width)
+    queries = [code for code, _ in rng.sample(logical, k=3)]
+    queries.append(rng.getrandbits(width))
+    for query in queries:
+        threshold = rng.randrange(0, max(2, width // 4))
+        expected = _oracle_select(logical, query, threshold)
+        assert sorted(dha.search(query, threshold)) == expected
+        assert sorted(flat.search(query, threshold)) == expected
+        assert sorted(sha.search(query, threshold)) == expected
+        # The compiled kernel replays the node walk level by level, so
+        # its op accounting must be *identical*, not merely similar.
+        assert dha.last_search_ops == flat.last_search_ops
+        # The static index memoizes per-(layer, value) XORs, so each
+        # layer charges at most one op per distinct segment value —
+        # bounded by the corpus size per layer.
+        assert 0 < sha.last_search_ops <= sha.num_segments * len(logical)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", KNN_SEEDS)
+def test_knn_engines_agree(width: int, seed: int) -> None:
+    rng = random.Random(seed * 2003 + width)
+    logical, dha, flat, sha = _mutated_engines(rng, width)
+    query = rng.getrandbits(width)
+    k = rng.randrange(1, 12)
+    exact = sorted(
+        (code ^ query).bit_count() for code, _ in logical
+    )[:k]
+    for engine in (dha, flat, sha):
+        got = knn_select(query, engine, k)
+        assert len(got) == min(k, len(logical))
+        # Ties at the cut-off distance make the id set ambiguous, so
+        # the distance multiset is the engine-independent invariant.
+        assert sorted(distance for _, distance in got) == exact
+        by_id = {tuple_id: code for code, tuple_id in logical}
+        for tuple_id, distance in got:
+            assert (by_id[tuple_id] ^ query).bit_count() == distance
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", JOIN_SEEDS)
+def test_join_engines_agree(width: int, seed: int) -> None:
+    rng = random.Random(seed * 3001 + width)
+    left = CodeSet(_random_codes(rng, width, rng.randrange(30, 90)), width)
+    right = CodeSet(_random_codes(rng, width, rng.randrange(30, 90)), width)
+    threshold = rng.randrange(0, max(2, width // 6))
+    expected = sorted(nested_loops_join(left, right, threshold))
+    for engine in ("nodes", "flat"):
+        got = sorted(hamming_join(left, right, threshold, engine=engine))
+        assert got == expected, (
+            f"h-join({engine}) diverged from the nested-loops oracle "
+            f"at width={width} seed={seed} h={threshold}"
+        )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_select_front_end_matches_index_planes(width: int) -> None:
+    """``hamming_select`` agrees across CodeSet scan and every index."""
+    rng = random.Random(width * 77)
+    codes = _random_codes(rng, width, 120)
+    codeset = CodeSet(codes, width)
+    query = rng.getrandbits(width)
+    threshold = width // 5
+    expected = sorted(hamming_select(query, codeset, threshold))
+    for builder in (
+        NestedLoopsIndex.build,
+        DynamicHAIndex.build,
+        StaticHAIndex.build,
+    ):
+        index = builder(codeset)
+        assert sorted(hamming_select(query, index, threshold)) == expected

@@ -1,0 +1,140 @@
+"""Metamorphic relations the query operators must satisfy.
+
+No oracle needed: each test checks an algebraic property that relates
+two runs of the system to each other — growing the threshold can only
+grow an h-select's answer set, an h-join is symmetric in its inputs,
+and an insert/delete round trip leaves the Dynamic HA-Index exactly
+where it started (answers *and* node frequencies, since H-Delete must
+unwind every path H-Insert touched).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.join import hamming_join
+from repro.core.static_ha import StaticHAIndex
+
+WIDTH = 32
+SEEDS = range(8)
+
+
+def _corpus(rng: random.Random, n: int, width: int = WIDTH) -> CodeSet:
+    codes = [rng.getrandbits(width) for _ in range(n)]
+    for _ in range(n // 6):
+        codes[rng.randrange(n)] = codes[rng.randrange(n)]
+    return CodeSet(codes, width)
+
+
+def _frequency_snapshot(index: DynamicHAIndex) -> dict:
+    """(bits, mask) -> (frequency, sorted leaf ids) over the whole tree."""
+    snapshot = {}
+
+    def visit(node):
+        snapshot[(node.bits, node.mask)] = (
+            node.frequency,
+            sorted(node.ids) if node.is_leaf else None,
+        )
+        for child in node.children:
+            visit(child)
+
+    for top in index._top:
+        visit(top)
+    return snapshot
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", [DynamicHAIndex, StaticHAIndex])
+def test_threshold_monotonicity(seed: int, family) -> None:
+    """Results at threshold h are a subset of results at h + 1."""
+    rng = random.Random(400 + seed)
+    codes = _corpus(rng, 150)
+    index = family.build(codes)
+    engines = [index]
+    if hasattr(index, "compile"):
+        engines.append(index.compile())
+    for engine in engines:
+        for _ in range(4):
+            query = rng.getrandbits(WIDTH)
+            previous: set[int] = set()
+            for threshold in range(0, 10):
+                current = set(engine.search(query, threshold))
+                assert previous <= current, (
+                    f"{type(engine).__name__}: raising h from "
+                    f"{threshold - 1} to {threshold} dropped results"
+                )
+                previous = current
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine", ["nodes", "flat"])
+def test_join_symmetry(seed: int, engine: str) -> None:
+    """h-join(R, S) equals the transpose of h-join(S, R)."""
+    rng = random.Random(500 + seed)
+    left = _corpus(rng, rng.randrange(40, 100))
+    right = _corpus(rng, rng.randrange(40, 100))
+    threshold = rng.randrange(0, 6)
+    forward = sorted(hamming_join(left, right, threshold, engine=engine))
+    backward = sorted(
+        (left_id, right_id)
+        for right_id, left_id in hamming_join(
+            right, left, threshold, engine=engine
+        )
+    )
+    assert forward == backward
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_insert_delete_round_trip(seed: int) -> None:
+    """Insert-then-delete restores answers and node frequencies.
+
+    Covers both insert paths: codes new to the index (buffered) and
+    codes already resident in a leaf (frequency bump along the path).
+    """
+    rng = random.Random(600 + seed)
+    codes = _corpus(rng, 120)
+    index = DynamicHAIndex.build(codes)
+    queries = [rng.getrandbits(WIDTH) for _ in range(4)]
+    threshold = 4
+    before_answers = [
+        sorted(index.search(query, threshold)) for query in queries
+    ]
+    before_frequencies = _frequency_snapshot(index)
+    before_size = len(index)
+
+    new_code = rng.getrandbits(WIDTH)
+    existing_code = codes[rng.randrange(len(codes))]
+    edits = [(new_code, 9001), (existing_code, 9002), (new_code, 9003)]
+    for code, tuple_id in edits:
+        index.insert(code, tuple_id)
+    for code, tuple_id in reversed(edits):
+        index.delete(code, tuple_id)
+
+    assert len(index) == before_size
+    assert [
+        sorted(index.search(query, threshold)) for query in queries
+    ] == before_answers
+    assert _frequency_snapshot(index) == before_frequencies
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_delete_then_reinsert_round_trip(seed: int) -> None:
+    """Removing a resident tuple and re-adding it restores answers."""
+    rng = random.Random(700 + seed)
+    codes = _corpus(rng, 120)
+    index = DynamicHAIndex.build(codes)
+    query = rng.getrandbits(WIDTH)
+    before = sorted(index.search(query, 5))
+    victim = rng.randrange(len(codes))
+    index.delete(codes[victim], victim)
+    index.insert(codes[victim], victim)
+    assert sorted(index.search(query, 5)) == before
+    assert sorted(index.search(codes[victim], 0)) == sorted(
+        tuple_id
+        for code, tuple_id in zip(codes.codes, codes.ids)
+        if code == codes[victim]
+    )

@@ -1,0 +1,324 @@
+"""Unit tests for the observability layer: spans, registry, summaries.
+
+Covers the trace plumbing (nesting, no-op behavior when idle, op
+attribution, rendering), the metrics registry (idempotent registration,
+exposition formats, the enabled gate), the percentile/latency edge
+cases the serving stats depend on, and the ``profile=`` front-end.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.select import hamming_select
+from repro.metrics import latency_summary, percentile
+from repro.obs import (
+    MetricsRegistry,
+    maybe_trace,
+    note_search,
+    registry,
+    reset,
+    set_metrics_enabled,
+)
+from repro.obs.trace import (
+    Span,
+    add_ops,
+    current_span,
+    last_trace,
+    record_span,
+    render_span_tree,
+    trace,
+    trace_span,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset()
+    yield
+    reset()
+
+
+class TestTracing:
+    def test_idle_thread_has_no_trace(self):
+        assert not tracing()
+        assert current_span() is None
+
+    def test_trace_span_is_noop_when_idle(self):
+        with trace_span("h_search.level", ops=5, depth=0) as span:
+            span.add_ops(10)
+            span.annotate(examined=3)
+        assert not tracing()
+
+    def test_record_span_returns_none_when_idle(self):
+        assert record_span("mr.map", 1.5, ops=3) is None
+
+    def test_add_ops_is_noop_when_idle(self):
+        add_ops(100)  # must not raise
+
+    def test_root_trace_collects_children(self):
+        with trace("h_select", threshold=3) as root:
+            assert tracing()
+            with trace_span("h_search.level", depth=0) as level:
+                level.add_ops(7)
+            record_span("h_search.buffer", 0.0, ops=2)
+        assert not tracing()
+        assert [child.name for child in root.children] == [
+            "h_search.level", "h_search.buffer",
+        ]
+        assert root.total_ops == 9
+        assert root.seconds >= 0.0
+        assert last_trace() is root
+
+    def test_nested_trace_attaches_as_child(self):
+        with trace("outer") as outer:
+            with trace("inner"):
+                with trace_span("leaf", ops=1):
+                    pass
+        assert [child.name for child in outer.children] == ["inner"]
+        assert outer.children[0].children[0].name == "leaf"
+        # Only the *root* exit updates last_trace.
+        assert last_trace() is outer
+
+    def test_ops_attribute_to_innermost_span(self):
+        with trace("root") as root:
+            with trace_span("child"):
+                add_ops(4)
+            add_ops(1)
+        assert root.ops == 1
+        assert root.children[0].ops == 4
+        assert root.total_ops == 5
+
+    def test_find_walks_depth_first(self):
+        with trace("root") as root:
+            with trace_span("a", depth=0):
+                with trace_span("a", depth=1):
+                    pass
+            with trace_span("b"):
+                pass
+        found = root.find("a")
+        assert [span.attrs["depth"] for span in found] == [0, 1]
+        assert root.find("missing") == []
+
+    def test_as_dict_round_trips_through_json(self):
+        with trace("root", engine="nodes") as root:
+            with trace_span("child", ops=3, depth=1):
+                pass
+        payload = json.loads(json.dumps(root.as_dict()))
+        assert payload["name"] == "root"
+        assert payload["attrs"] == {"engine": "nodes"}
+        assert payload["children"][0]["ops"] == 3
+
+    def test_render_span_tree_shows_ops_total(self):
+        root = Span("h_search", {"engine": "nodes"})
+        child = Span("h_search.level", {"depth": 0})
+        child.ops = 12
+        root.children.append(child)
+        rendered = render_span_tree(root)
+        assert "h_search [engine=nodes]" in rendered
+        assert "`-- h_search.level [depth=0]" in rendered
+        assert "ops=12" in rendered
+        assert rendered.endswith("total ops: 12")
+
+    def test_maybe_trace_profile_false_opens_nothing(self):
+        before = last_trace()
+        with maybe_trace("h_select", False, threshold=3):
+            assert not tracing()
+        assert last_trace() is before
+
+    def test_profile_kwarg_exposes_trace(self):
+        codes = CodeSet([0b1010, 0b1011, 0b0110, 0b1010], 4)
+        index = DynamicHAIndex.build(codes)
+        result = hamming_select(0b1010, index, 1, profile=True)
+        assert sorted(result) == sorted(index.search(0b1010, 1))
+        tree = last_trace()
+        assert tree is not None and tree.name == "h_select"
+        assert tree.total_ops == index.last_search_ops
+
+
+class TestTracedOpAccounting:
+    def test_level_ops_sum_to_last_search_ops(self):
+        import random
+
+        rng = random.Random(11)
+        codes = CodeSet([rng.getrandbits(32) for _ in range(400)], 32)
+        index = DynamicHAIndex.build(codes)
+        flat = index.compile()
+        for engine, name in ((index, "nodes"), (flat, "flat")):
+            query = rng.getrandbits(32)
+            with trace("q") as root:
+                engine.search(query, 3)
+            assert root.total_ops == engine.last_search_ops, name
+            levels = root.find("h_search.level")
+            assert levels, name
+            assert all(
+                span.ops == span.attrs["examined"] for span in levels
+            )
+
+    def test_traced_and_untraced_walks_agree(self):
+        import random
+
+        rng = random.Random(13)
+        codes = CodeSet([rng.getrandbits(32) for _ in range(300)], 32)
+        index = DynamicHAIndex.build(codes)
+        for trial in range(10):
+            query = rng.getrandbits(32)
+            plain = sorted(index.search(query, 4))
+            plain_ops = index.last_search_ops
+            with trace("q"):
+                traced = sorted(index.search(query, 4))
+            assert traced == plain
+            assert index.last_search_ops == plain_ops
+
+
+class TestRegistry:
+    def test_disabled_by_default(self):
+        assert not registry().enabled
+
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry(enabled=True)
+        counter = reg.counter("requests_total", "requests", kind="ok")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(InvalidParameterError):
+            counter.inc(-1)
+
+    def test_registration_is_idempotent_per_label_set(self):
+        reg = MetricsRegistry(enabled=True)
+        a = reg.counter("c", engine="nodes")
+        b = reg.counter("c", engine="nodes")
+        c = reg.counter("c", engine="flat")
+        assert a is b
+        assert a is not c
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry(enabled=True)
+        gauge = reg.gauge("depth")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 8
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("lat_ms", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 2.0, 7.0, 50.0):
+            hist.observe(value)
+        samples = dict(
+            (suffix + label_text, value)
+            for suffix, label_text, value in hist.expose()
+        )
+        assert samples['_bucket{le="1.0"}'] == 1
+        assert samples['_bucket{le="5.0"}'] == 2
+        assert samples['_bucket{le="10.0"}'] == 3
+        assert samples['_bucket{le="+Inf"}'] == 4
+        assert samples["_count"] == 4
+        assert samples["_sum"] == pytest.approx(59.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            MetricsRegistry(enabled=True).histogram(
+                "bad", buckets=(5.0, 1.0)
+            )
+
+    def test_prometheus_exposition_format(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("searches_total", "queries served", engine="flat").inc(3)
+        reg.gauge("depth").set(2)
+        text = reg.render_prometheus()
+        assert "# HELP searches_total queries served" in text
+        assert "# TYPE searches_total counter" in text
+        assert 'searches_total{engine="flat"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c", engine="nodes").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(json.dumps(reg.snapshot()))
+        assert payload["c"]["values"]['{engine="nodes"}'] == 2
+        assert payload["h"]["values"]["{}"]["count"] == 1
+
+    def test_clear_drops_metrics(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.clear()
+        assert reg.render_prometheus() == ""
+
+    def test_note_search_respects_enabled_gate(self):
+        note_search("nodes", 42)
+        assert registry().snapshot() == {}
+        set_metrics_enabled(True)
+        note_search("nodes", 42, queries=2)
+        snap = registry().snapshot()
+        assert snap["repro_search_total"]["values"]['{engine="nodes"}'] == 2
+        assert (
+            snap["repro_search_ops_total"]["values"]['{engine="nodes"}']
+            == 42
+        )
+
+
+class TestLatencyEdgeCases:
+    def test_percentile_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            percentile([], 0.5)
+
+    def test_percentile_fraction_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            percentile([1.0], 1.5)
+        with pytest.raises(InvalidParameterError):
+            percentile([1.0], -0.1)
+        with pytest.raises(InvalidParameterError):
+            percentile([1.0], float("nan"))
+
+    def test_percentile_single_sample(self):
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([3.25], fraction) == 3.25
+
+    def test_percentile_rejects_nan_samples(self):
+        with pytest.raises(InvalidParameterError):
+            percentile([1.0, float("nan"), 2.0], 0.5)
+
+    def test_percentile_is_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0.5) == 20.0
+        assert percentile(samples, 0.75) == 30.0
+        assert percentile(samples, 0.751) == 40.0
+
+    def test_latency_summary_empty_window(self):
+        summary = latency_summary([])
+        assert summary["count"] == 0.0
+        assert summary["p99_ms"] == 0.0
+
+    def test_latency_summary_single_sample(self):
+        summary = latency_summary([2.5])
+        assert summary["count"] == 1.0
+        assert summary["mean_ms"] == 2.5
+        assert summary["p50_ms"] == 2.5
+        assert summary["p99_ms"] == 2.5
+        assert summary["max_ms"] == 2.5
+
+    def test_latency_summary_drops_non_finite(self):
+        summary = latency_summary(
+            [1.0, float("nan"), float("inf"), 3.0, -float("inf")]
+        )
+        assert summary["count"] == 2.0
+        assert summary["mean_ms"] == 2.0
+        assert summary["max_ms"] == 3.0
+        assert all(
+            math.isfinite(value) for value in summary.values()
+        )
+
+    def test_latency_summary_all_nan_behaves_like_empty(self):
+        summary = latency_summary([float("nan")] * 3)
+        assert summary["count"] == 0.0
+        assert summary["p95_ms"] == 0.0

@@ -23,6 +23,8 @@ from repro.core.errors import ServiceOverloadError
 from repro.data.synthetic import random_codes
 from repro.service import HammingQueryService
 
+pytestmark = pytest.mark.slow
+
 BITS = 16
 BASE_SIZE = 150
 WRITERS = 3
