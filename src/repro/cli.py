@@ -8,6 +8,10 @@ Commands:
 * ``knn``     — approximate kNN-select through the HA-Index.
 * ``mrjoin``  — the distributed three-phase join with shuffle stats.
 * ``serve-bench`` — the online query service under a skewed workload.
+* ``serve-sharded`` — the sharded scatter-gather service with
+  Gray-range pruning, replica failover and hedged dispatch.
+* ``bench-shard`` — pruning ratio and latency of the sharded service
+  against the single-index service.
 * ``bench-kernel`` — flat compiled kernel vs node walk (``--verify``
   runs an exact-equivalence smoke instead of timing).
 * ``trace``   — span tree of one traced Hamming-select (per-level op
@@ -182,6 +186,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["nodes", "flat"], default="flat",
         help="batch execution plane: flat runs uncached select batches "
              "through the vectorized kernel (default flat)",
+    )
+
+    def add_shard_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--shards", type=int, default=4,
+            help="Gray-range shard count (default 4)",
+        )
+        sub.add_argument(
+            "--replicas", type=int, default=1,
+            help="replicas per shard (default 1)",
+        )
+        sub.add_argument("--threshold", type=int, default=3)
+        sub.add_argument(
+            "--queries", type=int, default=2000,
+            help="queries issued through the service (default 2000)",
+        )
+        sub.add_argument(
+            "--workload",
+            choices=["member", "zipf", "near-miss", "mixed"],
+            default="zipf",
+            help="query stream shape (default zipf)",
+        )
+        sub.add_argument(
+            "--clusters", type=int, default=0,
+            help="re-cluster the codes into this many separated "
+                 "Hamming clusters before serving (0 keeps the "
+                 "hashed codes; clustering is what Gray-range "
+                 "pruning exploits)",
+        )
+
+    serve_sharded = commands.add_parser(
+        "serve-sharded",
+        help="drive the sharded scatter-gather service and print "
+             "ServiceStats plus shard/pruning stats",
+    )
+    add_workload_arguments(serve_sharded)
+    add_shard_arguments(serve_sharded)
+    serve_sharded.add_argument(
+        "--workers", type=int, default=4,
+        help="micro-batch worker threads (default 4)",
+    )
+    serve_sharded.add_argument(
+        "--batch", type=int, default=32,
+        help="max queries coalesced per batch (default 32)",
+    )
+    serve_sharded.add_argument(
+        "--cache", type=int, default=4096,
+        help="result cache capacity, 0 disables (default 4096)",
+    )
+    serve_sharded.add_argument(
+        "--fail-prob", type=float, default=0.0,
+        help="seeded per-dispatch replica failure probability "
+             "(exercises failover; needs --replicas > 1)",
+    )
+    serve_sharded.add_argument(
+        "--straggler-prob", type=float, default=0.0,
+        help="seeded slow-primary probability (hedged dispatch)",
+    )
+    serve_sharded.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the replica fault plan (default 0)",
+    )
+
+    bench_shard = commands.add_parser(
+        "bench-shard",
+        help="pruning ratio and latency of the sharded service vs "
+             "the single-index service",
+    )
+    add_workload_arguments(bench_shard)
+    add_shard_arguments(bench_shard)
+    bench_shard.add_argument(
+        "--batch", type=int, default=64,
+        help="max queries coalesced per micro-batch (default 64)",
     )
 
     bench_kernel = commands.add_parser(
@@ -478,6 +555,134 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_workload(args: argparse.Namespace):
+    from repro.data.workloads import (
+        WORKLOAD_SHAPES,
+        cluster_codes,
+        mixed_workload,
+    )
+
+    _, codes = _encoded_workload(args)
+    codes = cluster_codes(codes, args.clusters)
+    if args.workload == "mixed":
+        queries = mixed_workload(codes, args.queries, seed=args.seed)
+    else:
+        queries = WORKLOAD_SHAPES[args.workload](
+            codes, args.queries, args.seed
+        )
+    return codes, queries
+
+
+def _command_serve_sharded(args: argparse.Namespace) -> int:
+    from repro.mapreduce.faults import ChaosPolicy
+    from repro.service import ShardedQueryService
+
+    codes, queries = _shard_workload(args)
+    chaos = None
+    if args.fail_prob or args.straggler_prob:
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed,
+            crash_prob=args.fail_prob,
+            straggler_prob=args.straggler_prob,
+            straggler_factor=2.0,
+        )
+    service = ShardedQueryService(
+        codes,
+        num_shards=args.shards,
+        replication=args.replicas,
+        chaos=chaos,
+        workers=args.workers,
+        max_batch=args.batch,
+        queue_limit=len(queries) + 8,
+        cache_capacity=args.cache,
+    )
+    started = time.perf_counter()
+    with service:
+        tickets = [
+            service.submit("select", query, args.threshold)
+            for query in queries
+        ]
+        for ticket in tickets:
+            ticket.result()
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+        shard_stats = service.shard_stats()
+    qps = len(queries) / elapsed if elapsed else 0.0
+    print(f"sharded serving of {len(queries)} {args.workload} queries "
+          f"over {len(codes)} x {args.bits}-bit codes, "
+          f"h={args.threshold}, {args.shards} shards x "
+          f"{args.replicas} replicas:")
+    print(f"  throughput: {qps:,.0f} queries/s")
+    print(stats.render())
+    print(shard_stats.render())
+    return 0
+
+
+def _drain_selects(service, queries, threshold: int) -> float:
+    """Pipelined select sweep: submit everything, gather every ticket."""
+    started = time.perf_counter()
+    tickets = [
+        service.submit("select", query, threshold) for query in queries
+    ]
+    for ticket in tickets:
+        ticket.result()
+    return time.perf_counter() - started
+
+
+def _command_bench_shard(args: argparse.Namespace) -> int:
+    from repro.service import HammingQueryService, ShardedQueryService
+
+    codes, queries = _shard_workload(args)
+    limit = len(queries) + 8
+    single = HammingQueryService(
+        DynamicHAIndex.build(codes),
+        workers=1,
+        max_batch=args.batch,
+        cache_capacity=0,
+        queue_limit=limit,
+    )
+    with single:
+        single_seconds = _drain_selects(single, queries, args.threshold)
+    shard_kwargs = dict(
+        num_shards=args.shards,
+        replication=args.replicas,
+        workers=1,
+        max_batch=args.batch,
+        cache_capacity=0,
+        queue_limit=limit,
+    )
+    broadcast = ShardedQueryService(codes, pruning=False, **shard_kwargs)
+    with broadcast:
+        broadcast_seconds = _drain_selects(
+            broadcast, queries, args.threshold
+        )
+    sharded = ShardedQueryService(codes, **shard_kwargs)
+    with sharded:
+        sharded_seconds = _drain_selects(sharded, queries, args.threshold)
+        shard_stats = sharded.shard_stats()
+    vs_single = (
+        single_seconds / sharded_seconds if sharded_seconds else 0.0
+    )
+    vs_broadcast = (
+        broadcast_seconds / sharded_seconds if sharded_seconds else 0.0
+    )
+    print(f"sharded vs single-index select, {len(queries)} "
+          f"{args.workload} queries, h={args.threshold}, "
+          f"{args.shards} shards"
+          + (f", {args.clusters} clusters" if args.clusters else "")
+          + f", batch {args.batch}:")
+    print(f"  single index:     {single_seconds * 1000:.1f} ms total")
+    print(f"  sharded broadcast:{broadcast_seconds * 1000:.1f} ms total")
+    print(f"  sharded pruned:   {sharded_seconds * 1000:.1f} ms total "
+          f"({vs_broadcast:.2f}x vs broadcast, "
+          f"{vs_single:.2f}x vs single)")
+    print(f"  pruning:          {shard_stats.pruning_ratio * 100:.1f}% "
+          f"of shard visits avoided, mean "
+          f"{shard_stats.mean_contacted:.2f}/{args.shards} "
+          f"shards contacted, {shard_stats.broadcasts} broadcasts")
+    return 0
+
+
 def _command_bench_kernel(args: argparse.Namespace) -> int:
     import random
 
@@ -640,6 +845,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_mrjoin(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
+    if args.command == "serve-sharded":
+        return _command_serve_sharded(args)
+    if args.command == "bench-shard":
+        return _command_bench_shard(args)
     if args.command == "bench-kernel":
         return _command_bench_kernel(args)
     if args.command == "verify":

@@ -76,3 +76,13 @@ class ServiceTimeoutError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """An operation was attempted on a stopped query service."""
+
+
+class ReplicaUnavailableError(ServiceError):
+    """Every replica of a shard was unavailable for a dispatch.
+
+    Raised by the sharded serving plane when failover exhausts a
+    shard's replica set; under the default fail-open policy the last
+    replica is always consulted, so this surfaces only when a shard is
+    explicitly configured with zero replicas or torn down mid-flight.
+    """

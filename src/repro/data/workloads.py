@@ -89,6 +89,36 @@ def novel_queries(length: int, count: int, seed: int = 0) -> list[int]:
     return [rng.getrandbits(length) for _ in range(count)]
 
 
+def cluster_codes(codes: CodeSet, clusters: int) -> CodeSet:
+    """Re-prefix codes into well-separated Hamming clusters.
+
+    Each cluster id is spread over a 4x-repetition prefix (pairwise
+    prefix distance >= 4) and a code keeps only its low bits — the
+    clustered layout Gray-range pruning exploits.  Tuple ids are
+    preserved.  ``clusters < 2`` returns the codes unchanged.
+    """
+    if clusters < 2:
+        return codes
+    id_bits = max(1, (clusters - 1).bit_length())
+    prefix_bits = 4 * id_bits
+    if prefix_bits >= codes.length:
+        raise InvalidParameterError(
+            f"{clusters} clusters need more than "
+            f"{codes.length}-bit codes"
+        )
+    low_bits = codes.length - prefix_bits
+    low_mask = (1 << low_bits) - 1
+    reclustered = []
+    for position, code in enumerate(codes.codes):
+        cluster = position % clusters
+        prefix = 0
+        for bit in range(id_bits):
+            if (cluster >> bit) & 1:
+                prefix |= 0b1111 << (4 * bit)
+        reclustered.append((prefix << low_bits) | (code & low_mask))
+    return CodeSet(reclustered, codes.length, ids=codes.ids)
+
+
 #: Named generators for sweep-style benches; all take (codes, count, seed).
 WORKLOAD_SHAPES = {
     "member": member_queries,

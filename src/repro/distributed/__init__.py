@@ -22,6 +22,7 @@ from repro.distributed.pivots import (
     partition_balance,
     partition_of,
     select_pivots,
+    split_by_pivots,
 )
 from repro.distributed.pmh import PMHReport, pmh_hamming_join
 from repro.distributed.sampling import reservoir_sample
@@ -43,6 +44,7 @@ __all__ = [
     "partition_balance",
     "partition_of",
     "select_pivots",
+    "split_by_pivots",
     "PMHReport",
     "pmh_hamming_join",
     "reservoir_sample",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.bitvector import CodeSet
 from repro.core.errors import InvalidParameterError
 from repro.core.gray import gray_rank
 from repro.mapreduce.partitioner import RangePartitioner
@@ -48,6 +49,26 @@ def gray_range_partitioner(pivots: Sequence[int]) -> RangePartitioner:
 def partition_of(code: int, partitioner: RangePartitioner) -> int:
     """Partition id of a binary code under Gray-rank range partitioning."""
     return partitioner(gray_rank(code), partitioner.num_partitions)
+
+
+def split_by_pivots(
+    codes: CodeSet, pivots: Sequence[int]
+) -> list[CodeSet]:
+    """Partition a :class:`CodeSet` into per-shard sets by Gray rank.
+
+    Returns ``len(pivots) + 1`` code sets (some possibly empty), each
+    holding the tuples whose Gray rank falls in the corresponding pivot
+    range — the dataset split the sharded serving plane and the
+    MapReduce reducers both consume.  Tuple ids ride along, and within
+    a shard the original order is preserved (stable split).
+    """
+    partitioner = gray_range_partitioner(pivots)
+    buckets: list[list[int]] = [
+        [] for _ in range(partitioner.num_partitions)
+    ]
+    for position, code in enumerate(codes.codes):
+        buckets[partition_of(code, partitioner)].append(position)
+    return [codes.subset(indices) for indices in buckets]
 
 
 def partition_balance(counts: Sequence[int]) -> float:

@@ -53,3 +53,20 @@ class RangePartitioner:
     def __call__(self, key: Any, num_partitions: int) -> int:
         partition = bisect_right(self._pivots, key)
         return min(partition, num_partitions - 1)
+
+    def intervals(self, upper: int, lower: int = 0) -> list[tuple[int, int]]:
+        """Half-open key intervals ``[lo, hi)``, one per partition.
+
+        ``lower``/``upper`` bound the key space (``0`` and ``2**bits``
+        for Gray ranks).  Pivots are clamped into ``[lower, upper]`` so
+        a partition whose pivot falls outside the key space simply
+        comes out empty.  The serving layer's scatter-gather planner
+        prunes shards by intersecting these intervals with each query's
+        Hamming ball.
+        """
+        bounds = [
+            lower,
+            *(min(max(pivot, lower), upper) for pivot in self._pivots),
+            upper,
+        ]
+        return list(zip(bounds, bounds[1:]))

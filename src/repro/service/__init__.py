@@ -9,6 +9,7 @@ refresh, and admission control with explicit backpressure.  See
 """
 
 from repro.core.errors import (
+    ReplicaUnavailableError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadError,
@@ -21,10 +22,20 @@ from repro.service.batching import (
     QueryTicket,
 )
 from repro.service.cache import MISS, ResultCache
+from repro.service.planner import (
+    ScatterGatherPlanner,
+    ShardPlan,
+    min_hamming_to_gray_range,
+)
 from repro.service.server import (
     HammingQueryService,
     QUERY_KINDS,
     ServedResult,
+)
+from repro.service.sharded import (
+    ReplicaFaultPlan,
+    ShardStats,
+    ShardedQueryService,
 )
 from repro.service.stats import CacheStats, ServiceAccounting, ServiceStats
 
@@ -37,7 +48,13 @@ __all__ = [
     "QUERY_KINDS",
     "QueryRequest",
     "QueryTicket",
+    "ReplicaFaultPlan",
+    "ReplicaUnavailableError",
     "ResultCache",
+    "ScatterGatherPlanner",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedQueryService",
     "ServedResult",
     "ServiceAccounting",
     "ServiceClosedError",
@@ -45,4 +62,5 @@ __all__ = [
     "ServiceOverloadError",
     "ServiceStats",
     "ServiceTimeoutError",
+    "min_hamming_to_gray_range",
 ]

@@ -1,0 +1,1012 @@
+"""Sharded scatter-gather serving over Gray-range partitions.
+
+:class:`ShardedQueryService` is the scale-out sibling of
+:class:`~repro.service.server.HammingQueryService`: instead of one
+monolithic index it serves a dataset split into Gray-rank shards — the
+very partitioning the paper's Section 5.1 uses to balance MapReduce
+workers (sampled equi-depth pivots over the Gray order).  Each shard
+holds a :class:`~repro.core.dynamic_ha.DynamicHAIndex` primary plus
+optional replicas, and every query runs through a scatter-gather plan:
+
+1. **Prune.**  The :class:`~repro.service.planner.ScatterGatherPlanner`
+   computes, per shard, an exact lower bound on the Hamming distance
+   between the query and *any* code the shard can hold (a digit DP over
+   the shard's Gray-rank range).  Shards whose bound exceeds the
+   threshold are skipped; when nothing can be skipped the plan falls
+   back to a broadcast.
+2. **Scatter.**  The surviving shards are queried — primary first, with
+   seeded replica failover and hedged dispatch reusing the PR 1 chaos
+   machinery (:class:`~repro.mapreduce.faults.ChaosPolicy`).
+3. **Gather.**  Partial results merge deterministically: ``select``
+   unions and id-sorts, ``probe`` short-circuits on the first hit,
+   ``knn`` runs the paper's expanding-threshold loop over the pruned
+   scatter and keeps the global top-``k``, and :meth:`join` streams an
+   outer code set through per-shard batch probes.
+
+Because every code lives in exactly one shard, gathered results equal
+the single-index answers *exactly* (asserted across shard counts by
+``tests/test_sharded_service.py``).
+
+The serving stack around the scatter core is the same as the
+single-index service — bounded admission, micro-batching with in-batch
+dedup, and an LRU result cache — but the cache is *shard-aware*: a
+cached entry is keyed by the epochs of the shards its plan contacted,
+so a write routed to a pruned shard leaves it valid.  That is sound
+because plans are recomputed per lookup: if an insert could add a
+match for a cached query, it necessarily widens the owning shard's
+occupied Gray range until the planner stops pruning it, which changes
+the key and forces a miss.
+
+Observability: per-shard ``shard.search`` spans under a
+``shard.scatter`` root, and ``shard_pruned_total`` /
+``shards_contacted_total`` / ``shards_contacted`` metrics (plus
+failover/hedge counters) in the process registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import (
+    CodeLengthError,
+    InvalidParameterError,
+    ReplicaUnavailableError,
+    ServiceClosedError,
+)
+from repro.core.knn import DEFAULT_INITIAL_THRESHOLD
+from repro.distributed.pivots import select_pivots, split_by_pivots
+from repro.mapreduce.faults import ChaosPolicy, hash_unit
+from repro.obs import REGISTRY
+from repro.obs.trace import trace, trace_span
+from repro.service.admission import AdmissionQueue
+from repro.service.batching import (
+    MicroBatchScheduler,
+    QueryRequest,
+    QueryTicket,
+)
+from repro.service.cache import MISS, ResultCache
+from repro.service.planner import ScatterGatherPlanner, ShardPlan
+from repro.service.server import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_WORKERS,
+    QUERY_KINDS,
+    ServedResult,
+    _deadline_error,
+)
+from repro.service.stats import ServiceAccounting, ServiceStats
+
+
+class ReplicaFaultPlan:
+    """Seeded replica-fault oracle, mapped from the PR 1 chaos model.
+
+    Reuses :class:`~repro.mapreduce.faults.ChaosPolicy` fields:
+
+    * ``crash_prob`` — probability a given replica is unavailable for a
+      given dispatch (triggers failover to the next replica);
+    * ``straggler_prob`` — probability the primary is slow for a given
+      dispatch (triggers a hedged dispatch to the first replica);
+    * ``slow_workers`` — shard ids whose primary *always* straggles.
+
+    Every decision is a pure function of the policy seed and the
+    dispatch coordinates — independent of worker scheduling, so chaos
+    runs are reproducible exactly like the MapReduce fault plans.
+    """
+
+    def __init__(self, policy: ChaosPolicy) -> None:
+        self.policy = policy
+
+    def replica_down(
+        self, shard: int, replica: int, *context: object
+    ) -> bool:
+        """Is this replica unavailable for this dispatch?"""
+        if not self.policy.crash_prob:
+            return False
+        return (
+            hash_unit(
+                self.policy.seed, "replica-down", shard, replica, *context
+            )
+            < self.policy.crash_prob
+        )
+
+    def primary_straggles(self, shard: int, *context: object) -> bool:
+        """Should this dispatch hedge away from the shard's primary?"""
+        if shard in self.policy.slow_workers:
+            return True
+        if not self.policy.straggler_prob:
+            return False
+        return (
+            hash_unit(self.policy.seed, "straggler", shard, 0, *context)
+            < self.policy.straggler_prob
+        )
+
+
+class _Shard:
+    """One Gray-range shard: replica set + its own epoch."""
+
+    __slots__ = ("sid", "replicas", "epoch")
+
+    def __init__(
+        self, sid: int, replicas: list[DynamicHAIndex]
+    ) -> None:
+        self.sid = sid
+        self.replicas = replicas
+        self.epoch = 0
+
+    @property
+    def primary(self) -> DynamicHAIndex:
+        return self.replicas[0]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStats:
+    """Scatter-gather accounting at one point in time.
+
+    ``planned`` counts queries that actually executed a scatter (cache
+    hits never scatter); ``shards_contacted``/``shards_pruned`` sum
+    over those plans, so ``pruning_ratio`` is the fraction of
+    (query, shard) visits the Gray-range bound eliminated.
+    """
+
+    num_shards: int
+    replication: int
+    planned: int
+    shards_contacted: int
+    shards_pruned: int
+    broadcasts: int
+    failovers: int
+    hedges: int
+    shard_sizes: tuple[int, ...]
+    shard_epochs: tuple[int, ...]
+
+    @property
+    def mean_contacted(self) -> float:
+        return self.shards_contacted / self.planned if self.planned else 0.0
+
+    @property
+    def pruning_ratio(self) -> float:
+        total = self.planned * self.num_shards
+        return self.shards_pruned / total if total else 0.0
+
+    def render(self) -> str:
+        """Human-readable block (CLI ``serve-sharded`` prints this)."""
+        return "\n".join(
+            [
+                "shard stats",
+                f"  topology: {self.num_shards} shards x "
+                f"{self.replication} replicas, "
+                f"sizes {list(self.shard_sizes)}",
+                f"  scatter:  {self.planned} planned queries, "
+                f"mean {self.mean_contacted:.2f} shards contacted, "
+                f"{self.broadcasts} broadcasts",
+                f"  pruning:  {self.shards_pruned} shard visits avoided "
+                f"({self.pruning_ratio * 100.0:.1f}% of "
+                f"{self.planned * self.num_shards})",
+                f"  replicas: {self.failovers} failovers, "
+                f"{self.hedges} hedged dispatches",
+                f"  epochs:   {list(self.shard_epochs)}",
+            ]
+        )
+
+    def publish(self, registry=None) -> None:
+        """Fold the snapshot into a metrics registry as gauges."""
+        if registry is None:
+            from repro.obs import REGISTRY as registry
+        if not registry.enabled:
+            return
+        totals = {
+            "shard_service_shards": self.num_shards,
+            "shard_service_replication": self.replication,
+            "shard_service_planned": self.planned,
+            "shard_service_contacted": self.shards_contacted,
+            "shard_service_pruned": self.shards_pruned,
+            "shard_service_broadcasts": self.broadcasts,
+            "shard_service_failovers": self.failovers,
+            "shard_service_hedges": self.hedges,
+        }
+        for name, value in totals.items():
+            registry.gauge(name).set(value)
+        for sid, size in enumerate(self.shard_sizes):
+            registry.gauge(
+                "shard_service_size", shard=str(sid)
+            ).set(size)
+
+
+class _ShardAccounting:
+    """Thread-safe counters behind :class:`ShardStats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.planned = 0
+        self.contacted = 0
+        self.pruned = 0
+        self.broadcasts = 0
+        self.failovers = 0
+        self.hedges = 0
+
+    def record_plan(self, plan: ShardPlan) -> None:
+        with self._lock:
+            self.planned += 1
+            self.contacted += len(plan.contacted)
+            self.pruned += plan.pruned
+            self.broadcasts += bool(plan.broadcast)
+
+    def record_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def record_hedge(self) -> None:
+        with self._lock:
+            self.hedges += 1
+
+    def snapshot(
+        self,
+        num_shards: int,
+        replication: int,
+        sizes: tuple[int, ...],
+        epochs: tuple[int, ...],
+    ) -> ShardStats:
+        with self._lock:
+            return ShardStats(
+                num_shards=num_shards,
+                replication=replication,
+                planned=self.planned,
+                shards_contacted=self.contacted,
+                shards_pruned=self.pruned,
+                broadcasts=self.broadcasts,
+                failovers=self.failovers,
+                hedges=self.hedges,
+                shard_sizes=sizes,
+                shard_epochs=epochs,
+            )
+
+
+class ShardedQueryService:
+    """Scatter-gather query server over Gray-range shards.
+
+    Args:
+        codes: the dataset to serve (split by Gray rank at build time).
+        num_shards: shard count when ``pivots`` is not given.
+        pivots: explicit Gray-rank boundaries (``len + 1`` shards);
+            defaults to equi-depth pivots over the full dataset.
+        replication: replicas per shard (1 = primary only).  Replicas
+            are deep snapshots of the primary and receive every
+            mutation, so any replica answers identically.
+        chaos: optional :class:`~repro.mapreduce.faults.ChaosPolicy`
+            driving seeded replica failures (failover) and primary
+            straggling (hedged dispatch).  Faults degrade latency and
+            replica choice, never results: the last replica of a shard
+            is always consulted (fail-open).
+        index_params: keyword arguments for the per-shard
+            ``DynamicHAIndex.build``.
+        pruning: when ``False`` every query is broadcast to all
+            non-empty shards — the ablation baseline the shard bench
+            compares against to isolate what the Gray-range bound buys.
+        workers / max_batch / queue_limit / cache_capacity /
+        batch_kernel / default_timeout / linger_seconds / start /
+        trace_batches: as in
+            :class:`~repro.service.server.HammingQueryService`.
+
+    With ``batch_kernel`` enabled the per-shard flat kernels are
+    compiled eagerly at build (and refresh) time, so the first batched
+    query does not pay ``num_shards`` lazy compiles.
+    """
+
+    def __init__(
+        self,
+        codes: CodeSet,
+        *,
+        num_shards: int = 4,
+        pivots: Sequence[int] | None = None,
+        replication: int = 1,
+        chaos: ChaosPolicy | None = None,
+        index_params: dict | None = None,
+        pruning: bool = True,
+        workers: int = DEFAULT_WORKERS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        batch_kernel: bool = True,
+        default_timeout: float | None = None,
+        linger_seconds: float = 0.0,
+        start: bool = True,
+        trace_batches: bool = False,
+    ) -> None:
+        if replication < 1:
+            raise InvalidParameterError("replication must be >= 1")
+        if default_timeout is not None and default_timeout <= 0:
+            raise InvalidParameterError("default_timeout must be positive")
+        if pivots is None:
+            if num_shards < 1:
+                raise InvalidParameterError("num_shards must be positive")
+            pivots = (
+                select_pivots(codes.codes, num_shards)
+                if num_shards > 1 and len(codes)
+                else []
+            )
+        self._code_length = codes.length
+        self._planner = ScatterGatherPlanner(pivots, codes.length)
+        self._replication = replication
+        self._faults = (
+            ReplicaFaultPlan(chaos)
+            if chaos is not None and chaos.enabled
+            else None
+        )
+        self._index_params = dict(index_params or {})
+        self._pruning = pruning
+        self._batch_kernel = batch_kernel
+        self._shards = self._build_shards(codes)
+        self._lock = threading.Lock()
+        self._global_epoch = 0
+        self._trace_batches = trace_batches
+        self._default_timeout = default_timeout
+        self._closed = False
+        self._cache = ResultCache(cache_capacity)
+        self._accounting = ServiceAccounting()
+        self._shard_accounting = _ShardAccounting()
+        self._queue: AdmissionQueue[QueryRequest] = AdmissionQueue(
+            queue_limit, workers_hint=workers
+        )
+        self._scheduler = MicroBatchScheduler(
+            self._queue,
+            self._execute_batch,
+            workers=workers,
+            max_batch=max_batch,
+            linger_seconds=linger_seconds,
+        )
+        if start:
+            self.start()
+
+    def _build_shards(self, codes: CodeSet) -> list[_Shard]:
+        shard_sets = split_by_pivots(codes, self._planner.pivots)
+        shards = []
+        for sid, shard_codes in enumerate(shard_sets):
+            primary = DynamicHAIndex.build(
+                shard_codes, **self._index_params
+            )
+            replicas = [primary] + [
+                primary.snapshot() for _ in range(self._replication - 1)
+            ]
+            if self._batch_kernel and len(shard_codes):
+                for replica in replicas:
+                    replica.compile()
+            shards.append(_Shard(sid, replicas))
+            self._planner.reset_range(sid, shard_codes.codes)
+        return shards
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("cannot restart a closed service")
+        self._scheduler.start()
+
+    def close(self) -> None:
+        """Stop admitting, drain queued queries, join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.start()
+        self._queue.close()
+        self._scheduler.join()
+
+    def __enter__(self) -> "ShardedQueryService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def code_length(self) -> int:
+        return self._code_length
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @property
+    def pivots(self) -> list[int]:
+        return self._planner.pivots
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._global_epoch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(shard.primary) for shard in self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        with self._lock:
+            return [len(shard.primary) for shard in self._shards]
+
+    # -- query side --------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        query: int,
+        param: int,
+        timeout: float | None = None,
+    ) -> QueryTicket:
+        """Admit one query; returns its ticket immediately."""
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+        if kind not in QUERY_KINDS:
+            raise InvalidParameterError(
+                f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
+            )
+        if query < 0 or query >> self._code_length:
+            raise CodeLengthError(
+                f"query {query:#x} does not fit in "
+                f"{self._code_length} bits"
+            )
+        if kind == "knn":
+            if param < 1:
+                raise InvalidParameterError("k must be positive")
+        elif param < 0:
+            raise InvalidParameterError("threshold must be non-negative")
+        now = time.monotonic()
+        if timeout is None:
+            timeout = self._default_timeout
+        deadline = None if timeout is None else now + timeout
+        request = QueryRequest(
+            kind=kind,
+            query=query,
+            param=param,
+            submitted_at=now,
+            deadline=deadline,
+        )
+        try:
+            self._queue.offer(request)
+        except ServiceClosedError:
+            raise
+        except Exception:
+            self._accounting.record_rejected()
+            if REGISTRY.enabled:
+                REGISTRY.counter(
+                    "service_rejected_total",
+                    "queries refused at admission",
+                ).inc()
+            raise
+        return request.ticket
+
+    def select(
+        self, query: int, threshold: int, timeout: float | None = None
+    ) -> ServedResult:
+        """Blocking Hamming-select; ``value`` is an id-sorted tuple of
+        tuple ids gathered from the contacted shards."""
+        return self._await(self.submit("select", query, threshold, timeout))
+
+    def probe(
+        self, query: int, threshold: int, timeout: float | None = None
+    ) -> ServedResult:
+        """Blocking join-probe; True iff any shard holds a code within
+        ``threshold`` (pruned shards provably cannot)."""
+        return self._await(self.submit("probe", query, threshold, timeout))
+
+    def knn(
+        self, query: int, k: int, timeout: float | None = None
+    ) -> ServedResult:
+        """Blocking kNN-select; ``value`` is ``((tuple_id, distance), ...)``
+        sorted by (distance, id) — identical to the single-index
+        expanding-threshold loop."""
+        return self._await(self.submit("knn", query, k, timeout))
+
+    @staticmethod
+    def _await(ticket: QueryTicket) -> ServedResult:
+        result = ticket.result()
+        assert isinstance(result, ServedResult)
+        return result
+
+    def join(
+        self, outer: CodeSet, threshold: int
+    ) -> list[tuple[int, int]]:
+        """Scatter-gather Hamming-join of ``outer`` against the served
+        dataset; returns sorted ``(outer_id, inner_id)`` pairs.
+
+        A bulk offline entry point (not queued): each outer code is
+        planned, the per-shard probe sets run through the shards'
+        batched kernels, and the pairs merge in sorted order — the
+        distributed join's scatter phase, served online.
+        """
+        self._check_open()
+        if outer.length != self._code_length:
+            raise CodeLengthError(
+                f"outer codes are {outer.length}-bit, service serves "
+                f"{self._code_length}-bit codes"
+            )
+        if threshold < 0:
+            raise InvalidParameterError("threshold must be non-negative")
+        pairs: list[tuple[int, int]] = []
+        with self._lock:
+            by_shard: dict[int, list[int]] = {}
+            for position, code in enumerate(outer.codes):
+                plan = self._plan_locked(code, threshold)
+                for sid in plan.contacted:
+                    by_shard.setdefault(sid, []).append(position)
+            with trace_span(
+                "shard.scatter", kind="join", shards=len(by_shard)
+            ):
+                for sid, positions in sorted(by_shard.items()):
+                    shard = self._shards[sid]
+                    probe_codes = [outer.codes[p] for p in positions]
+                    id_lists = self._dispatch(
+                        shard,
+                        "search_batch",
+                        (probe_codes, threshold),
+                        ("join", threshold, len(probe_codes)),
+                    )
+                    for position, ids in zip(positions, id_lists):
+                        outer_id = outer.ids[position]
+                        pairs.extend((outer_id, inner) for inner in ids)
+        pairs.sort()
+        return pairs
+
+    # -- writer side -------------------------------------------------------
+
+    def insert(self, code: int, tuple_id: int) -> int:
+        """H-Insert into the owning shard (every replica); returns the
+        new global epoch.  Only that shard's epoch is bumped, so cached
+        results whose plans never touch it stay valid."""
+        self._check_open()
+        self._check_code(code)
+        with self._lock:
+            sid = self._planner.route(code)
+            shard = self._shards[sid]
+            for replica in shard.replicas:
+                replica.insert(code, tuple_id)
+            self._planner.observe(sid, code)
+            shard.epoch += 1
+            self._global_epoch += 1
+            return self._global_epoch
+
+    def delete(self, code: int, tuple_id: int) -> int:
+        """H-Delete from the owning shard (every replica); returns the
+        new global epoch.  The shard's occupied Gray range is kept
+        conservatively wide (sound; tightened on the next refresh)."""
+        self._check_open()
+        self._check_code(code)
+        with self._lock:
+            sid = self._planner.route(code)
+            shard = self._shards[sid]
+            for replica in shard.replicas:
+                replica.delete(code, tuple_id)
+            shard.epoch += 1
+            self._global_epoch += 1
+            return self._global_epoch
+
+    def refresh(self, codes: CodeSet) -> int:
+        """Copy-on-swap bulk reload: re-split by the existing pivots,
+        rebuild every shard outside the lock, swap, recompute occupied
+        ranges exactly, and drop the whole cache."""
+        self._check_open()
+        if codes.length != self._code_length:
+            raise InvalidParameterError(
+                f"refresh code length {codes.length} != served "
+                f"{self._code_length}"
+            )
+        replacement = self._build_shards(codes)
+        with self._lock:
+            for shard, fresh in zip(self._shards, replacement):
+                fresh.epoch = shard.epoch + 1
+            self._shards = replacement
+            self._global_epoch += 1
+            epoch = self._global_epoch
+        self._accounting.record_refresh()
+        self._cache.clear()
+        return epoch
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+
+    def _check_code(self, code: int) -> None:
+        if code < 0 or code >> self._code_length:
+            raise CodeLengthError(
+                f"code {code:#x} does not fit in {self._code_length} bits"
+            )
+
+    # -- scatter-gather core (runs under the shard mutex) ------------------
+
+    def _plan_locked(self, query: int, threshold: int) -> ShardPlan:
+        if not self._pruning:
+            return self._broadcast_plan()
+        return self._planner.plan(query, threshold)
+
+    def _broadcast_plan(self) -> ShardPlan:
+        """Contact every non-empty shard (``pruning=False`` ablation)."""
+        contacted = tuple(
+            sid
+            for sid in range(self.num_shards)
+            if self._planner.occupied(sid) is not None
+        )
+        return ShardPlan(
+            contacted=contacted,
+            pruned=self.num_shards - len(contacted),
+            broadcast=True,
+        )
+
+    def _record_plan(self, plan: ShardPlan) -> None:
+        self._shard_accounting.record_plan(plan)
+        if REGISTRY.enabled:
+            REGISTRY.counter(
+                "shards_contacted_total",
+                "shard visits performed by executed queries",
+            ).inc(len(plan.contacted))
+            REGISTRY.counter(
+                "shard_pruned_total",
+                "shard visits avoided by the Gray-range bound",
+            ).inc(plan.pruned)
+            if plan.broadcast:
+                REGISTRY.counter(
+                    "shard_broadcast_total",
+                    "queries whose pruning bound was vacuous",
+                ).inc()
+            REGISTRY.histogram(
+                "shards_contacted",
+                "shards contacted per executed query",
+                buckets=tuple(
+                    float(2**i) for i in range(0, 8)
+                ),
+            ).observe(float(len(plan.contacted)))
+
+    def _dispatch(
+        self,
+        shard: _Shard,
+        op_name: str,
+        args: tuple,
+        context: tuple,
+    ):
+        """Run one shard operation with hedging and replica failover.
+
+        Replica order starts at the primary unless the fault plan marks
+        it a straggler for this dispatch (hedged dispatch: the request
+        is satisfied by the first replica instead).  Unavailable
+        replicas fail over to the next; the final candidate is always
+        consulted, so injected faults never change results.
+        """
+        order = list(range(len(shard.replicas)))
+        faults = self._faults
+        if faults is not None and len(order) > 1:
+            if faults.primary_straggles(shard.sid, op_name, *context):
+                order = order[1:] + order[:1]
+                self._shard_accounting.record_hedge()
+                if REGISTRY.enabled:
+                    REGISTRY.counter(
+                        "shard_hedged_total",
+                        "dispatches hedged away from a slow primary",
+                    ).inc()
+        for position, ridx in enumerate(order):
+            last = position == len(order) - 1
+            if (
+                not last
+                and faults is not None
+                and faults.replica_down(
+                    shard.sid, ridx, op_name, *context
+                )
+            ):
+                self._shard_accounting.record_failover()
+                if REGISTRY.enabled:
+                    REGISTRY.counter(
+                        "shard_failover_total",
+                        "dispatches failed over to another replica",
+                    ).inc()
+                continue
+            replica = shard.replicas[ridx]
+            with trace_span(
+                "shard.search",
+                shard=shard.sid,
+                replica=ridx,
+                op=op_name,
+            ):
+                return getattr(replica, op_name)(*args)
+        raise ReplicaUnavailableError(
+            f"no replica of shard {shard.sid} available"
+        )
+
+    def _epoch_key(self, kind: str, plan: ShardPlan | None) -> tuple:
+        """Shard-aware cache-key epoch component.
+
+        ``select``/``probe`` results depend only on the shards their
+        plan contacts; ``knn`` may expand into any shard, so its
+        entries key on every epoch.
+        """
+        if plan is None or kind == "knn":
+            return tuple(shard.epoch for shard in self._shards)
+        return tuple(
+            (sid, self._shards[sid].epoch) for sid in plan.contacted
+        )
+
+    def _run_select(self, query: int, threshold: int) -> tuple[int, ...]:
+        plan = self._plan_locked(query, threshold)
+        self._record_plan(plan)
+        matches: list[int] = []
+        with trace_span(
+            "shard.scatter", kind="select", shards=len(plan.contacted)
+        ):
+            for sid in plan.contacted:
+                matches.extend(
+                    self._dispatch(
+                        self._shards[sid],
+                        "search",
+                        (query, threshold),
+                        ("select", query, threshold),
+                    )
+                )
+        matches.sort()
+        return tuple(matches)
+
+    def _run_probe(self, query: int, threshold: int) -> bool:
+        plan = self._plan_locked(query, threshold)
+        self._record_plan(plan)
+        with trace_span(
+            "shard.scatter", kind="probe", shards=len(plan.contacted)
+        ):
+            for sid in plan.contacted:
+                if self._dispatch(
+                    self._shards[sid],
+                    "contains_within",
+                    (query, threshold),
+                    ("probe", query, threshold),
+                ):
+                    return True
+        return False
+
+    def _run_knn(self, query: int, k: int) -> tuple[tuple[int, int], ...]:
+        """Expanding-threshold kNN over the pruned scatter.
+
+        Byte-compatible with :func:`repro.core.knn.knn_select` run on a
+        monolithic index: the same threshold schedule, and since each
+        round gathers the exact union of per-shard matches, the same
+        match counts, sort and cut.  Pruning is re-planned every round
+        — as the threshold grows the Hamming ball widens and previously
+        pruned shards rejoin the scatter (per-shard top-k with global
+        threshold refinement).
+        """
+        threshold = DEFAULT_INITIAL_THRESHOLD
+        step = max(2, self._code_length // 8)
+        target = min(k, sum(len(s.primary) for s in self._shards))
+        while True:
+            plan = self._plan_locked(query, threshold)
+            self._record_plan(plan)
+            matches: list[tuple[int, int]] = []
+            with trace_span(
+                "shard.scatter",
+                kind="knn",
+                threshold=threshold,
+                shards=len(plan.contacted),
+            ):
+                for sid in plan.contacted:
+                    matches.extend(
+                        self._dispatch(
+                            self._shards[sid],
+                            "search_with_distances",
+                            (query, threshold),
+                            ("knn", query, threshold),
+                        )
+                    )
+            if len(matches) >= target or threshold >= self._code_length:
+                matches.sort(key=lambda pair: (pair[1], pair[0]))
+                return tuple(matches[:k])
+            threshold = min(threshold + step, self._code_length)
+
+    def _run_query(self, kind: str, query: int, param: int) -> object:
+        if kind == "select":
+            return self._run_select(query, param)
+        if kind == "probe":
+            return self._run_probe(query, param)
+        if kind == "knn":
+            return self._run_knn(query, param)
+        raise InvalidParameterError(f"unknown query kind {kind!r}")
+
+    # -- batch execution (worker threads) ----------------------------------
+
+    def _execute_batch(self, batch: list[QueryRequest]) -> None:
+        if self._trace_batches:
+            with trace("service.batch", size=len(batch)):
+                self._execute_batch_inner(batch)
+        else:
+            self._execute_batch_inner(batch)
+
+    def _execute_batch_inner(self, batch: list[QueryRequest]) -> None:
+        started = time.monotonic()
+        live: list[QueryRequest] = []
+        timed_out = 0
+        for request in batch:
+            if request.deadline is not None and started > request.deadline:
+                self._accounting.record_timed_out()
+                timed_out += 1
+                request.ticket.fail(_deadline_error(request, started))
+                continue
+            live.append(request)
+        if REGISTRY.enabled and timed_out:
+            REGISTRY.counter(
+                "service_timed_out_total", "queries past their deadline"
+            ).inc(timed_out)
+        if not live:
+            return
+        groups: dict[tuple[str, int, int], list[QueryRequest]] = {}
+        for request in live:
+            groups.setdefault(request.key, []).append(request)
+        executed = 0
+        dedup_saved = 0
+        resolutions: list[tuple[QueryRequest, ServedResult]] = []
+        with self._lock:
+            epoch = self._global_epoch
+            values: dict[tuple[str, int, int], tuple[object, bool]] = {}
+            misses: list[tuple[str, int, int]] = []
+            for key, requests in groups.items():
+                kind, query, param = key
+                plan = (
+                    self._plan_locked(query, param)
+                    if kind != "knn"
+                    else None
+                )
+                cache_key = key + (self._epoch_key(kind, plan),)
+                value = self._cache.get(cache_key, weight=len(requests))
+                if value is MISS:
+                    misses.append(key)
+                else:
+                    values[key] = (value, True)
+            for key, value in self._run_misses(misses):
+                executed += 1
+                dedup_saved += len(groups[key]) - 1
+                kind, query, param = key
+                plan = (
+                    self._plan_locked(query, param)
+                    if kind != "knn"
+                    else None
+                )
+                self._cache.put(
+                    key + (self._epoch_key(kind, plan),), value
+                )
+                values[key] = (value, False)
+            for key, requests in groups.items():
+                value, cached = values[key]
+                result = ServedResult(value, epoch, cached)
+                resolutions.extend(
+                    (request, result) for request in requests
+                )
+        finished = time.monotonic()
+        publish = REGISTRY.enabled
+        hits = 0
+        for request, result in resolutions:
+            latency_ms = (finished - request.submitted_at) * 1000.0
+            self._accounting.record_served(latency_ms)
+            if publish:
+                REGISTRY.histogram(
+                    "service_request_latency_ms",
+                    "submit-to-resolve latency",
+                    kind=request.kind,
+                ).observe(latency_ms)
+                if result.cached:
+                    hits += 1
+            request.ticket.resolve(result)
+        self._accounting.record_batch(len(live), executed, dedup_saved)
+        if publish:
+            REGISTRY.counter(
+                "service_served_total", "queries answered"
+            ).inc(len(resolutions))
+            REGISTRY.counter(
+                "service_cache_hits_total",
+                "requests absorbed by the result cache",
+            ).inc(hits)
+            REGISTRY.counter(
+                "service_traversals_total",
+                "scatter-gather executions after cache and dedup",
+            ).inc(executed)
+        self._queue.note_service_time((finished - started) / len(live))
+
+    def _run_misses(
+        self, misses: list[tuple[str, int, int]]
+    ) -> list[tuple[tuple[str, int, int], object]]:
+        """Execute the uncached query groups of one micro-batch.
+
+        With the batch kernel enabled, ``select`` misses sharing a
+        threshold are planned together and each shard receives *one*
+        ``search_batch`` over every query routed to it — the
+        scatter-side analogue of the single-index vectorized sweep.
+        Other kinds run query-at-a-time.  Runs under the shard mutex.
+        """
+        results: list[tuple[tuple[str, int, int], object]] = []
+        rest: list[tuple[str, int, int]] = []
+        if self._batch_kernel:
+            by_threshold: dict[int, list[tuple[str, int, int]]] = {}
+            for key in misses:
+                if key[0] == "select":
+                    by_threshold.setdefault(key[2], []).append(key)
+                else:
+                    rest.append(key)
+            for threshold, keys in by_threshold.items():
+                if len(keys) < 2:
+                    rest.extend(keys)
+                    continue
+                results.extend(
+                    self._run_select_batch(keys, threshold)
+                )
+        else:
+            rest = misses
+        results.extend(
+            (key, self._run_query(*key)) for key in rest
+        )
+        return results
+
+    def _run_select_batch(
+        self, keys: list[tuple[str, int, int]], threshold: int
+    ) -> list[tuple[tuple[str, int, int], object]]:
+        """One shared scatter for select misses at one threshold."""
+        plans = {}
+        by_shard: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            plan = self._plan_locked(key[1], threshold)
+            plans[key] = plan
+            self._record_plan(plan)
+            for sid in plan.contacted:
+                by_shard.setdefault(sid, []).append(position)
+        gathered: list[list[int]] = [[] for _ in keys]
+        with trace_span(
+            "shard.scatter",
+            kind="select_batch",
+            queries=len(keys),
+            shards=len(by_shard),
+        ):
+            for sid, positions in sorted(by_shard.items()):
+                shard = self._shards[sid]
+                queries = [keys[p][1] for p in positions]
+                id_lists = self._dispatch(
+                    shard,
+                    "search_batch",
+                    (queries, threshold),
+                    ("select_batch", threshold, len(queries), queries[0]),
+                )
+                for position, ids in zip(positions, id_lists):
+                    gathered[position].extend(ids)
+        return [
+            (key, tuple(sorted(ids)))
+            for key, ids in zip(keys, gathered)
+        ]
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent :class:`ServiceStats` snapshot (global epoch)."""
+        with self._lock:
+            epoch = self._global_epoch
+        return self._accounting.snapshot(
+            queue_depth=self._queue.depth(),
+            queue_capacity=self._queue.capacity,
+            workers=self._scheduler.workers,
+            epoch=epoch,
+            cache=self._cache.stats(),
+        )
+
+    def shard_stats(self) -> ShardStats:
+        """A consistent :class:`ShardStats` snapshot."""
+        with self._lock:
+            sizes = tuple(len(shard.primary) for shard in self._shards)
+            epochs = tuple(shard.epoch for shard in self._shards)
+        return self._shard_accounting.snapshot(
+            self.num_shards, self._replication, sizes, epochs
+        )
+
+    def publish_metrics(self) -> tuple[ServiceStats, ShardStats]:
+        """Snapshot both stat blocks and fold them into the registry."""
+        stats = self.stats()
+        stats.publish()
+        shard_stats = self.shard_stats()
+        shard_stats.publish()
+        return stats, shard_stats

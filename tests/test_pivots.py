@@ -1,0 +1,156 @@
+"""Edge-case tests for Gray-rank pivot selection and dataset splitting.
+
+Complements the basics in ``tests/test_distributed.py`` with the
+degenerate shapes the sharded serving plane must survive: duplicated
+pivots (empty partitions), single-shard setups, and skewed Gray-rank
+distributions, plus the ``split_by_pivots`` / ``intervals`` surfaces it
+is built on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.errors import InvalidParameterError
+from repro.core.gray import gray_rank, to_gray
+from repro.distributed import split_by_pivots
+from repro.distributed.pivots import (
+    gray_range_partitioner,
+    partition_balance,
+    partition_of,
+    select_pivots,
+)
+from repro.mapreduce.partitioner import RangePartitioner
+from repro.service import ShardedQueryService
+
+
+class TestDuplicatePivots:
+    def test_tiny_sample_yields_repeated_pivots(self):
+        """More partitions than distinct ranks: pivots repeat."""
+        pivots = select_pivots([7, 7, 7], 4)
+        assert len(pivots) == 3
+        assert len(set(pivots)) == 1
+
+    def test_repeated_pivots_leave_middle_partitions_empty(self):
+        codes = CodeSet([to_gray(rank) for rank in (1, 5, 9)], 8)
+        shards = split_by_pivots(codes, [5, 5, 5])
+        sizes = [len(shard) for shard in shards]
+        assert sizes == [1, 0, 0, 2]
+
+    def test_sharded_service_survives_empty_shards(self):
+        codes = CodeSet([to_gray(rank) for rank in (1, 5, 9)], 8)
+        service = ShardedQueryService(
+            codes, pivots=[5, 5, 5], workers=1, cache_capacity=0
+        )
+        with service:
+            for position, code in enumerate(codes.codes):
+                assert position in service.select(code, 0).value
+            stats = service.shard_stats()
+        # The two empty shards can never be contacted.
+        assert stats.shards_contacted <= stats.planned * 2
+
+
+class TestSplitByPivots:
+    def test_split_covers_every_tuple_once(self):
+        rng = random.Random(3)
+        codes = CodeSet([rng.getrandbits(12) for _ in range(300)], 12)
+        pivots = select_pivots(codes.codes, 5)
+        shards = split_by_pivots(codes, pivots)
+        assert len(shards) == 5
+        assert sum(len(shard) for shard in shards) == len(codes)
+        seen = sorted(
+            tuple_id for shard in shards for tuple_id in shard.ids
+        )
+        assert seen == list(codes.ids)
+
+    def test_split_respects_partition_of(self):
+        rng = random.Random(4)
+        codes = CodeSet([rng.getrandbits(10) for _ in range(100)], 10)
+        pivots = select_pivots(codes.codes, 4)
+        partitioner = gray_range_partitioner(pivots)
+        shards = split_by_pivots(codes, pivots)
+        for sid, shard in enumerate(shards):
+            for code in shard.codes:
+                assert partition_of(code, partitioner) == sid
+
+    def test_split_is_stable_within_shards(self):
+        codes = CodeSet([to_gray(rank) for rank in (9, 1, 5, 3)], 8)
+        shards = split_by_pivots(codes, [8])
+        assert [gray_rank(code) for code in shards[0].codes] == [1, 5, 3]
+        assert list(shards[0].ids) == [1, 2, 3]
+
+    def test_no_pivots_single_shard(self):
+        codes = CodeSet([1, 2, 3], 8)
+        shards = split_by_pivots(codes, [])
+        assert len(shards) == 1
+        assert shards[0].codes == codes.codes
+
+    def test_empty_codeset_splits_into_empty_shards(self):
+        shards = split_by_pivots(CodeSet([], 8), [10, 20])
+        assert [len(shard) for shard in shards] == [0, 0, 0]
+
+
+class TestIntervals:
+    def test_intervals_tile_the_space(self):
+        partitioner = RangePartitioner([10, 200])
+        assert partitioner.intervals(256) == [
+            (0, 10),
+            (10, 200),
+            (200, 256),
+        ]
+
+    def test_out_of_range_pivots_are_clamped(self):
+        partitioner = RangePartitioner([5, 1000])
+        assert partitioner.intervals(256) == [
+            (0, 5),
+            (5, 256),
+            (256, 256),
+        ]
+
+    def test_intervals_match_partition_assignment(self):
+        partitioner = RangePartitioner([17, 80, 80])
+        intervals = partitioner.intervals(128)
+        for key in range(128):
+            owner = partitioner(key, partitioner.num_partitions)
+            lo, hi = intervals[owner]
+            assert lo <= key < hi
+
+
+class TestSkewedBalance:
+    def test_balance_on_gray_rank_point_mass(self):
+        """90% of ranks identical: only that pivot's shard overfills."""
+        ranks = [42] * 900 + list(range(100))
+        codes = [to_gray(rank) for rank in ranks]
+        pivots = select_pivots(codes, 4)
+        counts = [0] * 4
+        partitioner = gray_range_partitioner(pivots)
+        for code in codes:
+            counts[partition_of(code, partitioner)] += 1
+        # Equi-depth pivots cannot split a point mass, but every other
+        # shard must stay near the ideal mean.
+        assert partition_balance(counts) <= 4.0
+        others = sorted(counts)[:-1]
+        assert max(others) <= 1000 // 4
+
+    def test_balance_on_exponentially_skewed_ranks(self):
+        rng = random.Random(8)
+        ranks = [
+            min(int(rng.expovariate(1 / 40.0)), 1023) for _ in range(2000)
+        ]
+        codes = [to_gray(rank) for rank in ranks]
+        pivots = select_pivots(codes, 8)
+        counts = [0] * 8
+        partitioner = gray_range_partitioner(pivots)
+        for code in codes:
+            counts[partition_of(code, partitioner)] += 1
+        assert partition_balance(counts) < 1.5
+
+    def test_balance_is_max_over_mean(self):
+        assert partition_balance([30, 10, 10, 10]) == pytest.approx(2.0)
+
+    def test_select_pivots_rejects_bad_partition_count(self):
+        with pytest.raises(InvalidParameterError):
+            select_pivots([1, 2], 0)

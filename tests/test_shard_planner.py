@@ -1,0 +1,190 @@
+"""Tests for the scatter-gather planner and its Gray-range bound."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.gray import gray_rank, to_gray
+from repro.service import (
+    ScatterGatherPlanner,
+    ShardPlan,
+    min_hamming_to_gray_range,
+)
+
+
+def brute_force_min(query: int, lo: int, hi: int) -> int:
+    return min(
+        bin(to_gray(rank) ^ query).count("1") for rank in range(lo, hi + 1)
+    )
+
+
+class TestMinHammingToGrayRange:
+    def test_exhaustive_small_space(self):
+        """Exact against brute force for every (lo, hi, q) at L=5."""
+        length = 5
+        for lo in range(32):
+            for hi in range(lo, 32):
+                for query in range(32):
+                    assert min_hamming_to_gray_range(
+                        query, length, lo, hi
+                    ) == brute_force_min(query, lo, hi)
+
+    def test_decision_mode_agrees_exhaustively(self):
+        """``limit`` mode must preserve the <= comparison, always."""
+        length = 4
+        for lo in range(16):
+            for hi in range(lo, 16):
+                for query in range(16):
+                    exact = brute_force_min(query, lo, hi)
+                    for limit in range(length + 1):
+                        value = min_hamming_to_gray_range(
+                            query, length, lo, hi, limit
+                        )
+                        assert (value <= limit) == (exact <= limit)
+
+    @pytest.mark.parametrize("length", [8, 16, 32])
+    def test_random_intervals(self, length):
+        rng = random.Random(length)
+        top = (1 << length) - 1
+        for _ in range(300):
+            lo = rng.randint(0, top)
+            hi = min(top, lo + rng.randint(0, 2048))
+            query = rng.randint(0, top)
+            assert min_hamming_to_gray_range(
+                query, length, lo, hi
+            ) == brute_force_min(query, lo, hi)
+
+    def test_full_interval_always_zero(self):
+        for query in range(256):
+            assert min_hamming_to_gray_range(query, 8, 0, 255) == 0
+
+    def test_single_rank_interval(self):
+        assert min_hamming_to_gray_range(0b1010, 4, 6, 6) == bin(
+            to_gray(6) ^ 0b1010
+        ).count("1")
+
+    def test_empty_interval_exceeds_any_threshold(self):
+        assert min_hamming_to_gray_range(5, 8, 10, 3) == 9
+
+    def test_bounds_clamped_to_rank_space(self):
+        assert min_hamming_to_gray_range(5, 8, -100, 10_000) == 0
+
+    def test_member_query_is_zero(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            rank = rng.randint(0, 255)
+            lo = rng.randint(0, rank)
+            hi = rng.randint(rank, 255)
+            assert min_hamming_to_gray_range(
+                to_gray(rank), 8, lo, hi
+            ) == 0
+
+
+class TestScatterGatherPlanner:
+    def make_planner(self, pivots=(64, 128, 192), length=8):
+        return ScatterGatherPlanner(pivots, length)
+
+    def test_rejects_non_positive_code_length(self):
+        with pytest.raises(InvalidParameterError):
+            ScatterGatherPlanner([4], 0)
+
+    def test_intervals_tile_rank_space(self):
+        planner = self.make_planner()
+        assert planner.num_shards == 4
+        assert planner.interval(0) == (0, 64)
+        assert planner.interval(1) == (64, 128)
+        assert planner.interval(3) == (192, 256)
+
+    def test_route_follows_gray_rank(self):
+        planner = self.make_planner()
+        for code in range(256):
+            rank = gray_rank(code)
+            expected = min(3, sum(rank >= pivot for pivot in (64, 128, 192)))
+            assert planner.route(code) == expected
+
+    def test_empty_shards_are_always_pruned(self):
+        planner = self.make_planner()
+        plan = planner.plan(query=0b1010, threshold=8)
+        assert plan.contacted == ()
+        assert plan.pruned == 4
+
+    def test_observe_widens_and_plan_contacts(self):
+        planner = self.make_planner()
+        code = to_gray(70)  # rank 70: shard 1
+        planner.observe(1, code)
+        assert planner.occupied(1) == (70, 70)
+        plan = planner.plan(code, 0)
+        assert plan.contacted == (1,)
+        assert plan.pruned == 3
+
+    def test_broadcast_flag_when_bound_vacuous(self):
+        planner = self.make_planner()
+        for shard, rank in enumerate((10, 70, 130, 200)):
+            planner.observe(shard, to_gray(rank))
+        plan = planner.plan(0, planner.code_length)
+        assert plan.broadcast
+        assert len(plan.contacted) == 4
+
+    def test_non_vacuous_plan_is_not_broadcast(self):
+        planner = self.make_planner()
+        near = 0b0000_0000  # rank 0: shard 0
+        far = 0b1111_1111  # rank 170: shard 2, Hamming 8 from `near`
+        planner.observe(planner.route(near), near)
+        planner.observe(planner.route(far), far)
+        plan = planner.plan(near, 1)
+        assert plan.contacted == (0,)
+        assert not plan.broadcast
+
+    def test_plan_is_sound_against_brute_force(self):
+        """A shard holding a code within h of the query is contacted."""
+        rng = random.Random(5)
+        planner = self.make_planner()
+        shard_codes = {shard: [] for shard in range(4)}
+        for _ in range(200):
+            code = rng.randint(0, 255)
+            shard = planner.route(code)
+            planner.observe(shard, code)
+            shard_codes[shard].append(code)
+        for _ in range(100):
+            query = rng.randint(0, 255)
+            threshold = rng.randint(0, 4)
+            plan = planner.plan(query, threshold)
+            for shard, codes in shard_codes.items():
+                has_match = any(
+                    bin(code ^ query).count("1") <= threshold
+                    for code in codes
+                )
+                if has_match:
+                    assert shard in plan.contacted
+
+    def test_reset_range_recomputes_exactly(self):
+        planner = self.make_planner()
+        planner.observe(1, to_gray(70))
+        planner.observe(1, to_gray(100))
+        planner.reset_range(1, [to_gray(90)])
+        assert planner.occupied(1) == (90, 90)
+        planner.reset_range(1, [])
+        assert planner.occupied(1) is None
+
+    def test_memo_invalidated_by_observe(self):
+        planner = self.make_planner()
+        planner.observe(1, to_gray(70))
+        before = planner.plan(to_gray(100), 0)
+        assert before.contacted == ()
+        planner.observe(1, to_gray(100))
+        after = planner.plan(to_gray(100), 0)
+        assert after.contacted == (1,)
+
+    def test_memo_returns_identical_plan(self):
+        planner = self.make_planner()
+        planner.observe(2, to_gray(150))
+        first = planner.plan(7, 3)
+        assert planner.plan(7, 3) is first
+
+    def test_plan_is_frozen(self):
+        plan = ShardPlan(contacted=(0,), pruned=3, broadcast=False)
+        with pytest.raises(AttributeError):
+            plan.pruned = 0

@@ -1,0 +1,308 @@
+"""Differential and behavioral tests for the sharded serving plane.
+
+The load-bearing property: scatter-gather over Gray-range shards must
+be *indistinguishable* from the single-index service — byte-identical
+select/probe/knn/join results at every shard count — while contacting
+strictly fewer shards than a broadcast whenever the pruning bound is
+non-vacuous.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import (
+    CodeLengthError,
+    InvalidParameterError,
+    ServiceClosedError,
+)
+from repro.core.join import nested_loops_join
+from repro.data.workloads import cluster_codes
+from repro.mapreduce.faults import ChaosPolicy
+from repro.obs import REGISTRY, reset
+from repro.service import HammingQueryService, ShardedQueryService
+
+LENGTH = 16
+THRESHOLDS = (0, 2, 4)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset()
+    yield
+    reset()
+
+
+def make_codes(n=240, clusters=4, seed=2) -> CodeSet:
+    rng = random.Random(seed)
+    base = CodeSet([rng.getrandbits(LENGTH) for _ in range(n)], LENGTH)
+    return cluster_codes(base, clusters)
+
+
+def make_queries(codes: CodeSet, count=30, seed=5) -> list[int]:
+    rng = random.Random(seed)
+    members = [codes[rng.randrange(len(codes))] for _ in range(count)]
+    flipped = [
+        query ^ (1 << rng.randrange(LENGTH)) for query in members[: count // 2]
+    ]
+    return members + flipped
+
+
+def sharded_service(codes, **kwargs) -> ShardedQueryService:
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("cache_capacity", 0)
+    return ShardedQueryService(codes, **kwargs)
+
+
+class TestDifferential:
+    """Byte-identical results versus the single-index service."""
+
+    @pytest.mark.parametrize("num_shards", [1, 4, 7])
+    def test_select_probe_knn_match_single_index(self, num_shards):
+        codes = make_codes()
+        queries = make_queries(codes)
+        single = HammingQueryService(
+            DynamicHAIndex.build(codes), workers=1, cache_capacity=0
+        )
+        sharded = sharded_service(codes, num_shards=num_shards)
+        with single, sharded:
+            for query in queries:
+                for threshold in THRESHOLDS:
+                    expected = single.select(query, threshold).value
+                    got = sharded.select(query, threshold).value
+                    assert sorted(expected) == list(got)
+                    assert (
+                        single.probe(query, threshold).value
+                        == sharded.probe(query, threshold).value
+                    )
+                for k in (1, 5, 17):
+                    assert (
+                        single.knn(query, k).value
+                        == sharded.knn(query, k).value
+                    )
+
+    @pytest.mark.parametrize("num_shards", [1, 4, 7])
+    def test_join_matches_nested_loops_oracle(self, num_shards):
+        codes = make_codes(n=120)
+        rng = random.Random(9)
+        outer = CodeSet(
+            [rng.getrandbits(LENGTH) for _ in range(40)]
+            + [codes[i] for i in range(0, 40, 4)],
+            LENGTH,
+        )
+        sharded = sharded_service(codes, num_shards=num_shards)
+        with sharded:
+            got = sharded.join(outer, 2)
+        assert got == sorted(nested_loops_join(outer, codes, 2))
+
+    def test_batched_selects_match_blocking_selects(self):
+        codes = make_codes()
+        queries = make_queries(codes)
+        reference = sharded_service(codes, num_shards=4)
+        batched = sharded_service(codes, num_shards=4, max_batch=16)
+        with reference, batched:
+            tickets = [
+                batched.submit("select", query, 2) for query in queries
+            ]
+            for query, ticket in zip(queries, tickets):
+                assert (
+                    ticket.result().value
+                    == reference.select(query, 2).value
+                )
+
+
+class TestPruning:
+    def test_contacts_strictly_fewer_shards_than_broadcast(self):
+        """Acceptance: the shards_contacted metric must show a strict
+        win over broadcast when the bound is non-vacuous."""
+        codes = make_codes()
+        queries = make_queries(codes)
+        totals = {}
+        for label, pruning in (("pruned", True), ("broadcast", False)):
+            reset()
+            REGISTRY.enabled = True
+            service = sharded_service(codes, num_shards=4, pruning=pruning)
+            with service:
+                for query in queries:
+                    service.select(query, 2)
+                stats = service.shard_stats()
+            totals[label] = REGISTRY.counter("shards_contacted_total").value
+            if pruning:
+                assert stats.broadcasts < stats.planned
+        assert totals["pruned"] < totals["broadcast"]
+
+    def test_pruned_results_equal_broadcast_results(self):
+        codes = make_codes()
+        queries = make_queries(codes)
+        pruned = sharded_service(codes, num_shards=4)
+        broadcast = sharded_service(codes, num_shards=4, pruning=False)
+        with pruned, broadcast:
+            for query in queries:
+                assert (
+                    pruned.select(query, 3).value
+                    == broadcast.select(query, 3).value
+                )
+
+    def test_metrics_published_per_plan(self):
+        REGISTRY.enabled = True
+        codes = make_codes()
+        service = sharded_service(codes, num_shards=4)
+        with service:
+            service.select(codes[0], 1)
+        snapshot = REGISTRY.snapshot()
+        assert "shards_contacted_total" in snapshot
+        assert "shard_pruned_total" in snapshot
+        assert "shards_contacted" in snapshot
+
+    def test_single_shard_never_prunes(self):
+        codes = make_codes()
+        service = sharded_service(codes, num_shards=1)
+        with service:
+            result = service.select(codes[0], 2)
+            stats = service.shard_stats()
+        assert result.value
+        assert stats.shards_pruned == 0
+        assert stats.broadcasts == stats.planned
+
+
+class TestMaintenance:
+    def test_insert_routes_to_owning_shard_and_serves(self):
+        codes = make_codes(n=60)
+        service = sharded_service(codes, num_shards=4)
+        with service:
+            new_code = codes[0] ^ 1
+            before = service.shard_sizes()
+            service.insert(new_code, 999)
+            after = service.shard_sizes()
+            assert sum(after) == sum(before) + 1
+            assert sum(a != b for a, b in zip(before, after)) == 1
+            assert 999 in service.select(new_code, 0).value
+
+    def test_delete_removes_from_owning_shard(self):
+        codes = make_codes(n=60)
+        service = sharded_service(codes, num_shards=4)
+        with service:
+            victim_code, victim_id = codes[3], codes.ids[3]
+            assert victim_id in service.select(victim_code, 0).value
+            service.delete(victim_code, victim_id)
+            assert victim_id not in service.select(victim_code, 0).value
+
+    def test_insert_invalidates_cache_only_for_contacted_plans(self):
+        """A write to a shard the cached plan pruned keeps the entry."""
+        codes = CodeSet([0x0000, 0xFFFF], LENGTH)
+        service = sharded_service(
+            codes, num_shards=2, cache_capacity=64
+        )
+        with service:
+            service.select(0x0000, 1)
+            hits_before = service.stats().cache.hits
+            service.select(0x0000, 1)  # cache hit
+            assert service.stats().cache.hits == hits_before + 1
+            # Write lands on the far shard (code ~0xFFFF side), whose
+            # shard the 0x0000 plan pruned: entry must survive.
+            service.insert(0xFFFE, 77)
+            service.select(0x0000, 1)
+            assert service.stats().cache.hits == hits_before + 2
+            # Write to the contacted shard: entry must be invalidated.
+            service.insert(0x0001, 78)
+            result = service.select(0x0000, 1)
+            assert service.stats().cache.hits == hits_before + 2
+            assert 78 in result.value
+
+    def test_refresh_swaps_dataset_and_bumps_epochs(self):
+        codes = make_codes(n=60)
+        replacement = make_codes(n=80, seed=12)
+        service = sharded_service(codes, num_shards=4)
+        with service:
+            old_epoch = service.epoch
+            service.refresh(replacement)
+            assert service.epoch > old_epoch
+            assert len(service) == 80
+
+    def test_refresh_rejects_wrong_length(self):
+        service = sharded_service(make_codes(n=20), num_shards=2)
+        with service:
+            with pytest.raises(InvalidParameterError):
+                service.refresh(CodeSet([1, 2], LENGTH + 1))
+
+
+class TestReplication:
+    def test_chaos_never_changes_results(self):
+        codes = make_codes()
+        queries = make_queries(codes)
+        plain = sharded_service(codes, num_shards=4)
+        chaotic = sharded_service(
+            codes,
+            num_shards=4,
+            replication=3,
+            chaos=ChaosPolicy(seed=11, crash_prob=0.4, straggler_prob=0.3),
+        )
+        with plain, chaotic:
+            for query in queries:
+                for threshold in THRESHOLDS:
+                    assert (
+                        plain.select(query, threshold).value
+                        == chaotic.select(query, threshold).value
+                    )
+            stats = chaotic.shard_stats()
+        assert stats.failovers > 0
+        assert stats.hedges > 0
+
+    def test_writes_reach_every_replica(self):
+        codes = make_codes(n=40)
+        service = sharded_service(codes, num_shards=2, replication=2)
+        with service:
+            service.insert(codes[0] ^ 1, 500)
+            for shard in service._shards:
+                sizes = {len(replica) for replica in shard.replicas}
+                assert len(sizes) == 1, "replicas diverged"
+
+    def test_replication_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            sharded_service(make_codes(n=10), replication=0)
+
+
+class TestServiceSurface:
+    def test_closed_service_rejects_queries(self):
+        service = sharded_service(make_codes(n=20), num_shards=2)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.select(1, 1)
+
+    def test_rejects_oversized_query(self):
+        service = sharded_service(make_codes(n=20), num_shards=2)
+        with service:
+            with pytest.raises(CodeLengthError):
+                service.select(1 << LENGTH, 1)
+
+    def test_rejects_unknown_kind_and_bad_params(self):
+        service = sharded_service(make_codes(n=20), num_shards=2)
+        with service:
+            with pytest.raises(InvalidParameterError):
+                service.submit("scan", 1, 1)
+            with pytest.raises(InvalidParameterError):
+                service.submit("select", 1, -1)
+            with pytest.raises(InvalidParameterError):
+                service.submit("knn", 1, 0)
+
+    def test_stats_render_mentions_shards(self):
+        service = sharded_service(make_codes(n=40), num_shards=4)
+        with service:
+            service.select(1, 1)
+            text = service.shard_stats().render()
+        assert "shards" in text
+        assert "pruning" in text
+
+    def test_publish_metrics_exports_shard_gauges(self):
+        REGISTRY.enabled = True
+        service = sharded_service(make_codes(n=40), num_shards=4)
+        with service:
+            service.select(1, 1)
+            service.publish_metrics()
+        snapshot = REGISTRY.snapshot()
+        assert "shard_service_size" in snapshot
+        assert "shard_service_pruned" in snapshot
