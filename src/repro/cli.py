@@ -18,6 +18,8 @@ Commands:
   attribution, checked against ``last_search_ops``).
 * ``metrics`` — short instrumented serving run, then the metrics
   registry in Prometheus or JSON form.
+* ``index save`` / ``index load`` — persist a built index into a
+  crash-safe durable store and recover it (snapshot + WAL replay).
 * ``info``    — version, registered index families, dataset generators.
 
 Every command prints a small, self-describing report; sizes stay
@@ -187,6 +189,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch execution plane: flat runs uncached select batches "
              "through the vectorized kernel (default flat)",
     )
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="serve from a crash-safe durable store under this "
+             "directory: an existing store is recovered (warm start), "
+             "a fresh directory is initialized, and every interleaved "
+             "update is WAL-logged",
+    )
+
+    index_cmd = commands.add_parser(
+        "index",
+        help="durable index store: save a built index, load/recover one",
+    )
+    index_sub = index_cmd.add_subparsers(
+        dest="index_command", required=True
+    )
+    index_save = index_sub.add_parser(
+        "save",
+        help="H-Build an index over a synthetic workload and persist "
+             "it as snapshot generation 1",
+    )
+    add_workload_arguments(index_save)
+    index_save.add_argument(
+        "--data-dir", required=True,
+        help="fresh directory for the store (must not hold one already)",
+    )
+    index_save.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync barriers (faster, loses crash safety)",
+    )
+    index_load = index_sub.add_parser(
+        "load",
+        help="recover a persisted index (newest valid snapshot + WAL "
+             "replay) and report what recovery did",
+    )
+    index_load.add_argument(
+        "--data-dir", required=True, help="store directory to recover"
+    )
+    index_load.add_argument(
+        "--query", type=lambda s: int(s, 0), default=None,
+        help="optional code (int, 0x.. ok) to h-select after recovery",
+    )
+    index_load.add_argument("--threshold", type=int, default=3)
 
     def add_shard_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -320,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--format", choices=["prom", "json"], default="prom",
         help="Prometheus text exposition or a JSON snapshot",
+    )
+    metrics.add_argument(
+        "--data-dir", default=None,
+        help="serve from a durable store (created or recovered) so the "
+             "store_* gauges appear in the exposition",
     )
     return parser
 
@@ -512,14 +561,33 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     naive_seconds = time.perf_counter() - started
     naive_qps = len(queries) / naive_seconds if naive_seconds else 0.0
 
-    service = HammingQueryService(
-        DynamicHAIndex.build(codes),
+    service_kwargs = dict(
         workers=args.workers,
         max_batch=args.batch,
         queue_limit=len(queries) + 2 * args.updates + 8,
         cache_capacity=args.cache,
         batch_kernel=args.engine == "flat",
     )
+    if args.data_dir is not None:
+        from repro.store import DurableIndexStore
+
+        if DurableIndexStore.exists(args.data_dir):
+            service = HammingQueryService.open(
+                args.data_dir, **service_kwargs
+            )
+            print(f"warm start from {args.data_dir}: "
+                  f"{len(service)} codes at epoch {service.epoch}")
+        else:
+            service = HammingQueryService(
+                DynamicHAIndex.build(codes),
+                data_dir=args.data_dir,
+                **service_kwargs,
+            )
+            print(f"initialized durable store at {args.data_dir}")
+    else:
+        service = HammingQueryService(
+            DynamicHAIndex.build(codes), **service_kwargs
+        )
     update_every = (
         max(1, len(queries) // (args.updates + 1)) if args.updates else 0
     )
@@ -793,6 +861,46 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _command_index_save(args: argparse.Namespace) -> int:
+    from repro.store import DurableIndexStore
+
+    _, codes = _encoded_workload(args)
+    started = time.perf_counter()
+    index = DynamicHAIndex.build(codes)
+    build_seconds = time.perf_counter() - started
+    store = DurableIndexStore(args.data_dir, fsync=not args.no_fsync)
+    started = time.perf_counter()
+    store.initialize(index)
+    store.close()
+    save_seconds = time.perf_counter() - started
+    print(f"saved {len(index)} x {args.bits}-bit codes to "
+          f"{args.data_dir} (generation 1)")
+    print(f"  build: {build_seconds:.2f} s, save: {save_seconds:.2f} s")
+    return 0
+
+
+def _command_index_load(args: argparse.Namespace) -> int:
+    from repro.store import DurableIndexStore
+
+    store = DurableIndexStore(args.data_dir)
+    started = time.perf_counter()
+    index = store.open()
+    load_seconds = time.perf_counter() - started
+    stats = store.stats()
+    print(f"recovered {len(index)} x {index.code_length}-bit codes "
+          f"from {args.data_dir} in {load_seconds:.2f} s")
+    print(f"  generation {stats.generation}, seq {stats.last_seq}, "
+          f"{stats.wal_replayed} WAL records replayed "
+          f"({stats.replay_skipped} skipped), "
+          f"{stats.recovery_fallbacks} generation fallbacks")
+    if args.query is not None:
+        matches = index.search(args.query, args.threshold)
+        print(f"  h-select({args.query:#x}, h={args.threshold}): "
+              f"{len(matches)} matches")
+    store.close()
+    return 0
+
+
 def _command_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -804,10 +912,24 @@ def _command_metrics(args: argparse.Namespace) -> int:
     queries = WORKLOAD_SHAPES["zipf"](codes, args.queries, args.seed)
     set_metrics_enabled(True)
     try:
-        service = HammingQueryService(
-            DynamicHAIndex.build(codes),
-            queue_limit=len(queries) + 8,
-        )
+        if args.data_dir is not None:
+            from repro.store import DurableIndexStore
+
+            if DurableIndexStore.exists(args.data_dir):
+                service = HammingQueryService.open(
+                    args.data_dir, queue_limit=len(queries) + 8
+                )
+            else:
+                service = HammingQueryService(
+                    DynamicHAIndex.build(codes),
+                    data_dir=args.data_dir,
+                    queue_limit=len(queries) + 8,
+                )
+        else:
+            service = HammingQueryService(
+                DynamicHAIndex.build(codes),
+                queue_limit=len(queries) + 8,
+            )
         with service:
             tickets = [
                 service.submit("select", query, args.threshold)
@@ -857,6 +979,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_trace(args)
     if args.command == "metrics":
         return _command_metrics(args)
+    if args.command == "index":
+        if args.index_command == "save":
+            return _command_index_save(args)
+        if args.index_command == "load":
+            return _command_index_load(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -838,7 +838,20 @@ class DynamicHAIndex(HammingIndex):
 
     @classmethod
     def load(cls, path) -> "DynamicHAIndex":
-        """Load an index persisted by :meth:`save`; validates the header."""
+        """Load an index persisted by :meth:`save`; validates the header.
+
+        Foreign, truncated, or otherwise corrupt files raise
+        :class:`~repro.core.errors.IndexStateError` instead of leaking
+        raw :mod:`pickle` errors.
+
+        .. warning::
+            The payload is a pickle, so ``load`` must only be pointed
+            at **trusted** files (ones this process or its deployment
+            wrote via :meth:`save`) — unpickling attacker-controlled
+            bytes executes arbitrary code.  For an untrusted-input-safe
+            on-disk format use :class:`repro.store.DurableIndexStore`,
+            whose snapshots are validated numpy arrays, not pickles.
+        """
         with open(path, "rb") as stream:
             magic = stream.read(len(cls._FILE_MAGIC))
             if magic != cls._FILE_MAGIC:
@@ -850,7 +863,12 @@ class DynamicHAIndex(HammingIndex):
                 raise IndexStateError(
                     f"unsupported HA-Index file version in {path!s}"
                 )
-            index = pickle.load(stream)
+            try:
+                index = pickle.load(stream)
+            except Exception as error:
+                raise IndexStateError(
+                    f"truncated or corrupt HA-Index file {path!s}: {error}"
+                ) from error
         if not isinstance(index, cls):
             raise IndexStateError(
                 f"{path!s} does not contain a {cls.__name__}"

@@ -53,6 +53,20 @@ class CheckpointError(ReproError):
     """A pipeline checkpoint could not be persisted or read back."""
 
 
+class StoreError(ReproError):
+    """A durable-store artifact (snapshot or WAL) could not be used.
+
+    Raised when one on-disk generation is unreadable — corrupt header,
+    checksum mismatch, truncated payload.  Recovery treats it as "try
+    the previous generation"; only :class:`StoreCorruptionError` means
+    the store as a whole is unrecoverable.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """No snapshot generation of a durable store could be recovered."""
+
+
 class ServiceError(ReproError):
     """Base class for online query-serving failures (:mod:`repro.service`)."""
 

@@ -77,6 +77,18 @@ def _pack_column(values: Sequence[int], words: int) -> np.ndarray:
     return packed
 
 
+def _combine_words(matrix: np.ndarray) -> list[int]:
+    """Recombine an (n, words) uint64 matrix into arbitrary-width ints."""
+    values = [0] * matrix.shape[0]
+    for word in range(matrix.shape[1]):
+        shift = word * 64
+        values = [
+            value | (chunk << shift)
+            for value, chunk in zip(values, matrix[:, word].tolist())
+        ]
+    return values
+
+
 def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenate ``arange(s, s + c)`` for every (start, count) pair."""
     total = int(counts.sum())
@@ -273,6 +285,119 @@ class FlatHAIndex(HammingIndex):
             id_offsets[position + 1] = len(ids_flat)
         self._id_offsets = id_offsets
         self._ids_flat = np.array(ids_flat, dtype=np.int64)
+
+    # -- persistence (repro.store snapshots) --------------------------------
+
+    #: Arrays serialized by ``to_state`` in this exact order; the
+    #: snapshot format stores them as raw little-endian blobs.
+    STATE_ARRAYS = (
+        "bits", "masks", "frequency", "child_first", "child_count",
+        "leaf_lo", "leaf_hi", "id_offsets", "ids_flat", "buf_ids",
+        "buf_words",
+    )
+
+    def to_state(self) -> dict:
+        """The kernel's persistent state: scalars plus flat arrays.
+
+        Everything else (`_uncovered`, the leaf table, the fast-path
+        columns, ...) is derived deterministically by
+        :meth:`from_state`, so snapshots store only what cannot be
+        recomputed.
+        """
+        return {
+            "code_length": self._code_length,
+            "keep_ids": self._keep_ids,
+            "size": self._size,
+            "words": self._words,
+            "level_offsets": list(self._level_offsets),
+            "bits": self._bits,
+            "masks": self._masks,
+            "frequency": self._frequency,
+            "child_first": self._child_first,
+            "child_count": self._child_count,
+            "leaf_lo": self._leaf_lo,
+            "leaf_hi": self._leaf_hi,
+            "id_offsets": self._id_offsets,
+            "ids_flat": self._ids_flat,
+            "buf_ids": self._buf_ids,
+            "buf_words": self._buf_words,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlatHAIndex":
+        """Rebuild a kernel from :meth:`to_state` output.
+
+        Derived fields are recomputed exactly as :meth:`_flatten`
+        produces them, so a restored kernel answers byte-identically
+        to the one that was saved.
+        """
+        self = cls.__new__(cls)
+        length = int(state["code_length"])
+        words = int(state["words"])
+        self._code_length = length
+        self._keep_ids = bool(state["keep_ids"])
+        self._size = int(state["size"])
+        self._words = words
+        self._mutations = 0
+        self.source_mutations = 0
+        self.last_search_ops = 0
+        self._level_offsets = [int(v) for v in state["level_offsets"]]
+        bits = np.ascontiguousarray(state["bits"], dtype=np.uint64)
+        masks = np.ascontiguousarray(state["masks"], dtype=np.uint64)
+        self._bits = bits.reshape(-1, words)
+        self._masks = masks.reshape(-1, words)
+        for name in (
+            "frequency", "child_first", "child_count",
+            "leaf_lo", "leaf_hi", "id_offsets", "ids_flat", "buf_ids",
+        ):
+            setattr(
+                self,
+                f"_{name}",
+                np.ascontiguousarray(state[name], dtype=np.int64),
+            )
+        self._buf_words = np.ascontiguousarray(
+            state["buf_words"], dtype=np.uint64
+        ).reshape(-1, words)
+        n = self._bits.shape[0]
+        if words == 1:
+            self._bits1 = np.ascontiguousarray(self._bits[:, 0])
+            self._masks1 = np.ascontiguousarray(self._masks[:, 0])
+        else:
+            self._bits1 = None
+            self._masks1 = None
+        self._uncovered = (
+            length - popcount64(self._masks).sum(axis=1, dtype=np.int64)
+        ).astype(np.int64)
+        self._is_leaf = self._child_count == 0
+        self._edges = int(self._child_count.sum())
+        self._unc8 = (
+            self._uncovered.astype(np.uint8) if length <= 255 else None
+        )
+        leaf_uncovered = self._uncovered[self._is_leaf]
+        self._cover_is_collect = (
+            bool((leaf_uncovered == 0).all()) if leaf_uncovered.size
+            else True
+        )
+        offsets = self._level_offsets
+        last_lo = offsets[-2] if len(offsets) > 1 else 0
+        if (
+            n
+            and bool(self._is_leaf[last_lo:].all())
+            and bool((self._uncovered[last_lo:] == 0).all())
+        ):
+            self._leaf_level_start = last_lo
+        else:
+            self._leaf_level_start = n + 1
+        top_count = offsets[1] if len(offsets) > 1 else 0
+        self._top_slots = np.arange(top_count, dtype=np.int64)
+        # Leaf table in DFS order: a leaf's ``leaf_lo`` is its leaf
+        # position, so sorting leaf slots by it recovers the layout.
+        leaf_slots = np.flatnonzero(self._is_leaf)
+        leaf_slots = leaf_slots[np.argsort(self._leaf_lo[leaf_slots])]
+        self._leaf_words = np.ascontiguousarray(self._bits[leaf_slots])
+        self._leaf_codes = tuple(_combine_words(self._leaf_words))
+        self._buf_codes = tuple(_combine_words(self._buf_words))
+        return self
 
     # -- introspection -----------------------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -66,8 +67,11 @@ class CheckpointStore:
     In-memory by default; pass ``path`` to also persist each stage as a
     pickle under that directory so recovery works across processes.
     ``restore`` returns ``None`` for a missing or stale (fingerprint
-    mismatch) entry; corrupt on-disk entries raise
-    :class:`~repro.core.errors.CheckpointError`.
+    mismatch) entry; a corrupt or truncated on-disk entry is treated
+    the same way — warned about, discarded, and reported as a miss —
+    because a checkpoint is a pure cache of recomputable work, and a
+    half-written file left by a crash must never wedge the pipeline it
+    exists to speed up.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
@@ -99,8 +103,9 @@ class CheckpointStore:
     def restore(self, stage: str, fingerprint: str) -> Any | None:
         """Return the persisted output of ``stage``, or ``None``.
 
-        ``None`` means missing or recorded for different inputs — the
-        caller re-runs the stage either way.
+        ``None`` means missing, recorded for different inputs, or
+        corrupt on disk (warned and discarded) — the caller re-runs the
+        stage either way.
         """
         entry = self._memory.get(stage)
         if entry is None and self._path is not None:
@@ -109,18 +114,17 @@ class CheckpointStore:
                 try:
                     entry = pickle.loads(file.read_bytes())
                 except Exception as error:  # noqa: BLE001 - any unpickle fault
-                    raise CheckpointError(
-                        f"corrupt checkpoint {stage!r} at {file}: {error}"
-                    ) from error
+                    self._discard_corrupt(stage, file, str(error))
+                    return None
                 if (
                     not isinstance(entry, tuple)
                     or len(entry) != 2
                     or not isinstance(entry[0], str)
                 ):
-                    raise CheckpointError(
-                        f"corrupt checkpoint {stage!r} at {file}: "
-                        "unexpected payload shape"
+                    self._discard_corrupt(
+                        stage, file, "unexpected payload shape"
                     )
+                    return None
                 self._memory[stage] = entry
         if entry is None:
             return None
@@ -129,11 +133,17 @@ class CheckpointStore:
             return None
         return value
 
+    def _discard_corrupt(self, stage: str, file: Path, why: str) -> None:
+        """Warn about and delete an unusable on-disk entry (cache miss)."""
+        warnings.warn(
+            f"discarding corrupt checkpoint {stage!r} at {file}: {why}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        file.unlink(missing_ok=True)
+
     def has(self, stage: str, fingerprint: str) -> bool:
-        try:
-            return self.restore(stage, fingerprint) is not None
-        except CheckpointError:
-            return False
+        return self.restore(stage, fingerprint) is not None
 
     def discard(self, stage: str) -> None:
         """Drop one stage's checkpoint (memory and disk)."""

@@ -37,9 +37,11 @@ import time
 
 from repro.core.bitvector import CodeSet
 from repro.core.errors import (
+    IndexStateError,
     InvalidParameterError,
     ServiceClosedError,
     ServiceTimeoutError,
+    StoreError,
 )
 from repro.core.index_base import HammingIndex
 from repro.core.knn import knn_select
@@ -117,6 +119,16 @@ class HammingQueryService:
             collected on the worker thread and the latest batch tree is
             readable from :func:`repro.obs.last_trace` (off by
             default — tracing every batch is not free).
+        data_dir: persist the served index in a
+            :class:`~repro.store.store.DurableIndexStore` under this
+            directory.  The directory must be fresh (the index is
+            written as generation 1); to reopen an existing store use
+            :meth:`open`.  Every :meth:`insert`/:meth:`delete` is
+            WAL-logged before it is applied, and :meth:`refresh` /
+            :meth:`save_snapshot` rotate snapshot generations.
+        store: an already-initialized (or recovered) store to log to;
+            mutually exclusive with ``data_dir``.
+        fsync: passed to the store created for ``data_dir``.
     """
 
     def __init__(
@@ -132,14 +144,32 @@ class HammingQueryService:
         linger_seconds: float = 0.0,
         start: bool = True,
         trace_batches: bool = False,
+        data_dir: str | None = None,
+        store=None,
+        fsync: bool = True,
     ) -> None:
         if default_timeout is not None and default_timeout <= 0:
             raise InvalidParameterError("default_timeout must be positive")
+        if data_dir is not None and store is not None:
+            raise InvalidParameterError(
+                "pass either data_dir or store, not both"
+            )
+        if data_dir is not None:
+            from repro.store.store import DurableIndexStore
+
+            if DurableIndexStore.exists(data_dir):
+                raise StoreError(
+                    f"{data_dir} already holds a store; use "
+                    "HammingQueryService.open(data_dir) to recover it"
+                )
+            store = DurableIndexStore(data_dir, fsync=fsync)
+            store.initialize(self._require_dynamic(index, "persist"))
+        self._store = store
         self._index = index
         self._index_lock = threading.Lock()
         self._batch_kernel = batch_kernel
         self._trace_batches = trace_batches
-        self._epoch = 0
+        self._epoch = store.last_seq if store is not None else 0
         self._default_timeout = default_timeout
         self._closed = False
         self._cache = ResultCache(cache_capacity)
@@ -159,17 +189,55 @@ class HammingQueryService:
 
     # -- lifecycle ---------------------------------------------------------
 
+    @staticmethod
+    def _require_dynamic(index: HammingIndex, verb: str):
+        from repro.core.dynamic_ha import DynamicHAIndex
+
+        if not isinstance(index, DynamicHAIndex):
+            raise StoreError(
+                f"can only {verb} a DynamicHAIndex, not "
+                f"{type(index).__name__}"
+            )
+        return index
+
+    @classmethod
+    def open(
+        cls, data_dir: str, *, fsync: bool = True, **kwargs
+    ) -> "HammingQueryService":
+        """Warm-start a service from a persisted store.
+
+        Recovers the newest valid snapshot generation, replays the WAL
+        tail, and serves the result; the service's epoch resumes at the
+        store's last logged sequence number, so it matches a
+        never-restarted service that applied the same mutations.
+        """
+        from repro.store.store import DurableIndexStore
+
+        store = DurableIndexStore(data_dir, fsync=fsync)
+        index = store.open()
+        return cls(index, store=store, **kwargs)
+
+    @property
+    def store(self):
+        """The backing durable store (``None`` when memory-only)."""
+        return self._store
+
     def start(self) -> None:
         """Spawn the worker pool (idempotent)."""
         if self._closed:
             raise ServiceClosedError("cannot restart a closed service")
         self._scheduler.start()
 
-    def close(self) -> None:
+    def close(self, *, snapshot: bool = True) -> None:
         """Stop admitting, drain queued queries, join the workers.
 
         Every already-admitted query is still answered (or times out on
-        its own deadline) — shutdown never silently drops work.
+        its own deadline) — shutdown never silently drops work.  When a
+        durable store is attached and WAL records are pending,
+        ``snapshot=True`` (the default) folds them into a final
+        generation so the next :meth:`open` recovers with an empty
+        replay tail — a pure memory-map warm start.  ``snapshot=False``
+        skips the rotation and relies on WAL replay instead.
         """
         if self._closed:
             return
@@ -177,6 +245,15 @@ class HammingQueryService:
         self._scheduler.start()  # ensure someone drains the backlog
         self._queue.close()
         self._scheduler.join()
+        if self._store is not None:
+            try:
+                if snapshot and self._store.wal_tail:
+                    with self._index_lock:
+                        self._store.snapshot(
+                            self._require_dynamic(self._index, "snapshot")
+                        )
+            finally:
+                self._store.close()
 
     def __enter__(self) -> "HammingQueryService":
         self.start()
@@ -279,9 +356,17 @@ class HammingQueryService:
     # -- writer side (Algorithm 2 through the service) ---------------------
 
     def insert(self, code: int, tuple_id: int) -> int:
-        """H-Insert one tuple; returns the new epoch."""
+        """H-Insert one tuple; returns the new epoch.
+
+        With a durable store attached the mutation is WAL-logged
+        *before* it touches the in-memory index (write-ahead), so a
+        crash after this method returns never loses it.
+        """
         self._check_open()
         with self._index_lock:
+            if self._store is not None:
+                self._validate_insert(code, tuple_id)
+                self._store.append_insert(code, tuple_id)
             self._index.insert(code, tuple_id)
             self._epoch += 1
             return self._epoch
@@ -290,9 +375,39 @@ class HammingQueryService:
         """H-Delete one tuple; returns the new epoch."""
         self._check_open()
         with self._index_lock:
+            if self._store is not None:
+                self._validate_delete(code, tuple_id)
+                self._store.append_delete(code, tuple_id)
             self._index.delete(code, tuple_id)
             self._epoch += 1
             return self._epoch
+
+    def _validate_insert(self, code: int, tuple_id: int) -> None:
+        """Re-raise what ``index.insert`` would, *before* WAL append.
+
+        Logging a record the index then rejects would poison replay, so
+        the index's own preconditions are checked first (under the
+        mutex, against the same index the apply will hit, with the
+        index's own error messages).
+        """
+        self._precheck_mutation("insert into", code)
+
+    def _validate_delete(self, code: int, tuple_id: int) -> None:
+        self._precheck_mutation("delete from", code)
+        if tuple_id not in self._index.ids_for_code(code):
+            raise IndexStateError(
+                f"tuple {tuple_id} with code {code:#x} not present"
+            )
+
+    def _precheck_mutation(self, verb: str, code: int) -> None:
+        index = self._index
+        index._check_query(code, 0)
+        if getattr(index, "_frozen", False):
+            raise IndexStateError("merged global HA-Index is read-only")
+        if not index.keeps_ids:
+            raise IndexStateError(
+                f"cannot {verb} a leaf-less (keep_ids=False) index"
+            )
 
     def refresh(self, source: HammingIndex | CodeSet) -> int:
         """Copy-on-swap bulk reload; returns the new epoch.
@@ -313,7 +428,14 @@ class HammingQueryService:
                 f"refresh code length {replacement.code_length} != served "
                 f"{self._index.code_length}"
             )
+        if self._store is not None:
+            self._require_dynamic(replacement, "persist")
         with self._index_lock:
+            if self._store is not None:
+                # A bulk reload invalidates the WAL chain (the logged
+                # mutations no longer lead to this state); rotate a
+                # fresh snapshot generation before serving it.
+                self._store.snapshot(replacement)
             self._index = replacement
             self._epoch += 1
             epoch = self._epoch
@@ -322,6 +444,25 @@ class HammingQueryService:
         # the LRU capacity is spent on the new state.
         self._cache.purge_stale(epoch)
         return epoch
+
+    def save_snapshot(self) -> int:
+        """Rotate a new durable snapshot generation; returns its number.
+
+        Folds every logged mutation into a fresh snapshot so the next
+        :meth:`open` replays an empty WAL tail (fast warm start).
+        Requires a store.
+        """
+        self._check_open()
+        if self._store is None:
+            raise StoreError(
+                "service has no durable store; construct it with "
+                "data_dir= or open() to persist snapshots"
+            )
+        with self._index_lock:
+            self._store.snapshot(
+                self._require_dynamic(self._index, "snapshot")
+            )
+            return self._store.generation
 
     def snapshot_index(self) -> HammingIndex:
         """A deep copy of the served index at a consistent epoch.
@@ -485,6 +626,9 @@ class HammingQueryService:
             workers=self._scheduler.workers,
             epoch=epoch,
             cache=self._cache.stats(),
+            store=(
+                self._store.stats() if self._store is not None else None
+            ),
         )
 
     def publish_metrics(self) -> ServiceStats:

@@ -54,9 +54,11 @@ from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.errors import (
     CodeLengthError,
+    IndexStateError,
     InvalidParameterError,
     ReplicaUnavailableError,
     ServiceClosedError,
+    StoreError,
 )
 from repro.core.knn import DEFAULT_INITIAL_THRESHOLD
 from repro.distributed.pivots import select_pivots, split_by_pivots
@@ -292,11 +294,21 @@ class ShardedQueryService:
         batch_kernel / default_timeout / linger_seconds / start /
         trace_batches: as in
             :class:`~repro.service.server.HammingQueryService`.
+        data_dir: persist the shard set under this (fresh) directory —
+            a ``topology.json`` describing the split plus one
+            :class:`~repro.store.store.DurableIndexStore` per shard
+            (``shard-0000/`` ...).  Mutations are WAL-logged on the
+            owning shard's store before any replica applies them;
+            reopen with :meth:`open`.
+        fsync: passed to the per-shard stores.
 
     With ``batch_kernel`` enabled the per-shard flat kernels are
     compiled eagerly at build (and refresh) time, so the first batched
     query does not pay ``num_shards`` lazy compiles.
     """
+
+    #: name of the shard-layout manifest inside ``data_dir``.
+    TOPOLOGY_FILE = "topology.json"
 
     def __init__(
         self,
@@ -317,6 +329,8 @@ class ShardedQueryService:
         linger_seconds: float = 0.0,
         start: bool = True,
         trace_batches: bool = False,
+        data_dir: str | None = None,
+        fsync: bool = True,
     ) -> None:
         if replication < 1:
             raise InvalidParameterError("replication must be >= 1")
@@ -342,8 +356,35 @@ class ShardedQueryService:
         self._pruning = pruning
         self._batch_kernel = batch_kernel
         self._shards = self._build_shards(codes)
-        self._lock = threading.Lock()
+        self._stores = None
         self._global_epoch = 0
+        if data_dir is not None:
+            self._stores = self._init_stores(data_dir, fsync)
+        self._finish_setup(
+            workers=workers,
+            max_batch=max_batch,
+            queue_limit=queue_limit,
+            cache_capacity=cache_capacity,
+            default_timeout=default_timeout,
+            linger_seconds=linger_seconds,
+            start=start,
+            trace_batches=trace_batches,
+        )
+
+    def _finish_setup(
+        self,
+        *,
+        workers: int,
+        max_batch: int,
+        queue_limit: int,
+        cache_capacity: int,
+        default_timeout: float | None,
+        linger_seconds: float,
+        start: bool,
+        trace_batches: bool,
+    ) -> None:
+        """Serving-stack construction shared by ``__init__`` / ``open``."""
+        self._lock = threading.Lock()
         self._trace_batches = trace_batches
         self._default_timeout = default_timeout
         self._closed = False
@@ -362,6 +403,140 @@ class ShardedQueryService:
         )
         if start:
             self.start()
+
+    # -- durability --------------------------------------------------------
+
+    def _init_stores(self, data_dir: str, fsync: bool):
+        """Write ``topology.json`` and one fresh store per shard."""
+        import json
+        from pathlib import Path
+
+        from repro.store.format import atomic_write
+        from repro.store.store import DurableIndexStore
+
+        root = Path(data_dir)
+        if (root / self.TOPOLOGY_FILE).exists():
+            raise StoreError(
+                f"{data_dir} already holds a sharded store; use "
+                "ShardedQueryService.open(data_dir) to recover it"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        topology = {
+            "format": "repro-shard-topology",
+            "version": 1,
+            "code_length": self._code_length,
+            "pivots": list(self._planner.pivots),
+            "num_shards": len(self._shards),
+            "replication": self._replication,
+            "index_params": self._index_params,
+        }
+        atomic_write(
+            root / self.TOPOLOGY_FILE,
+            json.dumps(topology, sort_keys=True, indent=2).encode("utf-8"),
+            fsync=fsync,
+        )
+        stores = []
+        for shard in self._shards:
+            store = DurableIndexStore(
+                root / f"shard-{shard.sid:04d}", fsync=fsync
+            )
+            store.initialize(shard.primary)
+            stores.append(store)
+        return stores
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        *,
+        fsync: bool = True,
+        chaos: ChaosPolicy | None = None,
+        pruning: bool = True,
+        workers: int = DEFAULT_WORKERS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        batch_kernel: bool = True,
+        default_timeout: float | None = None,
+        linger_seconds: float = 0.0,
+        start: bool = True,
+        trace_batches: bool = False,
+    ) -> "ShardedQueryService":
+        """Warm-start the sharded service from a persisted directory.
+
+        Reads ``topology.json`` (pivots, replication, index params) and
+        recovers every shard's store independently — newest valid
+        snapshot plus WAL replay per shard.  Each shard's epoch resumes
+        at its store's last logged sequence number and the global epoch
+        is their sum, matching a never-restarted service that applied
+        the same per-shard mutation history.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.store.store import DurableIndexStore
+
+        root = Path(data_dir)
+        manifest = root / cls.TOPOLOGY_FILE
+        try:
+            topology = json.loads(manifest.read_text("utf-8"))
+        except FileNotFoundError:
+            raise StoreError(f"no shard topology at {manifest}") from None
+        except (OSError, ValueError) as error:
+            raise StoreError(
+                f"unreadable shard topology {manifest}: {error}"
+            ) from error
+        if topology.get("format") != "repro-shard-topology":
+            raise StoreError(f"{manifest} is not a shard topology file")
+
+        self = cls.__new__(cls)
+        self._code_length = int(topology["code_length"])
+        self._planner = ScatterGatherPlanner(
+            [int(p) for p in topology["pivots"]], self._code_length
+        )
+        self._replication = int(topology["replication"])
+        self._faults = (
+            ReplicaFaultPlan(chaos)
+            if chaos is not None and chaos.enabled
+            else None
+        )
+        self._index_params = dict(topology.get("index_params") or {})
+        self._pruning = pruning
+        self._batch_kernel = batch_kernel
+        shards: list[_Shard] = []
+        stores = []
+        for sid in range(int(topology["num_shards"])):
+            store = DurableIndexStore(
+                root / f"shard-{sid:04d}", fsync=fsync
+            )
+            primary = store.open()
+            replicas = [primary] + [
+                primary.snapshot() for _ in range(self._replication - 1)
+            ]
+            if batch_kernel and len(primary):
+                for replica in replicas:
+                    replica.compile()
+            shard = _Shard(sid, replicas)
+            shard.epoch = store.last_seq
+            shards.append(shard)
+            stores.append(store)
+            self._planner.reset_range(
+                sid, [code for code, _ in primary.code_id_pairs()]
+            )
+        self._shards = shards
+        self._stores = stores
+        self._global_epoch = sum(shard.epoch for shard in shards)
+        self._finish_setup(
+            workers=workers,
+            max_batch=max_batch,
+            queue_limit=queue_limit,
+            cache_capacity=cache_capacity,
+            default_timeout=default_timeout,
+            linger_seconds=linger_seconds,
+            start=start,
+            trace_batches=trace_batches,
+        )
+        return self
 
     def _build_shards(self, codes: CodeSet) -> list[_Shard]:
         shard_sets = split_by_pivots(codes, self._planner.pivots)
@@ -388,14 +563,28 @@ class ShardedQueryService:
             raise ServiceClosedError("cannot restart a closed service")
         self._scheduler.start()
 
-    def close(self) -> None:
-        """Stop admitting, drain queued queries, join the workers."""
+    def close(self, *, snapshot: bool = True) -> None:
+        """Stop admitting, drain queued queries, join the workers.
+
+        With ``snapshot=True`` (the default) every shard whose WAL has
+        pending records rotates a final generation, so the next
+        :meth:`open` warm-starts each shard from its memory-mapped
+        snapshot with nothing to replay.
+        """
         if self._closed:
             return
         self._closed = True
         self._scheduler.start()
         self._queue.close()
         self._scheduler.join()
+        if self._stores is not None:
+            for shard, store in zip(self._shards, self._stores):
+                try:
+                    if snapshot and store.wal_tail:
+                        with self._lock:
+                            store.snapshot(shard.primary)
+                finally:
+                    store.close()
 
     def __enter__(self) -> "ShardedQueryService":
         self.start()
@@ -567,6 +756,9 @@ class ShardedQueryService:
         with self._lock:
             sid = self._planner.route(code)
             shard = self._shards[sid]
+            if self._stores is not None:
+                self._precheck_mutation(shard, "insert into")
+                self._stores[sid].append_insert(code, tuple_id)
             for replica in shard.replicas:
                 replica.insert(code, tuple_id)
             self._planner.observe(sid, code)
@@ -583,11 +775,33 @@ class ShardedQueryService:
         with self._lock:
             sid = self._planner.route(code)
             shard = self._shards[sid]
+            if self._stores is not None:
+                self._precheck_mutation(shard, "delete from")
+                if tuple_id not in shard.primary.ids_for_code(code):
+                    raise IndexStateError(
+                        f"tuple {tuple_id} with code {code:#x} not present"
+                    )
+                self._stores[sid].append_delete(code, tuple_id)
             for replica in shard.replicas:
                 replica.delete(code, tuple_id)
             shard.epoch += 1
             self._global_epoch += 1
             return self._global_epoch
+
+    @staticmethod
+    def _precheck_mutation(shard: _Shard, verb: str) -> None:
+        """Raise what the primary would, *before* the WAL append.
+
+        Logging a record the shard then rejects would poison replay, so
+        the index's own preconditions run first, with its messages.
+        """
+        primary = shard.primary
+        if getattr(primary, "_frozen", False):
+            raise IndexStateError("merged global HA-Index is read-only")
+        if not primary.keeps_ids:
+            raise IndexStateError(
+                f"cannot {verb} a leaf-less (keep_ids=False) index"
+            )
 
     def refresh(self, codes: CodeSet) -> int:
         """Copy-on-swap bulk reload: re-split by the existing pivots,
@@ -603,6 +817,12 @@ class ShardedQueryService:
         with self._lock:
             for shard, fresh in zip(self._shards, replacement):
                 fresh.epoch = shard.epoch + 1
+            if self._stores is not None:
+                # A bulk reload invalidates every shard's WAL chain;
+                # rotate a fresh snapshot generation per shard before
+                # serving the replacement.
+                for store, fresh in zip(self._stores, replacement):
+                    store.snapshot(fresh.primary)
             self._shards = replacement
             self._global_epoch += 1
             epoch = self._global_epoch
@@ -983,7 +1203,11 @@ class ShardedQueryService:
     # -- observability -----------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """A consistent :class:`ServiceStats` snapshot (global epoch)."""
+        """A consistent :class:`ServiceStats` snapshot (global epoch).
+
+        With durable stores attached, ``stats().store`` aggregates the
+        per-shard stores (summed counters, max generation).
+        """
         with self._lock:
             epoch = self._global_epoch
         return self._accounting.snapshot(
@@ -992,7 +1216,36 @@ class ShardedQueryService:
             workers=self._scheduler.workers,
             epoch=epoch,
             cache=self._cache.stats(),
+            store=self.store_stats(),
         )
+
+    def store_stats(self):
+        """Aggregated per-shard store accounting (``None`` if in-memory)."""
+        if self._stores is None:
+            return None
+        from repro.store.store import StoreStats
+
+        return StoreStats.merge(
+            [store.stats() for store in self._stores]
+        )
+
+    def save_snapshot(self) -> int:
+        """Rotate a new snapshot generation on every shard's store.
+
+        Folds each shard's logged mutations into a fresh snapshot so
+        the next :meth:`open` replays empty WAL tails; returns the
+        highest shard generation.  Requires stores.
+        """
+        self._check_open()
+        if self._stores is None:
+            raise StoreError(
+                "sharded service has no durable stores; construct it "
+                "with data_dir= or open() to persist snapshots"
+            )
+        with self._lock:
+            for store, shard in zip(self._stores, self._shards):
+                store.snapshot(shard.primary)
+            return max(store.generation for store in self._stores)
 
     def shard_stats(self) -> ShardStats:
         """A consistent :class:`ShardStats` snapshot."""

@@ -12,9 +12,13 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.errors import InvalidParameterError
 from repro.metrics import latency_summary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.store import StoreStats
 
 #: Latency samples kept for percentile reporting (a sliding window, so a
 #: long-lived service reports *recent* tail latency, not its lifetime's).
@@ -65,6 +69,8 @@ class ServiceStats:
         cache: result-cache accounting.
         latency: ``repro.metrics.latency_summary`` of recent queries
             (count / mean / p50 / p95 / p99 / max, milliseconds).
+        store: durable-store accounting when the service persists its
+            index (``None`` for a memory-only service).
     """
 
     served: int
@@ -81,6 +87,7 @@ class ServiceStats:
     refreshes: int
     cache: CacheStats
     latency: dict[str, float]
+    store: "StoreStats | None" = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -112,6 +119,8 @@ class ServiceStats:
             f"  backlog:  {self.queue_depth}/{self.queue_capacity} queued, "
             f"{self.workers} workers",
         ]
+        if self.store is not None:
+            lines.append(self.store.render())
         return "\n".join(lines)
 
     def publish(self, registry=None) -> None:
@@ -154,6 +163,8 @@ class ServiceStats:
             registry.gauge(
                 "service_latency_ms", quantile=quantile
             ).set(value)
+        if self.store is not None:
+            self.store.publish(registry)
 
 
 class ServiceAccounting:
@@ -206,6 +217,7 @@ class ServiceAccounting:
         workers: int,
         epoch: int,
         cache: CacheStats,
+        store: "StoreStats | None" = None,
     ) -> ServiceStats:
         with self._lock:
             return ServiceStats(
@@ -223,4 +235,5 @@ class ServiceAccounting:
                 refreshes=self.refreshes,
                 cache=cache,
                 latency=latency_summary(list(self._latencies)),
+                store=store,
             )

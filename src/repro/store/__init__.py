@@ -1,0 +1,64 @@
+"""Crash-safe durable persistence for HA-Indexes.
+
+The durability subsystem beneath the serving planes:
+
+* :mod:`repro.store.snapshot` — versioned, CRC-checksummed,
+  memory-mappable snapshots of the compiled flat kernel;
+* :mod:`repro.store.wal` — a write-ahead log of H-Insert/H-Delete
+  records, appended before mutations touch the in-memory index;
+* :mod:`repro.store.store` — :class:`DurableIndexStore`, rotating
+  snapshot generations and recovering newest-valid + WAL replay;
+* :mod:`repro.store.faults` / :mod:`repro.store.harness` — the
+  kill-point injector and the crash-loop harness proving recovery
+  always matches a never-crashed oracle.
+
+See ``docs/persistence.md`` for the file formats, the rotation/fsync
+protocol, and the recovery state machine.
+"""
+
+from __future__ import annotations
+
+from repro.store.faults import KillPointInjector, SimulatedCrash
+from repro.store.snapshot import (
+    SNAP_MAGIC,
+    SNAP_VERSION,
+    LazySnapshotIndex,
+    SnapshotView,
+    decode_dynamic,
+    lazy_decode,
+    load_flat,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.store.store import DEFAULT_RETAIN, DurableIndexStore, StoreStats
+from repro.store.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WalRecord,
+    WalScan,
+    WalWriter,
+    read_wal,
+)
+
+__all__ = [
+    "DEFAULT_RETAIN",
+    "DurableIndexStore",
+    "StoreStats",
+    "KillPointInjector",
+    "SimulatedCrash",
+    "SNAP_MAGIC",
+    "SNAP_VERSION",
+    "SnapshotView",
+    "write_snapshot",
+    "read_snapshot",
+    "load_flat",
+    "decode_dynamic",
+    "lazy_decode",
+    "LazySnapshotIndex",
+    "OP_INSERT",
+    "OP_DELETE",
+    "WalRecord",
+    "WalScan",
+    "WalWriter",
+    "read_wal",
+]

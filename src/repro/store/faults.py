@@ -1,0 +1,86 @@
+"""Kill-point injection for the durable store.
+
+The recovery harness proves crash safety by *simulating* process death
+at every point where the store touches the filesystem: each write,
+fsync, rename and unlink site calls :meth:`KillPointInjector.gate`
+(or :meth:`write_gate` for payload writes) with a stable site name.
+An armed injector counts the steps and raises :class:`SimulatedCrash`
+at exactly one of them, optionally after flushing a seeded *partial*
+prefix of the payload — a torn write.
+
+Determinism: a given ``(script seed, kill_step)`` pair always dies at
+the same site with the same torn prefix, so every scenario in the
+crash loop is reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class SimulatedCrash(BaseException):
+    """Process death injected at a store I/O site.
+
+    Derives from :class:`BaseException` so production ``except
+    Exception`` cleanup paths in the store cannot accidentally swallow
+    the simulated death — exactly like a real ``SIGKILL`` would not be
+    caught.  The harness catches it explicitly.
+    """
+
+    def __init__(self, site: str, step: int) -> None:
+        super().__init__(f"simulated crash at {site} (step {step})")
+        self.site = site
+        self.step = step
+
+
+class KillPointInjector:
+    """Counts I/O steps and crashes at a chosen one.
+
+    Args:
+        kill_step: 0-based step index to die at; ``None`` never crashes
+            (used for the enumeration dry run that discovers how many
+            steps a script performs).
+        seed: drives the torn-prefix length for payload writes.
+        torn: when dying inside :meth:`write_gate`, flush a random
+            prefix of the payload first (a torn write) instead of
+            writing nothing.
+
+    Attributes:
+        steps: I/O steps gated so far.
+        sites: site names in gate order (the dry run reads this to
+            report coverage of write/fsync/rename/unlink sites).
+    """
+
+    def __init__(
+        self,
+        kill_step: int | None = None,
+        *,
+        seed: int = 0,
+        torn: bool = False,
+    ) -> None:
+        self.kill_step = kill_step
+        self.torn = torn
+        self.steps = 0
+        self.sites: list[str] = []
+        self._rng = random.Random(seed)
+
+    def gate(self, site: str) -> None:
+        """One non-payload I/O step (fsync, rename, unlink)."""
+        step = self.steps
+        self.steps += 1
+        self.sites.append(site)
+        if self.kill_step is not None and step == self.kill_step:
+            raise SimulatedCrash(site, step)
+
+    def write_gate(self, site: str, stream, payload: bytes) -> None:
+        """One payload write; dying here may leave a torn prefix."""
+        step = self.steps
+        self.steps += 1
+        self.sites.append(site)
+        if self.kill_step is not None and step == self.kill_step:
+            if self.torn and payload:
+                prefix = self._rng.randrange(0, len(payload) + 1)
+                stream.write(payload[:prefix])
+                stream.flush()
+            raise SimulatedCrash(site, step)
+        stream.write(payload)

@@ -1,0 +1,76 @@
+"""Shared on-disk format helpers: checksums and atomic file rotation.
+
+Every durable artifact is written with the same protocol:
+
+1. serialize the full payload in memory,
+2. write it to ``<path>.tmp`` (one gated write),
+3. flush + fsync the temporary file,
+4. ``os.replace`` it over the final name (atomic on POSIX),
+5. fsync the containing directory so the rename itself is durable.
+
+A crash at any step leaves either the old file intact or a stray
+``*.tmp`` the next recovery ignores and removes — never a partially
+visible artifact under the final name.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+
+from repro.store.faults import KillPointInjector
+
+
+def crc32(payload: bytes | memoryview) -> int:
+    """CRC-32 of ``payload`` as an unsigned 32-bit int."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table (rename durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Path,
+    payload: bytes,
+    *,
+    fsync: bool = True,
+    injector: KillPointInjector | None = None,
+    site: str = "file",
+) -> None:
+    """Write ``payload`` to ``path`` with the temp-fsync-rename protocol.
+
+    ``site`` names the artifact in injected kill points
+    (``<site>.write`` / ``<site>.fsync`` / ``<site>.rename``).
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as stream:
+        if injector is not None:
+            injector.write_gate(f"{site}.write", stream, payload)
+        else:
+            stream.write(payload)
+        stream.flush()
+        if injector is not None:
+            injector.gate(f"{site}.fsync")
+        if fsync:
+            os.fsync(stream.fileno())
+    if injector is not None:
+        injector.gate(f"{site}.rename")
+    os.replace(tmp, path)
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def remove_stray_tmp(directory: Path) -> None:
+    """Delete leftover ``*.tmp`` files from interrupted rotations."""
+    for stray in directory.glob("*.tmp"):
+        stray.unlink(missing_ok=True)

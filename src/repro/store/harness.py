@@ -1,0 +1,428 @@
+"""Crash-loop recovery harness: kill points + corruption vs an oracle.
+
+The harness proves the durable store's central claim — *recovery never
+raises, and the recovered index answers exactly like one that never
+crashed* — by brute force:
+
+* **Kill-point lane.**  A scripted workload (H-Build, then a seeded
+  stream of inserts/deletes with periodic snapshot rotations) runs with
+  a :class:`~repro.store.faults.KillPointInjector` armed to die at step
+  ``k``, for every gated write/fsync/rename/unlink step the script
+  performs, with and without torn trailing writes.  After each
+  simulated death the directory is recovered with a fresh store and
+  compared against an oracle built by replaying the acknowledged
+  operation prefix in memory.
+* **Corruption lane.**  A clean run's directory is copied and damaged —
+  seeded byte flips in the newest snapshot and the active WAL, WAL
+  truncations, a deleted and a garbage-overwritten newest snapshot —
+  and each damaged copy must still recover (falling back a generation
+  where needed) to a state matching the oracle at the store's own
+  recovered sequence number.
+
+The oracle invariant: after recovery, ``store.last_seq == n`` implies
+the recovered index is byte-equivalent to H-Build(base) plus the first
+``n`` scripted operations — checked on the stored (code, id) pair set,
+node-walk and compiled-kernel select answers, and ``count_within``.
+For kill points, ``n`` must also land in ``{acknowledged,
+acknowledged + 1}``: no acknowledged operation may be lost, and only
+the single in-flight operation may additionally survive.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.data.synthetic import random_codes
+from repro.store.faults import KillPointInjector, SimulatedCrash
+from repro.store.store import DurableIndexStore
+from repro.store.wal import record_size
+
+#: One scripted mutation: ("insert" | "delete", code, tuple_id).
+Op = tuple[str, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashScript:
+    """A deterministic workload for the crash loop."""
+
+    code_length: int
+    base: CodeSet
+    ops: tuple[Op, ...]
+    snapshot_every: int
+    index_params: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class HarnessReport:
+    """Outcome of one :func:`run_crash_loop` invocation."""
+
+    scenarios: int = 0
+    kill_points: int = 0
+    corruptions: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def make_script(
+    *,
+    code_length: int = 24,
+    n_base: int = 48,
+    n_ops: int = 40,
+    snapshot_every: int = 9,
+    seed: int = 0,
+    index_params: dict | None = None,
+) -> CrashScript:
+    """A seeded base set plus a mixed insert/delete stream.
+
+    Deletes always target a pair that is live at that point of the
+    stream, so replaying any prefix is well-defined.
+    """
+    rng = random.Random(seed)
+    base_codes = random_codes(n_base, code_length, seed=seed + 1)
+    base = CodeSet(base_codes, code_length)
+    live: list[tuple[int, int]] = list(zip(base.codes, base.ids))
+    ops: list[Op] = []
+    for i in range(n_ops):
+        if live and rng.random() < 0.3:
+            code, tuple_id = live.pop(rng.randrange(len(live)))
+            ops.append(("delete", code, tuple_id))
+        else:
+            code = rng.getrandbits(code_length)
+            tuple_id = 1000 + i
+            ops.append(("insert", code, tuple_id))
+            live.append((code, tuple_id))
+    return CrashScript(
+        code_length=code_length,
+        base=base,
+        ops=tuple(ops),
+        snapshot_every=snapshot_every,
+        index_params=dict(index_params or {}),
+    )
+
+
+def _apply(index: DynamicHAIndex, op: Op) -> None:
+    kind, code, tuple_id = op
+    if kind == "insert":
+        index.insert(code, tuple_id)
+    else:
+        index.delete(code, tuple_id)
+
+
+def build_oracle(script: CrashScript, n_ops: int) -> DynamicHAIndex:
+    """H-Build the base set and replay the first ``n_ops`` operations."""
+    index = DynamicHAIndex.build(script.base, **script.index_params)
+    for op in script.ops[:n_ops]:
+        _apply(index, op)
+    return index
+
+
+def run_script(
+    data_dir: Path,
+    script: CrashScript,
+    injector: KillPointInjector | None = None,
+    *,
+    fsync: bool = True,
+) -> int:
+    """Execute the scripted workload against a fresh store.
+
+    The injector is armed only *after* ``initialize`` — losing the very
+    first snapshot leaves nothing durable to recover, which is outside
+    the crash-safety contract (every rotation thereafter exercises the
+    identical write/fsync/rename sites).  Returns the number of
+    operations acknowledged (WAL append + in-memory apply completed);
+    a :class:`~repro.store.faults.SimulatedCrash` propagates to the
+    caller.
+    """
+    index = DynamicHAIndex.build(script.base, **script.index_params)
+    store = DurableIndexStore(data_dir, fsync=fsync)
+    store.initialize(index)
+    store.set_injector(injector)
+    acknowledged = 0
+    try:
+        for position, op in enumerate(script.ops):
+            kind, code, tuple_id = op
+            if kind == "insert":
+                store.append_insert(code, tuple_id)
+            else:
+                store.append_delete(code, tuple_id)
+            _apply(index, op)
+            acknowledged += 1
+            if (position + 1) % script.snapshot_every == 0:
+                store.snapshot(index)
+    finally:
+        if injector is None:
+            store.close()
+    return acknowledged
+
+
+def _probes(script: CrashScript, count: int = 6) -> list[int]:
+    rng = random.Random(4242)
+    probes = list(script.base.codes[:3])
+    probes.extend(
+        rng.getrandbits(script.code_length) for _ in range(count)
+    )
+    return probes
+
+
+def verify_recovery(
+    data_dir: Path,
+    script: CrashScript,
+    *,
+    label: str,
+    failures: list[str],
+    acknowledged: int | None = None,
+    expect_fallback: bool = False,
+) -> None:
+    """Recover ``data_dir`` and compare against the oracle prefix."""
+    store = DurableIndexStore(data_dir)
+    try:
+        recovered = store.open()
+    except Exception as error:  # noqa: BLE001 - the claim under test
+        failures.append(f"{label}: recovery raised {error!r}")
+        return
+    finally_seq = store.last_seq
+    store.close()
+    if acknowledged is not None and finally_seq not in (
+        acknowledged,
+        acknowledged + 1,
+    ):
+        failures.append(
+            f"{label}: recovered seq {finally_seq}, acknowledged "
+            f"{acknowledged} (acknowledged op lost or phantom op)"
+        )
+        return
+    if finally_seq > len(script.ops):
+        failures.append(
+            f"{label}: recovered seq {finally_seq} beyond the script"
+        )
+        return
+    if expect_fallback and store.recovery_fallbacks == 0:
+        failures.append(f"{label}: expected a recovery fallback")
+    oracle = build_oracle(script, finally_seq)
+    try:
+        recovered.check_invariants()
+    except Exception as error:  # noqa: BLE001
+        failures.append(f"{label}: invariants violated: {error!r}")
+        return
+    if sorted(recovered.code_id_pairs()) != sorted(
+        oracle.code_id_pairs()
+    ):
+        failures.append(
+            f"{label}: recovered pair set differs from oracle at "
+            f"seq {finally_seq}"
+        )
+        return
+    flat = recovered.compile()
+    for probe in _probes(script):
+        for threshold in (0, 2, script.code_length // 6):
+            want = sorted(oracle.search(probe, threshold))
+            if sorted(recovered.search(probe, threshold)) != want:
+                failures.append(
+                    f"{label}: node-walk answers differ at "
+                    f"probe={probe:#x} t={threshold}"
+                )
+                return
+            if sorted(flat.search(probe, threshold)) != want:
+                failures.append(
+                    f"{label}: flat-kernel answers differ at "
+                    f"probe={probe:#x} t={threshold}"
+                )
+                return
+            if recovered.count_within(probe, threshold) != len(want):
+                failures.append(
+                    f"{label}: count_within differs at "
+                    f"probe={probe:#x} t={threshold}"
+                )
+                return
+
+
+def enumerate_steps(script: CrashScript, base_dir: Path) -> list[str]:
+    """Dry-run the script to discover its gated I/O step sites."""
+    probe = KillPointInjector(None)
+    dry_dir = base_dir / "dry-run"
+    run_script(dry_dir, script, probe)
+    shutil.rmtree(dry_dir, ignore_errors=True)
+    return list(probe.sites)
+
+
+def run_crash_loop(
+    base_dir: str | Path,
+    *,
+    seed: int = 0,
+    kill_stride: int = 1,
+    torn_variants: tuple[bool, ...] = (False, True),
+    corruption_flips: int = 24,
+    truncations: int = 8,
+    script: CrashScript | None = None,
+) -> HarnessReport:
+    """Run the full kill-point + corruption crash loop.
+
+    ``kill_stride`` subsamples the kill steps (CI smoke uses a stride;
+    the slow lane runs every step).  Every scenario directory is
+    removed after its verdict, so disk use stays bounded.
+    """
+    base_dir = Path(base_dir)
+    base_dir.mkdir(parents=True, exist_ok=True)
+    if script is None:
+        script = make_script(seed=seed)
+    report = HarnessReport()
+    sites = enumerate_steps(script, base_dir)
+
+    # -- kill-point lane ---------------------------------------------------
+    for kill_step in range(0, len(sites), kill_stride):
+        for torn in torn_variants:
+            label = (
+                f"kill@{kill_step}:{sites[kill_step]}"
+                f"{':torn' if torn else ''}"
+            )
+            scenario_dir = base_dir / "scenario"
+            shutil.rmtree(scenario_dir, ignore_errors=True)
+            injector = KillPointInjector(
+                kill_step, seed=seed + kill_step, torn=torn
+            )
+            acknowledged = None
+            try:
+                acknowledged = run_script(scenario_dir, script, injector)
+                # The chosen step was never reached (ops after the
+                # last gate): treat as a clean run.
+            except SimulatedCrash as crash:
+                acknowledged = _acknowledged_at(
+                    script, sites, crash.step
+                )
+            verify_recovery(
+                scenario_dir,
+                script,
+                label=label,
+                failures=report.failures,
+                acknowledged=acknowledged,
+            )
+            shutil.rmtree(scenario_dir, ignore_errors=True)
+            report.scenarios += 1
+            report.kill_points += 1
+
+    # -- corruption lane ---------------------------------------------------
+    clean_dir = base_dir / "clean"
+    shutil.rmtree(clean_dir, ignore_errors=True)
+    run_script(clean_dir, script)
+    rng = random.Random(seed + 77)
+
+    def corrupted(mutate, label: str, **kwargs) -> None:
+        scenario_dir = base_dir / "corrupt"
+        shutil.rmtree(scenario_dir, ignore_errors=True)
+        shutil.copytree(clean_dir, scenario_dir)
+        mutate(scenario_dir)
+        verify_recovery(
+            scenario_dir,
+            script,
+            label=label,
+            failures=report.failures,
+            **kwargs,
+        )
+        shutil.rmtree(scenario_dir, ignore_errors=True)
+        report.scenarios += 1
+        report.corruptions += 1
+
+    snaps = sorted(clean_dir.glob("snap-*.ha"))
+    wals = sorted(clean_dir.glob("wal-*.log"))
+    newest_snap = snaps[-1].name
+    newest_wal = wals[-1].name
+    snap_size = snaps[-1].stat().st_size
+    wal_size = wals[-1].stat().st_size
+
+    for flip in range(corruption_flips):
+        # Bias flips toward the snapshot (larger target, richer decode
+        # surface); the rest hit the active WAL's records.
+        if flip % 3 != 2:
+            offset = rng.randrange(snap_size)
+            corrupted(
+                _flip_byte(newest_snap, offset, rng.randrange(1, 256)),
+                f"flip:snap@{offset}",
+                expect_fallback=True,
+            )
+        else:
+            if wal_size <= 16:
+                continue
+            offset = rng.randrange(16, wal_size)
+            corrupted(
+                _flip_byte(newest_wal, offset, rng.randrange(1, 256)),
+                f"flip:wal@{offset}",
+            )
+
+    rsize = record_size(script.code_length)
+    for cut in range(truncations):
+        length = rng.randrange(wal_size + 1)
+        corrupted(
+            _truncate(newest_wal, length), f"truncate:wal@{length}"
+        )
+        length = rng.randrange(snap_size)
+        corrupted(
+            _truncate(newest_snap, length),
+            f"truncate:snap@{length}",
+            expect_fallback=True,
+        )
+    # Mid-record truncation specifically (a torn final record).
+    corrupted(
+        _truncate(newest_wal, max(16, wal_size - rsize // 2)),
+        "truncate:wal-mid-record",
+    )
+    corrupted(_delete(newest_snap), "delete:newest-snapshot")
+    corrupted(
+        _overwrite(newest_snap, b"not a snapshot at all"),
+        "garbage:newest-snapshot",
+        expect_fallback=True,
+    )
+    shutil.rmtree(clean_dir, ignore_errors=True)
+    return report
+
+
+def _acknowledged_at(
+    script: CrashScript, sites: list[str], step: int
+) -> int:
+    """Operations acknowledged before gated step ``step`` crashed.
+
+    Each op gates ``wal.record`` then ``wal.fsync``; counting completed
+    ``wal.fsync`` gates *before* the crash step undercounts by design —
+    an op is acknowledged only after its fsync gate returns, and the
+    crash step itself never returned.
+    """
+    return sum(1 for site in sites[:step] if site == "wal.fsync")
+
+
+def _flip_byte(name: str, offset: int, delta: int):
+    def mutate(directory: Path) -> None:
+        path = directory / name
+        data = bytearray(path.read_bytes())
+        data[offset] ^= delta
+        path.write_bytes(bytes(data))
+
+    return mutate
+
+
+def _truncate(name: str, length: int):
+    def mutate(directory: Path) -> None:
+        path = directory / name
+        path.write_bytes(path.read_bytes()[:length])
+
+    return mutate
+
+
+def _delete(name: str):
+    def mutate(directory: Path) -> None:
+        (directory / name).unlink()
+
+    return mutate
+
+
+def _overwrite(name: str, payload: bytes):
+    def mutate(directory: Path) -> None:
+        (directory / name).write_bytes(payload)
+
+    return mutate

@@ -1,0 +1,479 @@
+"""Generation-based durable store: snapshots + WAL + recovery.
+
+A :class:`DurableIndexStore` owns one directory::
+
+    snap-00000001.ha    snapshot generation 1
+    wal-00000001.log    mutations logged since generation 1
+    snap-00000002.ha    ...
+    wal-00000002.log
+
+Write path: every H-Insert/H-Delete is appended to the active WAL
+*before* it touches the in-memory index (write-ahead rule), and
+:meth:`snapshot` rotates a new generation — snapshot file first (atomic
+temp-fsync-rename), then a fresh WAL, then pruning of generations
+beyond the retention window.  Sequence numbers are global: generation
+``g``'s snapshot records the last sequence folded into it, so recovery
+knows exactly which WAL suffix still applies.
+
+Recovery (:meth:`open`) walks snapshot generations newest-first until
+one validates and decodes, counts a ``recovery_fallback`` for each one
+skipped, replays every on-disk WAL from the chosen generation onward
+(skipping already-folded sequences, stopping at the first gap or torn
+tail), and resumes logging.  When recovery had to fall back past the
+newest generation it immediately writes a repair generation, so the
+corrupt artifacts are superseded rather than trusted again.  Only when
+*no* generation can be decoded does it raise
+:class:`~repro.core.errors.StoreCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import (
+    IndexStateError,
+    StoreCorruptionError,
+    StoreError,
+)
+from repro.obs import REGISTRY
+from repro.obs.trace import trace_span
+from repro.store.faults import KillPointInjector
+from repro.store.format import remove_stray_tmp
+from repro.store.snapshot import (
+    lazy_decode,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.store.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WalWriter,
+    read_wal,
+)
+
+#: Snapshot generations kept on disk (the newest plus fallbacks).
+DEFAULT_RETAIN = 2
+
+_SNAP_RE = re.compile(r"^snap-(\d{8})\.ha$")
+
+
+@dataclass(frozen=True, slots=True)
+class StoreStats:
+    """Durability counters at one point in time.
+
+    ``wal_replayed`` / ``replay_skipped`` / ``recovery_fallbacks``
+    describe the most recent :meth:`DurableIndexStore.open`;
+    ``wal_appends`` and ``snapshots_written`` accumulate over the
+    store's lifetime in this process.
+    """
+
+    wal_appends: int
+    wal_replayed: int
+    replay_skipped: int
+    snapshots_written: int
+    snapshot_generations: int
+    recovery_fallbacks: int
+    last_seq: int
+    generation: int
+
+    @classmethod
+    def merge(cls, parts: list["StoreStats"]) -> "StoreStats":
+        """Aggregate per-shard stats into one block (sums; max gen)."""
+        if not parts:
+            return cls(0, 0, 0, 0, 0, 0, 0, 0)
+        return cls(
+            wal_appends=sum(p.wal_appends for p in parts),
+            wal_replayed=sum(p.wal_replayed for p in parts),
+            replay_skipped=sum(p.replay_skipped for p in parts),
+            snapshots_written=sum(p.snapshots_written for p in parts),
+            snapshot_generations=sum(
+                p.snapshot_generations for p in parts
+            ),
+            recovery_fallbacks=sum(p.recovery_fallbacks for p in parts),
+            last_seq=sum(p.last_seq for p in parts),
+            generation=max(p.generation for p in parts),
+        )
+
+    def render(self) -> str:
+        return (
+            f"  store:    gen {self.generation} "
+            f"({self.snapshot_generations} on disk), seq {self.last_seq}, "
+            f"{self.wal_appends} WAL appends, "
+            f"{self.wal_replayed} replayed "
+            f"({self.replay_skipped} skipped), "
+            f"{self.recovery_fallbacks} recovery fallbacks"
+        )
+
+    def publish(self, registry=None) -> None:
+        """Fold the snapshot into a metrics registry as gauges."""
+        if registry is None:
+            from repro.obs import REGISTRY as registry
+        if not registry.enabled:
+            return
+        totals = {
+            "store_wal_appends": self.wal_appends,
+            "store_wal_replayed": self.wal_replayed,
+            "store_replay_skipped": self.replay_skipped,
+            "store_snapshots_written": self.snapshots_written,
+            "store_snapshot_generations": self.snapshot_generations,
+            "store_recovery_fallbacks": self.recovery_fallbacks,
+            "store_last_seq": self.last_seq,
+            "store_generation": self.generation,
+        }
+        for name, value in totals.items():
+            registry.gauge(name).set(value)
+
+
+class DurableIndexStore:
+    """Crash-safe persistence for one :class:`DynamicHAIndex`.
+
+    The store is not thread-safe by itself; the owning service serializes
+    access under its index mutex.
+
+    Args:
+        data_dir: directory holding this index's generations.
+        retain: snapshot generations kept on disk (>= 1).
+        fsync: fsync files and directories at every commit point.
+            ``False`` trades power-loss durability for speed; process
+            crashes still lose nothing.
+        injector: optional kill-point injector (the recovery harness).
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        retain: int = DEFAULT_RETAIN,
+        fsync: bool = True,
+        injector: KillPointInjector | None = None,
+    ) -> None:
+        if retain < 1:
+            raise StoreError("retain must be >= 1")
+        self.data_dir = Path(data_dir)
+        self.retain = retain
+        self.fsync = fsync
+        self.injector = injector
+        self.code_length: int | None = None
+        self._writer: WalWriter | None = None
+        self._last_seq = 0
+        self._folded_seq = 0
+        self._generation = 0
+        self.wal_appends = 0
+        self.wal_replayed = 0
+        self.replay_skipped = 0
+        self.snapshots_written = 0
+        self.recovery_fallbacks = 0
+
+    # -- discovery ---------------------------------------------------------
+
+    @staticmethod
+    def exists(data_dir: str | Path) -> bool:
+        """Does ``data_dir`` hold at least one snapshot generation?"""
+        path = Path(data_dir)
+        if not path.is_dir():
+            return False
+        return any(
+            _SNAP_RE.match(entry.name) for entry in path.iterdir()
+        )
+
+    def _snap_path(self, generation: int) -> Path:
+        return self.data_dir / f"snap-{generation:08d}.ha"
+
+    def _wal_path(self, generation: int) -> Path:
+        return self.data_dir / f"wal-{generation:08d}.log"
+
+    def _snapshot_generations(self) -> list[int]:
+        if not self.data_dir.is_dir():
+            return []
+        gens = []
+        for entry in self.data_dir.iterdir():
+            match = _SNAP_RE.match(entry.name)
+            if match:
+                gens.append(int(match.group(1)))
+        return sorted(gens)
+
+    def _wal_generations(self) -> list[int]:
+        if not self.data_dir.is_dir():
+            return []
+        gens = []
+        for entry in self.data_dir.iterdir():
+            match = re.match(r"^wal-(\d{8})\.log$", entry.name)
+            if match:
+                gens.append(int(match.group(1)))
+        return sorted(gens)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, index: DynamicHAIndex) -> None:
+        """Create generation 1 from ``index`` (must be a fresh dir)."""
+        if self._snapshot_generations():
+            raise StoreError(
+                f"store at {self.data_dir} is already initialized"
+            )
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.code_length = index.code_length
+        self._last_seq = 0
+        self._write_generation(index, 1)
+
+    def open(self) -> DynamicHAIndex:
+        """Recover the index: newest valid snapshot + WAL replay.
+
+        Never raises on torn or corrupt artifacts as long as one
+        snapshot generation decodes; raises
+        :class:`~repro.core.errors.StoreCorruptionError` only when none
+        does.
+        """
+        with trace_span("store.recover", dir=str(self.data_dir)):
+            return self._recover()
+
+    def _recover(self) -> DynamicHAIndex:
+        if self.data_dir.is_dir():
+            remove_stray_tmp(self.data_dir)
+        generations = self._snapshot_generations()
+        if not generations:
+            raise StoreCorruptionError(
+                f"no snapshot generations in {self.data_dir}"
+            )
+        self.wal_replayed = 0
+        self.replay_skipped = 0
+        self.recovery_fallbacks = 0
+        index = None
+        chosen = 0
+        newest = generations[-1]
+        for generation in reversed(generations):
+            try:
+                view = read_snapshot(self._snap_path(generation))
+                # The checksum pass plus the kernel rebuild inside
+                # lazy_decode validate the generation; the Python
+                # node-graph decode is deferred — the returned index
+                # serves reads from the mapped kernel and materializes
+                # the graph only when WAL replay or a later mutation
+                # needs it.
+                index = lazy_decode(view)
+            except Exception:  # noqa: BLE001 - any corrupt generation
+                self.recovery_fallbacks += 1
+                if REGISTRY.enabled:
+                    REGISTRY.counter(
+                        "store_recovery_fallbacks_total",
+                        "snapshot generations skipped during recovery",
+                    ).inc()
+                continue
+            chosen = generation
+            applied = view.last_seq
+            break
+        if index is None:
+            raise StoreCorruptionError(
+                f"no recoverable snapshot generation in {self.data_dir} "
+                f"(tried {len(generations)})"
+            )
+        self.code_length = index.code_length
+        self._folded_seq = view.last_seq
+        applied = self._replay(index, chosen, applied)
+        self._last_seq = applied
+        fell_back = chosen != newest
+        if fell_back:
+            # The newest artifacts are not trustworthy: supersede them
+            # with a repair generation reflecting the recovered state.
+            self._write_generation(index, max(generations) + 1)
+        else:
+            self._resume_wal(chosen, applied)
+            self._generation = chosen
+        if REGISTRY.enabled:
+            REGISTRY.counter(
+                "store_wal_replayed_total",
+                "WAL records replayed during recovery",
+            ).inc(self.wal_replayed)
+            REGISTRY.gauge("store_snapshot_generations").set(
+                len(self._snapshot_generations())
+            )
+        return index
+
+    def _replay(
+        self, index: DynamicHAIndex, chosen: int, applied: int
+    ) -> int:
+        """Apply WAL records past ``applied`` from generation ``chosen``."""
+        assert self.code_length is not None
+        for generation in self._wal_generations():
+            if generation < chosen:
+                continue
+            scan = read_wal(
+                self._wal_path(generation), self.code_length
+            )
+            for record in scan.records:
+                if record.seq <= applied:
+                    continue
+                if record.seq != applied + 1:
+                    return applied
+                try:
+                    if record.op == OP_INSERT:
+                        index.insert(record.code, record.tuple_id)
+                    else:
+                        index.delete(record.code, record.tuple_id)
+                except IndexStateError:
+                    self.replay_skipped += 1
+                applied = record.seq
+                self.wal_replayed += 1
+            if scan.torn:
+                break
+        return applied
+
+    def _resume_wal(self, generation: int, applied: int) -> None:
+        assert self.code_length is not None
+        path = self._wal_path(generation)
+        if self._writer is not None:
+            self._writer.close()
+        if path.exists():
+            scan = read_wal(path, self.code_length)
+            self._writer = WalWriter.resume(
+                path,
+                self.code_length,
+                scan,
+                applied + 1,
+                fsync=self.fsync,
+                injector=self.injector,
+            )
+        else:
+            self._writer = WalWriter.create(
+                path,
+                self.code_length,
+                applied + 1,
+                fsync=self.fsync,
+                injector=self.injector,
+            )
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def set_injector(self, injector: KillPointInjector | None) -> None:
+        """Arm (or disarm) kill-point injection, including the live WAL."""
+        self.injector = injector
+        if self._writer is not None:
+            self._writer.injector = injector
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    @property
+    def wal_tail(self) -> int:
+        """Logged mutations not yet folded into a snapshot generation.
+
+        A clean shutdown can fold them (one :meth:`snapshot` call) so
+        the next :meth:`open` recovers with an empty replay tail and
+        never has to materialize the Python node graph.
+        """
+        return self._last_seq - self._folded_seq
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def _require_writer(self) -> WalWriter:
+        if self._writer is None:
+            raise StoreError(
+                "store has no active WAL; call initialize() or open()"
+            )
+        return self._writer
+
+    def append_insert(self, code: int, tuple_id: int) -> int:
+        """Log one H-Insert ahead of applying it; returns its seq."""
+        return self._append(OP_INSERT, code, tuple_id)
+
+    def append_delete(self, code: int, tuple_id: int) -> int:
+        """Log one H-Delete ahead of applying it; returns its seq."""
+        return self._append(OP_DELETE, code, tuple_id)
+
+    def _append(self, op: int, code: int, tuple_id: int) -> int:
+        writer = self._require_writer()
+        seq = writer.append(op, code, tuple_id)
+        self._last_seq = seq
+        self.wal_appends += 1
+        if REGISTRY.enabled:
+            REGISTRY.counter(
+                "store_wal_appends_total",
+                "mutations logged to the write-ahead log",
+            ).inc()
+        return seq
+
+    def snapshot(self, index: DynamicHAIndex) -> int:
+        """Rotate a new generation from ``index``; returns its number.
+
+        The caller must pass the exact in-memory state every logged
+        mutation up to :attr:`last_seq` has been applied to (the
+        services call this under their index mutex).
+        """
+        generations = self._snapshot_generations()
+        if not generations:
+            raise StoreError(
+                f"store at {self.data_dir} is not initialized"
+            )
+        with trace_span("store.snapshot", seq=self._last_seq):
+            return self._write_generation(index, max(generations) + 1)
+
+    def _write_generation(
+        self, index: DynamicHAIndex, generation: int
+    ) -> int:
+        write_snapshot(
+            self._snap_path(generation),
+            index,
+            last_seq=self._last_seq,
+            fsync=self.fsync,
+            injector=self.injector,
+        )
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._writer = WalWriter.create(
+            self._wal_path(generation),
+            index.code_length,
+            self._last_seq + 1,
+            fsync=self.fsync,
+            injector=self.injector,
+        )
+        self._generation = generation
+        self._folded_seq = self._last_seq
+        self.snapshots_written += 1
+        self.code_length = index.code_length
+        self._prune(generation)
+        if REGISTRY.enabled:
+            REGISTRY.counter(
+                "store_snapshots_total", "snapshot generations written"
+            ).inc()
+            REGISTRY.gauge("store_snapshot_generations").set(
+                len(self._snapshot_generations())
+            )
+        return generation
+
+    def _prune(self, newest: int) -> None:
+        keep = newest - self.retain
+        for generation in self._snapshot_generations():
+            if generation > keep:
+                continue
+            for path in (
+                self._snap_path(generation),
+                self._wal_path(generation),
+            ):
+                if self.injector is not None:
+                    self.injector.gate(f"prune.unlink:{path.name}")
+                path.unlink(missing_ok=True)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            wal_appends=self.wal_appends,
+            wal_replayed=self.wal_replayed,
+            replay_skipped=self.replay_skipped,
+            snapshots_written=self.snapshots_written,
+            snapshot_generations=len(self._snapshot_generations()),
+            recovery_fallbacks=self.recovery_fallbacks,
+            last_seq=self._last_seq,
+            generation=self._generation,
+        )

@@ -1,0 +1,256 @@
+"""Write-ahead log for H-Insert / H-Delete mutations.
+
+Format (all little-endian):
+
+* 16-byte header — ``magic(8) | version(u32) | code_length(u32)``;
+* fixed-size records — ``seq(u64) | op(u8) | tuple_id(i64) | code
+  ((code_length + 7) // 8 bytes) | crc32(u32)`` where the CRC covers
+  everything before it.
+
+Records are appended *before* the mutation touches the in-memory
+index; a record is acknowledged once it is written and (by default)
+fsynced.  Sequence numbers are global per store — they continue across
+snapshot generations, so ``snapshot.last_seq`` tells recovery exactly
+which WAL prefix is already folded in.
+
+:func:`read_wal` never raises on bad bytes: it scans the file front to
+back, verifying each record's CRC, sequence contiguity and field
+ranges, and stops at the first invalid record.  Everything before the
+stop is the valid prefix (``valid_bytes``); everything after is a torn
+tail the next writer truncates.  A foreign or truncated header yields
+an empty scan, which recovery treats as "this generation's WAL carries
+nothing" rather than an error.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import StoreError
+from repro.store.faults import KillPointInjector
+from repro.store.format import crc32
+
+WAL_MAGIC = b"HAWAL\x00\x00\x01"
+WAL_VERSION = 1
+_HEADER = struct.Struct("<8sII")
+_BODY = struct.Struct("<QBq")
+
+OP_INSERT = 1
+OP_DELETE = 2
+_VALID_OPS = (OP_INSERT, OP_DELETE)
+
+
+def record_size(code_length: int) -> int:
+    """On-disk bytes of one WAL record for this code length."""
+    return _BODY.size + (code_length + 7) // 8 + 4
+
+
+@dataclass(frozen=True, slots=True)
+class WalRecord:
+    """One durably logged mutation."""
+
+    seq: int
+    op: int
+    code: int
+    tuple_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class WalScan:
+    """Result of scanning a WAL file.
+
+    ``valid_bytes`` is the length of the longest valid prefix
+    (including the header); ``torn`` reports whether trailing bytes
+    beyond it were present and discarded.
+    """
+
+    records: tuple[WalRecord, ...]
+    valid_bytes: int
+    torn: bool
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+
+def encode_record(
+    seq: int, op: int, code: int, tuple_id: int, code_length: int
+) -> bytes:
+    body = _BODY.pack(seq, op, tuple_id) + code.to_bytes(
+        (code_length + 7) // 8, "little"
+    )
+    return body + struct.pack("<I", crc32(body))
+
+
+def read_wal(path: Path, code_length: int) -> WalScan:
+    """Scan one WAL file; returns its valid record prefix (never raises)."""
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return WalScan((), 0, False)
+    if len(data) < _HEADER.size:
+        return WalScan((), 0, bool(data))
+    magic, version, length = _HEADER.unpack_from(data)
+    if magic != WAL_MAGIC or version != WAL_VERSION or length != code_length:
+        return WalScan((), 0, True)
+    size = record_size(code_length)
+    code_bytes = (code_length + 7) // 8
+    records: list[WalRecord] = []
+    offset = _HEADER.size
+    expected_seq: int | None = None
+    while offset + size <= len(data):
+        body = data[offset : offset + size - 4]
+        (stored,) = struct.unpack_from("<I", data, offset + size - 4)
+        if stored != crc32(body):
+            break
+        seq, op, tuple_id = _BODY.unpack_from(body)
+        code = int.from_bytes(
+            body[_BODY.size : _BODY.size + code_bytes], "little"
+        )
+        if op not in _VALID_OPS or code >> code_length:
+            break
+        if expected_seq is not None and seq != expected_seq:
+            break
+        expected_seq = seq + 1
+        records.append(WalRecord(seq, op, code, tuple_id))
+        offset += size
+    return WalScan(tuple(records), offset, offset < len(data))
+
+
+class WalWriter:
+    """Append-side of one WAL file.
+
+    ``fsync=False`` trades durability of the last few records for
+    speed (group commit is out of scope); the validity scan still
+    recovers every fully written record.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        code_length: int,
+        next_seq: int,
+        *,
+        fsync: bool = True,
+        injector: KillPointInjector | None = None,
+    ) -> None:
+        self.path = path
+        self.code_length = code_length
+        self.next_seq = next_seq
+        #: Highest sequence fully written to the OS (crash-survivable
+        #: under simulated process death; the harness oracle cutoff).
+        self.complete_seq = next_seq - 1
+        #: Highest sequence known fsynced to stable media.
+        self.durable_seq = next_seq - 1
+        self._fsync = fsync
+        self.injector = injector
+        self._stream = None
+
+    @classmethod
+    def create(
+        cls,
+        path: Path,
+        code_length: int,
+        next_seq: int,
+        *,
+        fsync: bool = True,
+        injector: KillPointInjector | None = None,
+    ) -> "WalWriter":
+        """Start a fresh WAL file (header only)."""
+        writer = cls(
+            path, code_length, next_seq, fsync=fsync, injector=injector
+        )
+        header = _HEADER.pack(WAL_MAGIC, WAL_VERSION, code_length)
+        stream = open(path, "wb")
+        try:
+            if injector is not None:
+                injector.write_gate("wal.header", stream, header)
+            else:
+                stream.write(header)
+            stream.flush()
+            if injector is not None:
+                injector.gate("wal.header_fsync")
+            if fsync:
+                os.fsync(stream.fileno())
+        except BaseException:
+            stream.close()
+            raise
+        writer._stream = stream
+        return writer
+
+    @classmethod
+    def resume(
+        cls,
+        path: Path,
+        code_length: int,
+        scan: WalScan,
+        next_seq: int,
+        *,
+        fsync: bool = True,
+        injector: KillPointInjector | None = None,
+    ) -> "WalWriter":
+        """Reopen an existing WAL, truncating any torn tail.
+
+        ``scan`` must be ``read_wal(path, code_length)``; a WAL whose
+        header itself was invalid (``valid_bytes == 0``) is rewritten
+        from scratch.
+        """
+        if scan.valid_bytes == 0:
+            return cls.create(
+                path,
+                code_length,
+                next_seq,
+                fsync=fsync,
+                injector=injector,
+            )
+        writer = cls(
+            path,
+            code_length,
+            next_seq,
+            fsync=fsync,
+            injector=injector,
+        )
+        stream = open(path, "r+b")
+        try:
+            if scan.torn:
+                stream.truncate(scan.valid_bytes)
+            stream.seek(0, os.SEEK_END)
+        except BaseException:
+            stream.close()
+            raise
+        writer._stream = stream
+        return writer
+
+    def append(self, op: int, code: int, tuple_id: int) -> int:
+        """Durably log one mutation; returns its sequence number."""
+        stream = self._stream
+        if stream is None:
+            raise StoreError("WAL writer is closed")
+        seq = self.next_seq
+        payload = encode_record(
+            seq, op, code, tuple_id, self.code_length
+        )
+        injector = self.injector
+        if injector is not None:
+            injector.write_gate("wal.record", stream, payload)
+        else:
+            stream.write(payload)
+        stream.flush()
+        # From here the record is in the OS page cache: it survives
+        # simulated process death (though not power loss until fsync).
+        self.next_seq = seq + 1
+        self.complete_seq = seq
+        if injector is not None:
+            injector.gate("wal.fsync")
+        if self._fsync:
+            os.fsync(stream.fileno())
+        self.durable_seq = seq
+        return seq
+
+    def close(self) -> None:
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            stream.close()

@@ -1,0 +1,84 @@
+"""Regenerate the committed snapshot-format fixture (``store_v1/``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/make_snapshot_fixture.py
+
+Only regenerate for a *deliberate, versioned* format change — the whole
+point of the fixture is that bytes written by older builds keep
+loading.  ``test_store.py::TestFormatCompatibility`` recovers the
+directory and checks the answers below.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import zlib
+from pathlib import Path
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.data.synthetic import random_codes
+from repro.store import DurableIndexStore
+
+HERE = Path(__file__).parent
+CODE_LENGTH = 24
+SEED = 20260807
+
+
+def main() -> None:
+    target = HERE / "store_v1"
+    shutil.rmtree(target, ignore_errors=True)
+
+    codes = CodeSet(random_codes(120, CODE_LENGTH, seed=SEED), CODE_LENGTH)
+    index = DynamicHAIndex.build(codes)
+    store = DurableIndexStore(target)
+    store.initialize(index)
+    # A short WAL tail so recovery exercises replay, not just the map.
+    mutations = [
+        ("insert", 0xABCDEF, 9001),
+        ("insert", 0x123456, 9002),
+        ("delete", codes.codes[0], codes.ids[0]),
+        ("insert", 0x0F0F0F, 9003),
+    ]
+    for kind, code, tuple_id in mutations:
+        if kind == "insert":
+            store.append_insert(code, tuple_id)
+            index.insert(code, tuple_id)
+        else:
+            store.append_delete(code, tuple_id)
+            index.delete(code, tuple_id)
+    store.close()
+
+    probes = []
+    for code, threshold in [
+        (0xABCDEF, 0),
+        (codes.codes[1], 2),
+        (0x0F0F0F, 4),
+    ]:
+        probes.append(
+            {
+                "code": code,
+                "threshold": threshold,
+                "ids": sorted(index.search(code, threshold)),
+            }
+        )
+    pairs = sorted(index.code_id_pairs())
+    expected = {
+        "format_version": 1,
+        "code_length": CODE_LENGTH,
+        "last_seq": len(mutations),
+        "size": len(index),
+        "pairs_crc32": zlib.crc32(repr(pairs).encode()) & 0xFFFFFFFF,
+        "probes": probes,
+    }
+    (target / "expected.json").write_text(
+        json.dumps(expected, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {target} (last_seq={expected['last_seq']}, "
+          f"size={expected['size']})")
+
+
+if __name__ == "__main__":
+    main()

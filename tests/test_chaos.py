@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.errors import CheckpointError, JobExecutionError
+from repro.core.errors import JobExecutionError
 from repro.data.synthetic import nuswide_like
 from repro.distributed.hamming_join import mapreduce_hamming_join
 from repro.distributed.hamming_select import mapreduce_hamming_select
@@ -220,13 +220,40 @@ class TestCheckpointStore:
         fresh = CheckpointStore(tmp_path / "ckpt")
         assert fresh.restore("stage", "fp") == [1, 2, 3]
 
-    def test_corrupt_disk_entry_raises(self, tmp_path):
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         store = CheckpointStore(tmp_path)
         store.save("stage", "fp", [1])
         (tmp_path / "stage.ckpt").write_bytes(b"not a pickle")
         fresh = CheckpointStore(tmp_path)
-        with pytest.raises(CheckpointError):
-            fresh.restore("stage", "fp")
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+            assert fresh.restore("stage", "fp") is None
+        # the unusable file is discarded, so later restores are clean
+        assert not (tmp_path / "stage.ckpt").exists()
+        assert fresh.restore("stage", "fp") is None
+
+    def test_truncated_disk_entry_is_a_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("stage", "fp", list(range(100)))
+        file = tmp_path / "stage.ckpt"
+        file.write_bytes(file.read_bytes()[:10])
+        fresh = CheckpointStore(tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+            assert fresh.restore("stage", "fp") is None
+        # a re-run saves over the discarded entry and restores again
+        fresh.save("stage", "fp", list(range(100)))
+        assert CheckpointStore(tmp_path).restore(
+            "stage", "fp"
+        ) == list(range(100))
+
+    def test_wrong_payload_shape_is_a_miss(self, tmp_path):
+        import pickle as _pickle
+
+        store = CheckpointStore(tmp_path)
+        (tmp_path / "stage.ckpt").write_bytes(
+            _pickle.dumps(["not", "a", "pair"])
+        )
+        with pytest.warns(RuntimeWarning, match="unexpected payload"):
+            assert store.restore("stage", "fp") is None
 
     def test_discard_and_clear(self, tmp_path):
         store = CheckpointStore(tmp_path)

@@ -60,6 +60,40 @@ class TestSaveLoad:
         with pytest.raises(IndexStateError):
             DynamicHAIndex.load(path)
 
+    def test_load_rejects_truncated_payload(self, built_index, tmp_path):
+        # Valid magic + version, pickle payload cut mid-stream: must
+        # surface as IndexStateError, not a raw pickle/EOF error.
+        index, _ = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(IndexStateError, match="truncated or corrupt"):
+            DynamicHAIndex.load(path)
+
+    def test_load_rejects_corrupt_payload(self, built_index, tmp_path):
+        index, _ = built_index
+        path = tmp_path / "index.hadx"
+        index.save(path)
+        data = bytearray(path.read_bytes())
+        data[8:] = b"\xff" * (len(data) - 8)  # shred the pickle stream
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexStateError, match="truncated or corrupt"):
+            DynamicHAIndex.load(path)
+
+    def test_load_rejects_foreign_payload(self, built_index, tmp_path):
+        # A well-formed header whose pickle holds something else
+        # entirely must be rejected by the isinstance check.
+        import pickle
+
+        path = tmp_path / "foreign.hadx"
+        with open(path, "wb") as stream:
+            stream.write(DynamicHAIndex._FILE_MAGIC)
+            stream.write(bytes([DynamicHAIndex._FILE_VERSION]))
+            pickle.dump({"not": "an index"}, stream)
+        with pytest.raises(IndexStateError, match="does not contain"):
+            DynamicHAIndex.load(path)
+
     def test_saved_file_is_compact(self, built_index, tmp_path):
         import pickle
 

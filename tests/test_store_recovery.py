@@ -1,0 +1,110 @@
+"""Kill-point and corruption crash-loop tests for the durable store.
+
+The fast lane subsamples kill steps so the default suite stays quick;
+the ``slow`` lane runs the full matrix — every gated I/O step, with and
+without torn trailing writes, plus the seeded corruption scenarios —
+and enforces the >= 200-scenario acceptance bar: recovery never raises
+and the recovered index always answers exactly like the never-crashed
+oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.faults import KillPointInjector, SimulatedCrash
+from repro.store.harness import (
+    build_oracle,
+    enumerate_steps,
+    make_script,
+    run_crash_loop,
+    run_script,
+    verify_recovery,
+)
+
+
+class TestHarnessPieces:
+    def test_clean_run_matches_oracle(self, tmp_path):
+        script = make_script(seed=3)
+        acknowledged = run_script(tmp_path / "d", script)
+        assert acknowledged == len(script.ops)
+        failures: list[str] = []
+        verify_recovery(
+            tmp_path / "d",
+            script,
+            label="clean",
+            failures=failures,
+            acknowledged=acknowledged,
+        )
+        assert failures == []
+
+    def test_oracle_prefix_sizes(self):
+        script = make_script(seed=1)
+        full = build_oracle(script, len(script.ops))
+        empty = build_oracle(script, 0)
+        assert len(empty) == len(script.base)
+        inserts = sum(1 for op in script.ops if op[0] == "insert")
+        deletes = len(script.ops) - inserts
+        assert len(full) == len(script.base) + inserts - deletes
+
+    def test_injector_crashes_at_requested_step(self, tmp_path):
+        script = make_script(seed=2)
+        sites = enumerate_steps(script, tmp_path)
+        assert "wal.fsync" in sites
+        assert any(site.startswith("snapshot.") for site in sites)
+        injector = KillPointInjector(kill_step=5)
+        with pytest.raises(SimulatedCrash) as crash:
+            run_script(tmp_path / "d", script, injector)
+        assert crash.value.step == 5
+        assert crash.value.site == sites[5]
+
+    def test_every_fsync_and_rename_site_is_gated(self, tmp_path):
+        sites = set(enumerate_steps(make_script(seed=0), tmp_path))
+        assert {
+            "wal.record",
+            "wal.fsync",
+            "wal.header",
+            "wal.header_fsync",
+            "snapshot.write",
+            "snapshot.fsync",
+            "snapshot.rename",
+        } <= sites
+        assert any(site.startswith("prune.unlink") for site in sites)
+
+
+class TestCrashLoopFast:
+    """Strided smoke lane: bounded subset of the full matrix."""
+
+    def test_strided_kill_points_and_corruption(self, tmp_path):
+        report = run_crash_loop(
+            tmp_path,
+            seed=11,
+            kill_stride=7,
+            corruption_flips=9,
+            truncations=2,
+        )
+        assert report.kill_points >= 20
+        assert report.corruptions >= 10
+        assert report.ok, "\n".join(report.failures)
+
+
+@pytest.mark.slow
+class TestCrashLoopFull:
+    """The full >= 200-scenario acceptance matrix."""
+
+    def test_every_kill_point_and_corruption(self, tmp_path):
+        report = run_crash_loop(tmp_path, seed=0)
+        assert report.scenarios >= 200, report.scenarios
+        assert report.kill_points >= 150
+        assert report.corruptions >= 40
+        assert report.ok, "\n".join(report.failures)
+
+    def test_second_seed(self, tmp_path):
+        report = run_crash_loop(
+            tmp_path,
+            seed=1,
+            kill_stride=3,
+            corruption_flips=12,
+            truncations=4,
+        )
+        assert report.ok, "\n".join(report.failures)
