@@ -36,6 +36,12 @@ from typing import Sequence
 from repro import __version__
 from repro.core.bitvector import CodeSet, code_to_string
 from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.engines import (
+    ENGINES,
+    build_index,
+    engine_choices,
+    get_engine,
+)
 from repro.core.knn import knn_select
 from repro.core.select import INDEX_FAMILIES, hamming_select
 from repro.data.synthetic import PAPER_DATASETS
@@ -94,16 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-id", type=int, default=0, help="tuple used as the query"
     )
     select.add_argument(
-        "--engine", choices=["nodes", "flat"], default="nodes",
-        help="H-Search plane: Python node walk or compiled flat kernel",
+        "--engine", choices=engine_choices(), default="nodes",
+        help="H-Search plane: nodes/flat run against --index; any "
+             "other registry engine serves its own index",
     )
 
     join = commands.add_parser("join", help="Hamming self-join demo")
     add_workload_arguments(join)
     join.add_argument("--threshold", type=int, default=3)
     join.add_argument(
-        "--engine", choices=["nodes", "flat"], default="nodes",
-        help="probe plane: node walk or compiled flat kernel",
+        "--engine", choices=engine_choices(), default="nodes",
+        help="probe plane (needs search_codes: nodes/dha, flat, mih)",
     )
     join.add_argument(
         "--workers", type=int, default=0,
@@ -185,9 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 32; each bumps the epoch)",
     )
     serve.add_argument(
-        "--engine", choices=["nodes", "flat"], default="flat",
-        help="batch execution plane: flat runs uncached select batches "
-             "through the vectorized kernel (default flat)",
+        "--engine", choices=engine_choices(), default="flat",
+        help="served engine: nodes/flat serve the DHA-Index (flat "
+             "batches through the vectorized kernel); other registry "
+             "engines serve their own index (default flat)",
     )
     serve.add_argument(
         "--data-dir", default=None,
@@ -292,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0,
         help="seed of the replica fault plan (default 0)",
     )
+    serve_sharded.add_argument(
+        "--engine", choices=engine_choices(), default="dha",
+        help="per-shard index engine (default dha)",
+    )
 
     bench_shard = commands.add_parser(
         "bench-shard",
@@ -325,9 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_kernel.add_argument(
         "--verify", action="store_true",
-        help="equivalence smoke instead of timing: flat vs node walk "
-             "on a seeded workload, thresholds 0..8; exits nonzero on "
-             "any mismatch",
+        help="equivalence smoke instead of timing: the engine vs the "
+             "node walk on a seeded workload, thresholds 0..8; exits "
+             "nonzero on any mismatch",
+    )
+    bench_kernel.add_argument(
+        "--engine", choices=engine_choices(), default="flat",
+        help="rival engine timed (or verified) against the node walk "
+             "(default flat)",
     )
 
     verify = commands.add_parser(
@@ -403,6 +420,12 @@ def _command_info() -> int:
     print("index families:")
     for name in INDEX_FAMILIES:
         print(f"  {name}")
+    print("engines (--engine):")
+    for spec in ENGINES.values():
+        aliases = (
+            f" (alias: {', '.join(spec.aliases)})" if spec.aliases else ""
+        )
+        print(f"  {spec.name:13s}{aliases} - {spec.description}")
     print("dataset generators:")
     for alias, name in sorted(_DATASET_CHOICES.items()):
         print(f"  {alias} -> {name}")
@@ -414,12 +437,21 @@ def _command_info() -> int:
 
 def _command_select(args: argparse.Namespace) -> int:
     _, codes = _encoded_workload(args)
-    builder = INDEX_FAMILIES[args.index]
+    canonical = get_engine(args.engine).name
+    if canonical in ("dha", "flat"):
+        builder = INDEX_FAMILIES[args.index]
+        label = args.index
+    else:
+        # A registry engine serves its own index; --index is ignored.
+        def builder(codes):
+            return build_index(canonical, codes)
+
+        label = canonical
     started = time.perf_counter()
     index = builder(codes)
     build_seconds = time.perf_counter() - started
     engine = index
-    if args.engine == "flat":
+    if canonical == "flat":
         compile_index = getattr(index, "compile", None)
         if compile_index is None:
             print(f"error: {args.index} has no compiled flat plane; "
@@ -435,7 +467,7 @@ def _command_select(args: argparse.Namespace) -> int:
     matches = engine.search(query, args.threshold)
     query_ms = (time.perf_counter() - started) * 1000.0
     stats = index.stats()
-    print(f"{args.index} [{args.engine}] over {len(codes)} x "
+    print(f"{label} [{args.engine}] over {len(codes)} x "
           f"{args.bits}-bit codes")
     print(f"  build: {build_seconds:.2f} s, "
           f"memory (modelled): {format_bytes(stats.memory_bytes)}")
@@ -446,18 +478,23 @@ def _command_select(args: argparse.Namespace) -> int:
 
 
 def _command_join(args: argparse.Namespace) -> int:
+    from repro.core.errors import InvalidParameterError
     from repro.core.join import self_join
 
     _, codes = _encoded_workload(args)
     engine = "flat" if args.workers else args.engine
     started = time.perf_counter()
-    pairs = self_join(
-        codes,
-        args.threshold,
-        engine=engine,
-        parallel=args.workers > 0,
-        workers=args.workers or None,
-    )
+    try:
+        pairs = self_join(
+            codes,
+            args.threshold,
+            engine=engine,
+            parallel=args.workers > 0,
+            workers=args.workers or None,
+        )
+    except InvalidParameterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
     workers = f", {args.workers} workers" if args.workers else ""
     print(f"self h-join [{engine}{workers}] over {len(codes)} codes, "
@@ -561,15 +598,23 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     naive_seconds = time.perf_counter() - started
     naive_qps = len(queries) / naive_seconds if naive_seconds else 0.0
 
+    spec = get_engine(args.engine)
+    canonical = spec.name
     service_kwargs = dict(
         workers=args.workers,
         max_batch=args.batch,
         queue_limit=len(queries) + 2 * args.updates + 8,
         cache_capacity=args.cache,
-        batch_kernel=args.engine == "flat",
+        batch_kernel=canonical == "flat" or spec.batched,
     )
     if args.data_dir is not None:
         from repro.store import DurableIndexStore
+
+        if canonical not in ("dha", "flat"):
+            print(f"error: --data-dir needs the dha or flat engine, "
+                  f"not {canonical!r} (durable stores persist the "
+                  f"DHA-Index)", file=sys.stderr)
+            return 2
 
         if DurableIndexStore.exists(args.data_dir):
             service = HammingQueryService.open(
@@ -584,9 +629,13 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
                 **service_kwargs,
             )
             print(f"initialized durable store at {args.data_dir}")
-    else:
+    elif canonical in ("dha", "flat"):
         service = HammingQueryService(
             DynamicHAIndex.build(codes), **service_kwargs
+        )
+    else:
+        service = HammingQueryService(
+            build_index(canonical, codes), **service_kwargs
         )
     update_every = (
         max(1, len(queries) // (args.updates + 1)) if args.updates else 0
@@ -663,6 +712,7 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
         max_batch=args.batch,
         queue_limit=len(queries) + 8,
         cache_capacity=args.cache,
+        engine=args.engine,
     )
     started = time.perf_counter()
     with service:
@@ -755,6 +805,9 @@ def _command_bench_kernel(args: argparse.Namespace) -> int:
     import random
 
     _, codes = _encoded_workload(args)
+    canonical = get_engine(args.engine).name
+    if canonical != "flat":
+        return _bench_engine(args, canonical, codes)
     index = DynamicHAIndex.build(codes)
     flat = index.compile()
 
@@ -829,6 +882,90 @@ def _command_bench_kernel(args: argparse.Namespace) -> int:
     print(f"  flat batch({args.batch:>3}):    "
           f"{batch_s / per * 1000:8.3f} ms/query "
           f"({node_s / batch_s:5.1f}x)")
+    return 0
+
+
+def _bench_engine(
+    args: argparse.Namespace, canonical: str, codes: CodeSet
+) -> int:
+    """``bench-kernel`` for any non-flat registry engine.
+
+    Same shape as the flat path: ``--verify`` runs an equivalence smoke
+    against the DHA node walk over thresholds 0..8, otherwise the
+    engine's ``search`` (and ``search_batch`` when offered) is timed
+    against the node walk.
+    """
+    import random
+
+    index = DynamicHAIndex.build(codes)
+    rival = build_index(canonical, codes)
+
+    if args.verify:
+        rng = random.Random(args.seed)
+        probes = [codes[rng.randrange(len(codes))] for _ in range(12)]
+        probes += [rng.getrandbits(args.bits) for _ in range(12)]
+        batched = getattr(rival, "search_batch", None)
+        mismatches = 0
+        for threshold in range(9):
+            batch_results = (
+                batched(probes, threshold) if batched is not None
+                else [None] * len(probes)
+            )
+            for query, batch_ids in zip(probes, batch_results):
+                expected = sorted(index.search(query, threshold))
+                got = sorted(rival.search(query, threshold))
+                same = expected == got and (
+                    batch_ids is None or expected == sorted(batch_ids)
+                )
+                if not same:
+                    mismatches += 1
+                    print(f"MISMATCH h={threshold} query={query:#x}: "
+                          f"nodes={expected} {canonical}={got}")
+        if mismatches:
+            print(f"kernel equivalence FAILED: {mismatches} mismatches")
+            return 1
+        print(f"kernel equivalence OK: {canonical} vs node walk, "
+              f"{len(probes)} queries x thresholds 0..8 over "
+              f"{len(codes)} codes")
+        return 0
+
+    queries = [codes[i * 31 % len(codes)] for i in range(args.queries)]
+    batches = [
+        queries[lo:lo + args.batch]
+        for lo in range(0, len(queries), args.batch)
+    ]
+
+    def _timed(run) -> float:
+        started = time.perf_counter()
+        run()
+        return time.perf_counter() - started
+
+    def best_of(run) -> float:
+        run()  # warm-up
+        return min(_timed(run) for _ in range(max(1, args.repeats)))
+
+    node_s = best_of(
+        lambda: [index.search(q, args.threshold) for q in queries]
+    )
+    rival_s = best_of(
+        lambda: [rival.search(q, args.threshold) for q in queries]
+    )
+    per = len(queries)
+    print(f"H-Search over {len(codes)} x {args.bits}-bit codes, "
+          f"h={args.threshold}, {per} queries "
+          f"(best of {args.repeats}):")
+    print(f"  node walk:          {node_s / per * 1000:8.3f} ms/query")
+    print(f"  {canonical + ':':19s} {rival_s / per * 1000:8.3f} ms/query "
+          f"({node_s / rival_s:5.1f}x)")
+    if hasattr(rival, "search_batch"):
+        batch_s = best_of(
+            lambda: [
+                rival.search_batch(b, args.threshold) for b in batches
+            ]
+        )
+        print(f"  {canonical} batch({args.batch:>3}): "
+              f"{batch_s / per * 1000:8.3f} ms/query "
+              f"({node_s / batch_s:5.1f}x)")
     return 0
 
 

@@ -8,13 +8,18 @@ plan is kept as ground truth for tests — including the parallel-join
 tests, which compare every engine/worker combination against it — and
 as the cost yardstick the paper's introduction argues against.
 
-Two probe engines are available:
+The probe engine is any name from the central registry
+(:mod:`repro.core.engines`):
 
-* ``engine="nodes"`` (default) walks the Python node tree per probe
-  code, exactly as before;
+* ``engine="nodes"``/``"dha"`` (default) walks the Python node tree per
+  probe code, exactly as before;
 * ``engine="flat"`` compiles the index (:class:`FlatHAIndex`) and
   probes it in chunks through ``search_batch``, one vectorized frontier
-  sweep per chunk.
+  sweep per chunk;
+* ``engine="mih"`` indexes the build side with Multi-Index Hashing and
+  probes through its batched substring sweeps;
+* any other registered engine (``mh4``, ``hengine``, ...) is probed
+  per code through its ``search`` entry point.
 
 ``parallel=True`` additionally fans the probe chunks out over a
 ``concurrent.futures`` process pool (the compiled kernel is a bundle of
@@ -36,6 +41,7 @@ from repro.core.bitvector import (
     batch_hamming_wide,
 )
 from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.engines import get_engine
 from repro.core.errors import InvalidParameterError
 from repro.core.index_base import HammingIndex
 from repro.obs import maybe_trace
@@ -158,11 +164,42 @@ def _flat_probe(
     return results
 
 
-def _check_engine(engine: str) -> None:
-    if engine not in ("nodes", "flat"):
-        raise InvalidParameterError(
-            f"unknown join engine {engine!r}; expected 'nodes' or 'flat'"
-        )
+def _check_engine(engine: str) -> str:
+    """Resolve ``engine`` through the registry; returns the canonical name."""
+    return get_engine(engine).name
+
+
+def _default_builder(
+    engine: str,
+) -> Callable[[CodeSet], HammingIndex]:
+    """Build-side index constructor for a canonical engine name.
+
+    ``flat`` builds the plain Dynamic HA-Index — the probe phase
+    compiles it once (the historical behavior); everything else builds
+    through its registry spec.
+    """
+    if engine == "flat":
+        return DynamicHAIndex.build
+    return get_engine(engine).builder
+
+
+def _probe_kernel(index: HammingIndex, engine: str, parallel: bool):
+    """Batched probe target for the join, or ``None`` for per-code walks.
+
+    The default DHA engine keeps its per-code node walk unless the
+    caller asked for parallelism.  Otherwise prefer the compiled
+    kernel when the index offers one, then the index's own batched
+    entry points (MIH), and fall back to ``None`` for engines that
+    only expose single-query ``search``.
+    """
+    if engine in ("dha",) and not parallel:
+        return None
+    compile_index = getattr(index, "compile", None)
+    if compile_index is not None:
+        return compile_index()
+    if hasattr(index, "search_batch"):
+        return index
+    return None
 
 
 def hamming_join(
@@ -180,17 +217,18 @@ def hamming_join(
 
     Returns (left id, right id) pairs regardless of which side was
     indexed, so the result is directly comparable with
-    :func:`nested_loops_join`.  The default index is the Dynamic
-    HA-Index.  ``engine="flat"`` (implied by ``parallel=True``) probes
-    the compiled kernel in batches; ``workers`` bounds the pool size
-    when parallel.  Custom ``index_builder`` indexes without a
-    ``compile`` method fall back to the per-code node walk.
-    ``profile=True`` runs the join under an ``h_join`` trace
-    (build/probe phase spans; :func:`repro.obs.last_trace`).
+    :func:`nested_loops_join`.  ``engine`` is any registry name;
+    ``engine="flat"`` (implied by ``parallel=True``) probes the
+    compiled kernel in batches, ``engine="mih"`` probes its own
+    batched sweeps, and ``workers`` bounds the pool size when
+    parallel.  Custom ``index_builder`` indexes without batched entry
+    points fall back to the per-code walk.  ``profile=True`` runs the
+    join under an ``h_join`` trace (build/probe phase spans;
+    :func:`repro.obs.last_trace`).
     """
-    _check_engine(engine)
+    engine = _check_engine(engine)
     if index_builder is None:
-        index_builder = DynamicHAIndex.build
+        index_builder = _default_builder(engine)
     with maybe_trace(
         "h_join", profile,
         threshold=threshold, engine=engine, parallel=parallel,
@@ -200,11 +238,11 @@ def hamming_join(
         with trace_span("h_join.build", side_size=len(build_side)):
             index = index_builder(build_side)
         pairs: list[tuple[int, int]] = []
-        compile_index = getattr(index, "compile", None)
-        if (parallel or engine == "flat") and compile_index is not None:
+        kernel = _probe_kernel(index, engine, parallel)
+        if kernel is not None:
             with trace_span("h_join.probe", probes=len(probe_side)):
                 id_lists = _flat_probe(
-                    compile_index(),
+                    kernel,
                     list(probe_side.codes),
                     threshold,
                     parallel,
@@ -268,16 +306,17 @@ def self_join(
     groups (``np.triu_indices`` within a group, outer min/max across
     groups) — on hashed real data (many near-duplicates) this saves
     most of the probing.  ``engine``/``parallel``/``workers`` choose
-    the probe plan exactly as in :func:`hamming_join`, and
-    ``profile=True`` traces the phases the same way.
+    the probe plan exactly as in :func:`hamming_join` (the engine must
+    expose ``search_codes``: DHA, flat, or MIH), and ``profile=True``
+    traces the phases the same way.
     """
-    _check_engine(engine)
+    engine = _check_engine(engine)
     with maybe_trace(
         "h_join", profile,
         threshold=threshold, engine=engine, parallel=parallel, self=True,
     ):
         with trace_span("h_join.build", side_size=len(codes)):
-            index = DynamicHAIndex.build(codes)
+            index = _default_builder(engine)(codes)
             grouped: dict[int, list[int]] = {}
             for code, tuple_id in zip(codes.codes, codes.ids):
                 grouped.setdefault(code, []).append(tuple_id)
@@ -291,21 +330,27 @@ def self_join(
             if group.size > 1:
                 pairs.extend(_duplicate_pairs(group))
         distinct = list(groups)
+        kernel = _probe_kernel(index, engine, parallel)
         with trace_span("h_join.probe", probes=len(distinct)):
-            if parallel or engine == "flat":
+            if kernel is not None:
                 neighbor_lists = _flat_probe(
-                    index.compile(),
+                    kernel,
                     distinct,
                     threshold,
                     parallel,
                     workers,
                     "search_codes_batch",
                 )
-            else:
+            elif hasattr(index, "search_codes"):
                 neighbor_lists = [
                     index.search_codes(code, threshold)
                     for code in distinct
                 ]
+            else:
+                raise InvalidParameterError(
+                    f"engine {engine!r} does not expose search_codes; "
+                    "self_join needs dha, flat, or mih"
+                )
         with trace_span("h_join.expand"):
             for code, neighbors in zip(distinct, neighbor_lists):
                 # Pairs against other qualifying codes, counted once by

@@ -42,6 +42,12 @@ def knn_select(
     radii are proportionally larger) do not pay dozens of rounds.
     ``profile=True`` traces each expansion round as a ``knn.round``
     span (:func:`repro.obs.last_trace`).
+
+    Indexes with a native exact kNN (``knn_search``, e.g. the MIH
+    engine's progressive radius expansion) answer directly instead of
+    running the expanding-threshold loop; both strategies return the
+    ``k`` smallest (distance, id) pairs of the full ranking, so the
+    results are identical.
     """
     if k < 1:
         raise InvalidParameterError("k must be positive")
@@ -55,6 +61,9 @@ def knn_select(
     available = len(index)
     target = min(k, available)
     with maybe_trace("knn", profile, k=k):
+        native = getattr(index, "knn_search", None)
+        if native is not None:
+            return native(query, k)
         while True:
             with trace_span(
                 "knn.round", threshold=threshold

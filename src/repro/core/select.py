@@ -4,7 +4,9 @@
 :class:`HammingIndex` or directly against a :class:`CodeSet` (in which
 case a vectorized linear scan is used).  ``INDEX_FAMILIES`` names every
 index implementation compared in the paper's Table 4 so benchmarks and
-examples can construct them uniformly.
+examples can construct them uniformly; it is derived from the central
+engine registry (:mod:`repro.core.engines`), which also knows the
+non-paper engines (``flat``, ``mih``).
 """
 
 from __future__ import annotations
@@ -12,10 +14,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.bitvector import CodeSet, batch_hamming_wide, batch_select
-from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.engines import paper_families
 from repro.core.index_base import HammingIndex
-from repro.core.radix_tree import RadixTreeIndex
-from repro.core.static_ha import StaticHAIndex
 from repro.obs import maybe_trace
 
 
@@ -54,46 +54,7 @@ def hamming_select(
         return [ids[i] for i in matches]
 
 
-def _build_nested_loops(codes: CodeSet) -> HammingIndex:
-    from repro.baselines.nested_loops import NestedLoopsIndex
-
-    return NestedLoopsIndex.build(codes)
-
-
-def _build_multi_hash(tables: int) -> Callable[[CodeSet], HammingIndex]:
-    def builder(codes: CodeSet) -> HammingIndex:
-        from repro.baselines.multi_hash import MultiHashTableIndex
-
-        return MultiHashTableIndex.build(codes, num_tables=tables)
-
-    return builder
-
-
-def _build_hengine(codes: CodeSet) -> HammingIndex:
-    from repro.baselines.hengine import HEngineIndex
-
-    return HEngineIndex.build(codes)
-
-
-def _build_radix(codes: CodeSet) -> HammingIndex:
-    return RadixTreeIndex.build(codes)
-
-
-def _build_static(codes: CodeSet) -> HammingIndex:
-    return StaticHAIndex.build(codes)
-
-
-def _build_dynamic(codes: CodeSet) -> HammingIndex:
-    return DynamicHAIndex.build(codes)
-
-
 #: Builders for every approach of Table 4, keyed by the paper's names.
-INDEX_FAMILIES: dict[str, Callable[[CodeSet], HammingIndex]] = {
-    "Nested-Loops": _build_nested_loops,
-    "MH-4": _build_multi_hash(4),
-    "MH-10": _build_multi_hash(10),
-    "HEngine": _build_hengine,
-    "Radix-Tree": _build_radix,
-    "SHA-Index": _build_static,
-    "DHA-Index": _build_dynamic,
-}
+INDEX_FAMILIES: dict[str, Callable[[CodeSet], HammingIndex]] = (
+    paper_families()
+)

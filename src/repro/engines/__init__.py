@@ -1,0 +1,1 @@
+"""Non-paper query engines, registered in :mod:`repro.core.engines`."""

@@ -1,0 +1,5 @@
+"""Multi-Index Hashing engine (registry name ``mih``)."""
+
+from repro.engines.mih.index import MIHIndex, default_num_tables
+
+__all__ = ["MIHIndex", "default_num_tables"]

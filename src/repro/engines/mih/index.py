@@ -1,0 +1,584 @@
+"""Multi-Index Hashing: exact Hamming select and kNN over substring tables.
+
+The state-of-the-art exact competitor to the HA-Index (Norouzi, Punjani
+and Fleet, "Fast Search in Hamming Space with Multi-Index Hashing").
+Every q-bit code is split into ``m`` disjoint substrings and each
+substring indexed in its own table.  The pigeonhole argument behind
+exactness: if two codes differ in at most ``r`` bits, the differences
+spread over the ``m`` substrings, so in at least one table the query's
+substring is within ``floor(r / m)`` bit flips of the stored one.  A
+select therefore probes every table with all perturbations of the query
+substring up to radius ``floor(r / m)``, unions the bucket contents,
+and verifies each candidate with one full XOR + popcount — no false
+negatives by the pigeonhole bound, no false positives after
+verification.
+
+This implementation keeps each table as a *sorted key array* instead of
+a hash map: candidate generation XORs the query substring against a
+cached array of perturbation masks (one array per (width, radius)) and
+resolves every probe with two ``np.searchsorted`` calls, so a whole
+table sweep is a handful of numpy operations.  Verification gathers the
+candidate rows from the packed ``uint64`` code matrix and runs the
+shared ``popcount64`` kernel — the same exact-XOR path the flat HA
+plane uses.  ``last_search_ops`` counts the verified candidates, the
+structural work the paper's benchmarks compare.
+
+kNN needs no threshold guess: :meth:`MIHIndex.knn_search` grows the
+per-table radius ``r'`` one step at a time.  After finishing radius
+``r'`` every unseen code differs from the query by at least ``r' + 1``
+bits in *every* substring, hence by at least ``m * (r' + 1)`` bits in
+total — so the verified set is complete up to distance
+``m * (r' + 1) - 1`` and the loop stops as soon as ``k`` verified
+neighbors fall inside that guarantee (progressive radius expansion).
+
+Mutations are swap-remove on a row store (codes/ids lists plus a
+``(code, id) -> rows`` map), with the numpy layout rebuilt lazily the
+first time a query runs after a mutation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+from math import comb
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.multi_hash import block_boundaries, probe_count
+from repro.core.bitvector import pack_codes_wide, popcount64
+from repro.core.errors import IndexStateError, InvalidParameterError
+from repro.core.flat_ha import _expand_ranges
+from repro.core.index_base import HammingIndex, IndexStats
+from repro.obs import note_search
+from repro.obs.trace import record_span, trace_span
+
+#: Minimum target substring width when ``num_tables`` is not given.
+#: With no corpus-size hint, 8-bit keys keep at most 256 buckets per
+#: table, so even radius-2 probe sets stay tiny.  When the corpus size
+#: ``n`` is known, the classic MIH tuning applies instead: substrings of
+#: ``~log2(n)`` bits make the expected bucket occupancy ``n / 2^width``
+#: about one row, which is what keeps the candidate union thin on
+#: *clustered* corpora (narrow substrings over correlated codes collapse
+#: into a few huge buckets and the probe degenerates toward a scan).
+DEFAULT_SUBSTRING_BITS = 8
+
+
+def default_num_tables(
+    code_length: int, expected_size: int | None = None
+) -> int:
+    """Table count targeting ``max(8, log2 n)``-bit substrings.
+
+    Without ``expected_size`` this falls back to ~8-bit substrings.
+    Substring keys must fit one ``uint64`` word, so at least
+    ``ceil(q / 64)`` tables are required; at most ``q`` are possible.
+    """
+    if expected_size is not None and expected_size > 1:
+        width = max(
+            DEFAULT_SUBSTRING_BITS, (expected_size - 1).bit_length()
+        )
+        tables = max(1, round(code_length / width))
+    else:
+        tables = max(1, code_length // DEFAULT_SUBSTRING_BITS)
+    return min(code_length, max(tables, (code_length + 63) // 64))
+
+
+@lru_cache(maxsize=None)
+def _masks_at(width: int, flips: int) -> np.ndarray:
+    """All ``width``-bit XOR masks with exactly ``flips`` set bits."""
+    values = []
+    for positions in combinations(range(width), flips):
+        mask = 0
+        for position in positions:
+            mask |= 1 << position
+        values.append(mask)
+    masks = np.array(values, dtype=np.uint64)
+    masks.setflags(write=False)
+    return masks
+
+
+@lru_cache(maxsize=None)
+def _masks_within(width: int, radius: int) -> np.ndarray:
+    """All ``width``-bit XOR masks with at most ``radius`` set bits."""
+    masks = np.concatenate(
+        [_masks_at(width, flips) for flips in range(min(radius, width) + 1)]
+    )
+    masks.setflags(write=False)
+    return masks
+
+
+class MIHIndex(HammingIndex):
+    """Exact Multi-Index Hashing over ``m`` sorted substring tables.
+
+    Args:
+        code_length: bit length of the indexed codes.
+        num_tables: substring count ``m``; defaults to ~8-bit
+            substrings (:func:`default_num_tables`).  Widths follow
+            :func:`~repro.baselines.multi_hash.block_boundaries` (they
+            differ by at most one bit) and must each fit in 64 bits.
+
+    Implements the full :class:`HammingIndex` contract plus the richer
+    entry points the front-ends and service planes duck-type:
+    ``search_with_distances``, ``search_codes``, ``contains_within``,
+    ``count_within``, the batched ``search_batch`` /
+    ``search_codes_batch`` sweeps, and the native :meth:`knn_search`
+    that :func:`repro.core.knn.knn_select` dispatches to.
+    """
+
+    def __init__(
+        self, code_length: int, num_tables: int | None = None
+    ) -> None:
+        super().__init__(code_length)
+        if num_tables is None:
+            num_tables = default_num_tables(code_length)
+        if not 1 <= num_tables <= code_length:
+            raise InvalidParameterError(
+                f"need 1 <= num_tables <= code length, got "
+                f"{num_tables}/{code_length}"
+            )
+        self._boundaries = block_boundaries(code_length, num_tables)
+        if any(width > 64 for _, width in self._boundaries):
+            raise InvalidParameterError(
+                f"{num_tables} tables over {code_length} bits give "
+                "substrings wider than 64 bits; use more tables"
+            )
+        self._codes: list[int] = []
+        self._ids: list[int] = []
+        #: (code, tuple_id) -> row positions (duplicates keep several).
+        self._row_map: dict[tuple[int, int], list[int]] = {}
+        self._packed: np.ndarray | None = None
+        self._layout_mutations = -1
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._boundaries)
+
+    @property
+    def substring_widths(self) -> list[int]:
+        return [width for _, width in self._boundaries]
+
+    @property
+    def keeps_ids(self) -> bool:
+        return True
+
+    # -- maintenance -------------------------------------------------------
+
+    @classmethod
+    def build(cls, codes, **params) -> "MIHIndex":
+        """Build over ``codes``, sizing the tables to the corpus.
+
+        When ``num_tables`` is not given, the substring width targets
+        ``max(8, log2 n)`` so expected bucket occupancy stays around
+        one row (see :func:`default_num_tables`).
+        """
+        params.setdefault(
+            "num_tables", default_num_tables(codes.length, len(codes))
+        )
+        return super().build(codes, **params)
+
+    def _bulk_load(self, codes) -> None:
+        for code, tuple_id in zip(codes.codes, codes.ids):
+            self._check_query(code, 0)
+            self._append_row(code, tuple_id)
+
+    def _append_row(self, code: int, tuple_id: int) -> None:
+        self._row_map.setdefault((code, tuple_id), []).append(
+            len(self._codes)
+        )
+        self._codes.append(code)
+        self._ids.append(tuple_id)
+        self._size += 1
+
+    def insert(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        self._append_row(code, tuple_id)
+        self._note_mutation()
+
+    def delete(self, code: int, tuple_id: int) -> None:
+        self._check_query(code, 0)
+        entry = (code, tuple_id)
+        rows = self._row_map.get(entry)
+        if not rows:
+            raise IndexStateError(
+                f"tuple {tuple_id} with code {code:#x} not present"
+            )
+        row = rows.pop()
+        if not rows:
+            del self._row_map[entry]
+        last = len(self._codes) - 1
+        if row != last:
+            # Swap-remove: the tail row moves into the vacated slot.
+            moved = (self._codes[last], self._ids[last])
+            self._codes[row] = moved[0]
+            self._ids[row] = moved[1]
+            moved_rows = self._row_map[moved]
+            moved_rows[moved_rows.index(last)] = row
+        self._codes.pop()
+        self._ids.pop()
+        self._size -= 1
+        self._note_mutation()
+
+    def ids_for_code(self, code: int) -> set[int]:
+        """Tuple ids currently stored under ``code``."""
+        return {
+            tuple_id
+            for (stored, tuple_id) in self._row_map
+            if stored == code
+        }
+
+    # -- layout ------------------------------------------------------------
+
+    def _refresh_layout(self) -> None:
+        """(Re)build the packed matrix and sorted key arrays lazily."""
+        if (
+            self._layout_mutations == self.mutation_count
+            and self._packed is not None
+        ):
+            return
+        self._packed = pack_codes_wide(self._codes, self._code_length)
+        self._ids_arr = np.asarray(self._ids, dtype=np.int64)
+        column = (
+            np.array(self._codes, dtype=object) if self._codes else None
+        )
+        sorted_keys: list[np.ndarray] = []
+        sorted_rows: list[np.ndarray] = []
+        for shift, width in self._boundaries:
+            if column is None:
+                keys = np.empty(0, dtype=np.uint64)
+            else:
+                keys = (
+                    (column >> shift) & ((1 << width) - 1)
+                ).astype(np.uint64)
+            order = np.argsort(keys, kind="stable").astype(np.int64)
+            sorted_keys.append(keys[order])
+            sorted_rows.append(order)
+        self._sorted_keys = sorted_keys
+        self._sorted_rows = sorted_rows
+        self._layout_mutations = self.mutation_count
+
+    def _query_words(self, query: int) -> np.ndarray:
+        return pack_codes_wide([query], self._code_length)[0]
+
+    @staticmethod
+    def _sub_key(query: int, shift: int, width: int) -> np.uint64:
+        return np.uint64((query >> shift) & ((1 << width) - 1))
+
+    # -- candidate generation ----------------------------------------------
+
+    def _table_rows(
+        self, table: int, query: int, masks: np.ndarray
+    ) -> np.ndarray:
+        """Rows of one table whose key is ``query_key ^ mask`` for any
+        mask — two searchsorted calls resolve the whole probe array."""
+        shift, width = self._boundaries[table]
+        probes = self._sub_key(query, shift, width) ^ masks
+        keys = self._sorted_keys[table]
+        lo = np.searchsorted(keys, probes, side="left")
+        hi = np.searchsorted(keys, probes, side="right")
+        positions = _expand_ranges(lo, hi - lo)
+        if not positions.size:
+            return positions
+        return self._sorted_rows[table][positions]
+
+    def _candidate_rows(self, query: int, threshold: int) -> np.ndarray:
+        """Union of bucket rows across tables at radius ``floor(r/m)``.
+
+        Complete by the pigeonhole bound.  When the enumeration would
+        touch at least as many buckets as there are rows, probing is
+        strictly worse than verifying everything, so the sweep degrades
+        to the exact scan (same guard policy as the MH baseline).
+        """
+        n = len(self._codes)
+        if not n:
+            return np.empty(0, dtype=np.int64)
+        radius = threshold // len(self._boundaries)
+        total_probes = sum(
+            probe_count(width, min(radius, width))
+            for _, width in self._boundaries
+        )
+        if total_probes >= n:
+            return np.arange(n, dtype=np.int64)
+        parts = [
+            rows
+            for table, (_, width) in enumerate(self._boundaries)
+            if (
+                rows := self._table_rows(
+                    table, query, _masks_within(width, radius)
+                )
+            ).size
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def _verify(
+        self, rows: np.ndarray, qwords: np.ndarray, threshold: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact XOR verification; returns (qualifying rows, distances)."""
+        if not rows.size:
+            return rows, np.empty(0, dtype=np.int64)
+        distances = popcount64(self._packed[rows] ^ qwords).sum(
+            axis=1, dtype=np.int64
+        )
+        near = distances <= threshold
+        return rows[near], distances[near]
+
+    def _query_rows(
+        self, query: int, threshold: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One full select: probe, then verify; sets ``last_search_ops``."""
+        self._refresh_layout()
+        started = perf_counter()
+        candidates = self._candidate_rows(query, threshold)
+        record_span(
+            "mih.probe",
+            perf_counter() - started,
+            ops=0,
+            candidates=int(candidates.size),
+        )
+        started = perf_counter()
+        self.last_search_ops = int(candidates.size)
+        rows, distances = self._verify(
+            candidates, self._query_words(query), threshold
+        )
+        record_span(
+            "mih.verify", perf_counter() - started, ops=self.last_search_ops
+        )
+        return rows, distances
+
+    # -- queries -----------------------------------------------------------
+
+    def search(self, query: int, threshold: int) -> list[int]:
+        self._check_query(query, threshold)
+        with trace_span("h_search", engine="mih", threshold=threshold):
+            rows, _ = self._query_rows(query, threshold)
+            results = self._ids_arr[rows].tolist()
+        note_search("mih", self.last_search_ops)
+        return results
+
+    def search_with_distances(
+        self, query: int, threshold: int
+    ) -> list[tuple[int, int]]:
+        """(tuple id, exact distance) pairs; used by the kNN front-end."""
+        self._check_query(query, threshold)
+        with trace_span("h_search", engine="mih", threshold=threshold):
+            rows, distances = self._query_rows(query, threshold)
+            pairs = list(
+                zip(self._ids_arr[rows].tolist(), distances.tolist())
+            )
+        note_search("mih", self.last_search_ops)
+        return pairs
+
+    def search_codes(self, query: int, threshold: int) -> list[int]:
+        """Distinct qualifying codes (the self-join probe entry point)."""
+        self._check_query(query, threshold)
+        with trace_span("h_search", engine="mih", threshold=threshold):
+            rows, _ = self._query_rows(query, threshold)
+            codes = sorted({self._codes[row] for row in rows.tolist()})
+        note_search("mih", self.last_search_ops)
+        return codes
+
+    def count_within(self, query: int, threshold: int) -> int:
+        self._check_query(query, threshold)
+        rows, _ = self._query_rows(query, threshold)
+        return int(rows.size)
+
+    def contains_within(self, query: int, threshold: int) -> bool:
+        self._check_query(query, threshold)
+        rows, _ = self._query_rows(query, threshold)
+        return bool(rows.size)
+
+    # -- batched sweeps ----------------------------------------------------
+
+    def _batch_rows(
+        self, queries: list[int], threshold: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-query (qualifying rows, distances); one verification pass.
+
+        Candidates of the whole batch are verified in a single gathered
+        XOR + popcount over (row, query) pairs, then split back per
+        query; ``last_search_ops`` totals the batch.
+        """
+        self._refresh_layout()
+        started = perf_counter()
+        candidates = [
+            self._candidate_rows(query, threshold) for query in queries
+        ]
+        record_span(
+            "mih.probe",
+            perf_counter() - started,
+            ops=0,
+            candidates=int(sum(c.size for c in candidates)),
+        )
+        started = perf_counter()
+        self.last_search_ops = int(sum(c.size for c in candidates))
+        qmat = pack_codes_wide(queries, self._code_length)
+        if self.last_search_ops:
+            all_rows = np.concatenate(candidates)
+            owners = np.repeat(
+                np.arange(len(queries), dtype=np.int64),
+                [c.size for c in candidates],
+            )
+            distances = popcount64(
+                self._packed[all_rows] ^ qmat[owners]
+            ).sum(axis=1, dtype=np.int64)
+            near = distances <= threshold
+            bounds = np.cumsum([0] + [c.size for c in candidates])
+            rows_out, dists_out = [], []
+            for position in range(len(queries)):
+                lo, hi = bounds[position], bounds[position + 1]
+                keep = near[lo:hi]
+                rows_out.append(all_rows[lo:hi][keep])
+                dists_out.append(distances[lo:hi][keep])
+        else:
+            empty_rows = np.empty(0, dtype=np.int64)
+            rows_out = [empty_rows] * len(queries)
+            dists_out = [empty_rows] * len(queries)
+        record_span(
+            "mih.verify", perf_counter() - started, ops=self.last_search_ops
+        )
+        return rows_out, dists_out
+
+    def search_batch(
+        self, queries: Sequence[int], threshold: int
+    ) -> list[list[int]]:
+        """Exact Hamming-select for every query of a batch at once."""
+        queries = list(queries)
+        for query in queries:
+            self._check_query(query, threshold)
+        if not queries:
+            return []
+        with trace_span(
+            "h_search", engine="mih", batch=len(queries),
+            threshold=threshold,
+        ):
+            rows_out, _ = self._batch_rows(queries, threshold)
+            results = [
+                self._ids_arr[rows].tolist() for rows in rows_out
+            ]
+        note_search("mih", self.last_search_ops, queries=len(queries))
+        return results
+
+    def search_codes_batch(
+        self, queries: Sequence[int], threshold: int
+    ) -> list[list[int]]:
+        """Distinct qualifying codes for every query of a batch."""
+        queries = list(queries)
+        for query in queries:
+            self._check_query(query, threshold)
+        if not queries:
+            return []
+        with trace_span(
+            "h_search", engine="mih", batch=len(queries),
+            threshold=threshold,
+        ):
+            rows_out, _ = self._batch_rows(queries, threshold)
+            results = [
+                sorted({self._codes[row] for row in rows.tolist()})
+                for rows in rows_out
+            ]
+        note_search("mih", self.last_search_ops, queries=len(queries))
+        return results
+
+    # -- native progressive-radius kNN -------------------------------------
+
+    def knn_search(self, query: int, k: int) -> list[tuple[int, int]]:
+        """Exact kNN as (tuple id, distance), sorted by (distance, id).
+
+        Identical to running the expanding-threshold front-end over
+        this index: both return the ``k`` smallest (distance, id) pairs
+        of the full ranking, because the per-round guarantee makes the
+        verified set complete up to ``m * (r' + 1) - 1`` and the loop
+        only stops once ``k`` verified neighbors sit inside it.
+        """
+        if k < 1:
+            raise InvalidParameterError("k must be positive")
+        self._check_query(query, 0)
+        self._refresh_layout()
+        n = len(self._codes)
+        if not n:
+            self.last_search_ops = 0
+            return []
+        num_tables = len(self._boundaries)
+        target = min(k, n)
+        qwords = self._query_words(query)
+        seen = np.zeros(n, dtype=bool)
+        distances = np.zeros(n, dtype=np.int64)
+        ops = 0
+        radius = 0
+        started = perf_counter()
+        with trace_span("h_search", engine="mih", knn=k):
+            while True:
+                remaining = int(n - seen.sum())
+                round_probes = sum(
+                    comb(width, radius) for _, width in self._boundaries
+                )
+                if round_probes >= remaining:
+                    # Cheaper to verify every unseen row than to walk
+                    # the bucket enumeration; finishes the search.
+                    rows = np.flatnonzero(~seen)
+                else:
+                    parts = [
+                        rows
+                        for table, (_, width) in enumerate(
+                            self._boundaries
+                        )
+                        if radius <= width
+                        and (
+                            rows := self._table_rows(
+                                table, query, _masks_at(width, radius)
+                            )
+                        ).size
+                    ]
+                    rows = (
+                        np.unique(np.concatenate(parts))
+                        if parts
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    rows = rows[~seen[rows]] if rows.size else rows
+                if rows.size:
+                    ops += int(rows.size)
+                    distances[rows] = popcount64(
+                        self._packed[rows] ^ qwords
+                    ).sum(axis=1, dtype=np.int64)
+                    seen[rows] = True
+                # Everything within m*(radius+1)-1 is now verified.
+                guaranteed = num_tables * (radius + 1) - 1
+                if bool(seen.all()) or guaranteed >= self._code_length:
+                    break
+                if int((distances[seen] <= guaranteed).sum()) >= target:
+                    break
+                radius += 1
+            self.last_search_ops = ops
+            record_span("mih.verify", perf_counter() - started, ops=ops)
+            rows = np.flatnonzero(seen)
+            order = np.lexsort(
+                (self._ids_arr[rows], distances[rows])
+            )
+            top = rows[order[:k]]
+            pairs = list(
+                zip(
+                    self._ids_arr[top].tolist(),
+                    distances[top].tolist(),
+                )
+            )
+        note_search("mih", ops)
+        return pairs
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        self._refresh_layout()
+        nodes = sum(
+            int(np.unique(keys).size) for keys in self._sorted_keys
+        )
+        entries = self._size * len(self._boundaries)
+        return IndexStats(
+            nodes=nodes,
+            edges=entries,
+            entries=entries,
+            code_bits=self._size * self._code_length,
+        )

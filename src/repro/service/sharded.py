@@ -52,6 +52,7 @@ from typing import Sequence
 
 from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.engines import get_engine
 from repro.core.errors import (
     CodeLengthError,
     IndexStateError,
@@ -285,8 +286,12 @@ class ShardedQueryService:
             straggling (hedged dispatch).  Faults degrade latency and
             replica choice, never results: the last replica of a shard
             is always consulted (fail-open).
-        index_params: keyword arguments for the per-shard
-            ``DynamicHAIndex.build``.
+        engine: registry name of the per-shard index engine
+            (:mod:`repro.core.engines`; default ``"dha"``).  Any engine
+            works for serving; durable stores (``data_dir``) require
+            ``"dha"`` since the store format persists the DHA-Index.
+        index_params: keyword arguments for the per-shard engine
+            builder.
         pruning: when ``False`` every query is broadcast to all
             non-empty shards — the ablation baseline the shard bench
             compares against to isolate what the Gray-range bound buys.
@@ -318,6 +323,7 @@ class ShardedQueryService:
         pivots: Sequence[int] | None = None,
         replication: int = 1,
         chaos: ChaosPolicy | None = None,
+        engine: str = "dha",
         index_params: dict | None = None,
         pruning: bool = True,
         workers: int = DEFAULT_WORKERS,
@@ -352,6 +358,12 @@ class ShardedQueryService:
             if chaos is not None and chaos.enabled
             else None
         )
+        self._engine = get_engine(engine).name
+        if data_dir is not None and self._engine != "dha":
+            raise StoreError(
+                f"durable sharded stores require the dha engine, "
+                f"not {self._engine!r}"
+            )
         self._index_params = dict(index_params or {})
         self._pruning = pruning
         self._batch_kernel = batch_kernel
@@ -500,6 +512,7 @@ class ShardedQueryService:
             if chaos is not None and chaos.enabled
             else None
         )
+        self._engine = "dha"  # stores always persist the DHA-Index
         self._index_params = dict(topology.get("index_params") or {})
         self._pruning = pruning
         self._batch_kernel = batch_kernel
@@ -540,17 +553,17 @@ class ShardedQueryService:
 
     def _build_shards(self, codes: CodeSet) -> list[_Shard]:
         shard_sets = split_by_pivots(codes, self._planner.pivots)
+        builder = get_engine(self._engine).builder
         shards = []
         for sid, shard_codes in enumerate(shard_sets):
-            primary = DynamicHAIndex.build(
-                shard_codes, **self._index_params
-            )
+            primary = builder(shard_codes, **self._index_params)
             replicas = [primary] + [
                 primary.snapshot() for _ in range(self._replication - 1)
             ]
             if self._batch_kernel and len(shard_codes):
                 for replica in replicas:
-                    replica.compile()
+                    if hasattr(replica, "compile"):
+                        replica.compile()
             shards.append(_Shard(sid, replicas))
             self._planner.reset_range(sid, shard_codes.codes)
         return shards

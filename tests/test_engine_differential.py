@@ -3,12 +3,15 @@
 Each seeded case draws a random corpus (varying code width, forced
 duplicate codes, a batch of buffered inserts and a batch of deletes)
 and checks that the node-walk Dynamic HA-Index, the compiled flat
-kernel, the Static HA-Index, and the nested-loops oracle return
-identical answers for h-select, h-join, and kNN — and that the two
-HA-Search planes account for exactly the same number of distance
-computations.  The parametrization spans > 200 cases, so a regression
-in any engine's traversal, buffer handling, or delete path surfaces as
-a concrete seed to replay.
+kernel, the Static HA-Index, the Multi-Index Hashing engine, and the
+nested-loops oracle return identical answers for h-select, h-join, and
+kNN — and that the two HA-Search planes account for exactly the same
+number of distance computations.  The Manku multi-hash baselines
+(MH-4/MH-10) join the select sweep at thresholds beyond their design
+point, exercising the pigeonhole probing fallback against the oracle.
+The parametrization spans > 200 cases, so a regression in any engine's
+traversal, buffer handling, or delete path surfaces as a concrete seed
+to replay.
 """
 
 from __future__ import annotations
@@ -17,13 +20,15 @@ import random
 
 import pytest
 
+from repro.baselines.multi_hash import MultiHashTableIndex
 from repro.baselines.nested_loops import NestedLoopsIndex
 from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
-from repro.core.join import hamming_join, nested_loops_join
+from repro.core.join import hamming_join, nested_loops_join, self_join
 from repro.core.knn import knn_select
 from repro.core.select import hamming_select
 from repro.core.static_ha import StaticHAIndex
+from repro.engines.mih import MIHIndex
 
 WIDTHS = (16, 32, 64, 96)
 SELECT_SEEDS = range(25)
@@ -43,18 +48,20 @@ def _random_codes(
 
 
 def _mutated_engines(rng: random.Random, width: int):
-    """(logical (code, id) pairs, dha, flat, sha) after random edits.
+    """(logical (code, id) pairs, dha, flat, sha, mih) after random edits.
 
     Builds every engine over a base corpus, then applies the same
     insert and delete batches to each: inserts stay small enough to
     remain in the Dynamic HA-Index's temporary buffer, and deletes hit
-    both tree-resident and buffered tuples.
+    both tree-resident and buffered tuples (and, in the MIH engine,
+    exercise the swap-remove row store).
     """
     n = rng.randrange(40, 161)
     base = _random_codes(rng, width, n)
     logical = list(zip(base, range(n)))
     dha = DynamicHAIndex.build(CodeSet(base, width))
     sha = StaticHAIndex.build(CodeSet(base, width))
+    mih = MIHIndex.build(CodeSet(base, width))
 
     inserts = [
         (rng.getrandbits(width), n + position)
@@ -63,14 +70,16 @@ def _mutated_engines(rng: random.Random, width: int):
     for code, tuple_id in inserts:
         dha.insert(code, tuple_id)
         sha.insert(code, tuple_id)
+        mih.insert(code, tuple_id)
         logical.append((code, tuple_id))
     victims = rng.sample(logical, k=min(len(logical), rng.randrange(0, 6)))
     for code, tuple_id in victims:
         dha.delete(code, tuple_id)
         sha.delete(code, tuple_id)
+        mih.delete(code, tuple_id)
         logical.remove((code, tuple_id))
 
-    return logical, dha, dha.compile(), sha
+    return logical, dha, dha.compile(), sha, mih
 
 
 def _oracle_select(
@@ -87,7 +96,7 @@ def _oracle_select(
 @pytest.mark.parametrize("seed", SELECT_SEEDS)
 def test_select_engines_agree(width: int, seed: int) -> None:
     rng = random.Random(seed * 1009 + width)
-    logical, dha, flat, sha = _mutated_engines(rng, width)
+    logical, dha, flat, sha, mih = _mutated_engines(rng, width)
     queries = [code for code, _ in rng.sample(logical, k=3)]
     queries.append(rng.getrandbits(width))
     for query in queries:
@@ -96,6 +105,7 @@ def test_select_engines_agree(width: int, seed: int) -> None:
         assert sorted(dha.search(query, threshold)) == expected
         assert sorted(flat.search(query, threshold)) == expected
         assert sorted(sha.search(query, threshold)) == expected
+        assert sorted(mih.search(query, threshold)) == expected
         # The compiled kernel replays the node walk level by level, so
         # its op accounting must be *identical*, not merely similar.
         assert dha.last_search_ops == flat.last_search_ops
@@ -103,19 +113,47 @@ def test_select_engines_agree(width: int, seed: int) -> None:
         # layer charges at most one op per distinct segment value —
         # bounded by the corpus size per layer.
         assert 0 < sha.last_search_ops <= sha.num_segments * len(logical)
+        # MIH verifies a candidate set; it can never verify more rows
+        # than the corpus holds.
+        assert 0 <= mih.last_search_ops <= len(logical)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", range(8))
+def test_multi_hash_baselines_agree(width: int, seed: int) -> None:
+    """MH-4/MH-10 match the oracle beyond their design threshold.
+
+    ``MultiHashTableIndex`` is designed for small thresholds; above the
+    design point its pigeonhole probing widens (or degrades to a scan),
+    which is exactly the path this sweep pins against the oracle.
+    """
+    rng = random.Random(seed * 4007 + width)
+    n = rng.randrange(40, 121)
+    codes = _random_codes(rng, width, n)
+    logical = list(zip(codes, range(n)))
+    codeset = CodeSet(codes, width)
+    mh4 = MultiHashTableIndex.build(codeset, num_tables=4)
+    mh10 = MultiHashTableIndex.build(codeset, num_tables=10)
+    queries = [rng.choice(codes), rng.getrandbits(width)]
+    # Thresholds straddling the design point, up to well beyond it.
+    for threshold in (0, 3, width // 4, width // 2):
+        for query in queries:
+            expected = _oracle_select(logical, query, threshold)
+            assert sorted(mh4.search(query, threshold)) == expected
+            assert sorted(mh10.search(query, threshold)) == expected
 
 
 @pytest.mark.parametrize("width", WIDTHS)
 @pytest.mark.parametrize("seed", KNN_SEEDS)
 def test_knn_engines_agree(width: int, seed: int) -> None:
     rng = random.Random(seed * 2003 + width)
-    logical, dha, flat, sha = _mutated_engines(rng, width)
+    logical, dha, flat, sha, mih = _mutated_engines(rng, width)
     query = rng.getrandbits(width)
     k = rng.randrange(1, 12)
     exact = sorted(
         (code ^ query).bit_count() for code, _ in logical
     )[:k]
-    for engine in (dha, flat, sha):
+    for engine in (dha, flat, sha, mih):
         got = knn_select(query, engine, k)
         assert len(got) == min(k, len(logical))
         # Ties at the cut-off distance make the id set ambiguous, so
@@ -124,6 +162,10 @@ def test_knn_engines_agree(width: int, seed: int) -> None:
         by_id = {tuple_id: code for code, tuple_id in logical}
         for tuple_id, distance in got:
             assert (by_id[tuple_id] ^ query).bit_count() == distance
+    # The MIH native progressive-radius kNN and the expanding-threshold
+    # loop over the DHA-Index rank by (distance, id), so their answers
+    # are byte-identical, ties included.
+    assert knn_select(query, mih, k) == knn_select(query, dha, k)
 
 
 @pytest.mark.parametrize("width", WIDTHS)
@@ -134,11 +176,29 @@ def test_join_engines_agree(width: int, seed: int) -> None:
     right = CodeSet(_random_codes(rng, width, rng.randrange(30, 90)), width)
     threshold = rng.randrange(0, max(2, width // 6))
     expected = sorted(nested_loops_join(left, right, threshold))
-    for engine in ("nodes", "flat"):
+    for engine in ("nodes", "flat", "mih"):
         got = sorted(hamming_join(left, right, threshold, engine=engine))
         assert got == expected, (
             f"h-join({engine}) diverged from the nested-loops oracle "
             f"at width={width} seed={seed} h={threshold}"
+        )
+
+
+@pytest.mark.parametrize("width", (16, 64))
+@pytest.mark.parametrize("seed", range(6))
+def test_self_join_engines_agree(width: int, seed: int) -> None:
+    """Self-join pairs match across the DHA, flat, and MIH probes."""
+    rng = random.Random(seed * 5003 + width)
+    codes = CodeSet(
+        _random_codes(rng, width, rng.randrange(30, 90)), width
+    )
+    threshold = rng.randrange(0, max(2, width // 6))
+    expected = sorted(self_join(codes, threshold, engine="nodes"))
+    for engine in ("flat", "mih"):
+        got = sorted(self_join(codes, threshold, engine=engine))
+        assert got == expected, (
+            f"self-join({engine}) diverged at width={width} "
+            f"seed={seed} h={threshold}"
         )
 
 
@@ -155,6 +215,7 @@ def test_select_front_end_matches_index_planes(width: int) -> None:
         NestedLoopsIndex.build,
         DynamicHAIndex.build,
         StaticHAIndex.build,
+        MIHIndex.build,
     ):
         index = builder(codeset)
         assert sorted(hamming_select(query, index, threshold)) == expected

@@ -18,6 +18,7 @@ from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.join import hamming_join
 from repro.core.static_ha import StaticHAIndex
+from repro.engines.mih import MIHIndex
 
 WIDTH = 32
 SEEDS = range(8)
@@ -48,7 +49,9 @@ def _frequency_snapshot(index: DynamicHAIndex) -> dict:
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-@pytest.mark.parametrize("family", [DynamicHAIndex, StaticHAIndex])
+@pytest.mark.parametrize(
+    "family", [DynamicHAIndex, StaticHAIndex, MIHIndex]
+)
 def test_threshold_monotonicity(seed: int, family) -> None:
     """Results at threshold h are a subset of results at h + 1."""
     rng = random.Random(400 + seed)
@@ -71,7 +74,7 @@ def test_threshold_monotonicity(seed: int, family) -> None:
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-@pytest.mark.parametrize("engine", ["nodes", "flat"])
+@pytest.mark.parametrize("engine", ["nodes", "flat", "mih"])
 def test_join_symmetry(seed: int, engine: str) -> None:
     """h-join(R, S) equals the transpose of h-join(S, R)."""
     rng = random.Random(500 + seed)
@@ -138,3 +141,63 @@ def test_delete_then_reinsert_round_trip(seed: int) -> None:
         for code, tuple_id in zip(codes.codes, codes.ids)
         if code == codes[victim]
     )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mih_insert_delete_round_trip(seed: int) -> None:
+    """MIH insert-then-delete restores answers, size, and kNN.
+
+    Duplicate (code, id) pairs are inserted deliberately so the
+    swap-remove row store has to pick among identical entries.
+    """
+    rng = random.Random(800 + seed)
+    codes = _corpus(rng, 120)
+    index = MIHIndex.build(codes)
+    queries = [rng.getrandbits(WIDTH) for _ in range(4)]
+    threshold = 4
+    before_answers = [
+        sorted(index.search(query, threshold)) for query in queries
+    ]
+    before_knn = index.knn_search(queries[0], 7)
+    before_size = len(index)
+
+    new_code = rng.getrandbits(WIDTH)
+    existing_code = codes[rng.randrange(len(codes))]
+    edits = [
+        (new_code, 9001),
+        (existing_code, 9002),
+        (new_code, 9001),  # duplicate (code, id) pair
+        (new_code, 9003),
+    ]
+    for code, tuple_id in edits:
+        index.insert(code, tuple_id)
+    for code, tuple_id in reversed(edits):
+        index.delete(code, tuple_id)
+
+    assert len(index) == before_size
+    assert [
+        sorted(index.search(query, threshold)) for query in queries
+    ] == before_answers
+    assert index.knn_search(queries[0], 7) == before_knn
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mih_knn_matches_growing_select(seed: int) -> None:
+    """The native kNN agrees with a select at its own k-th distance.
+
+    Every id the progressive-radius loop returns at distance <= d_k
+    must also be in h-select(query, d_k), and the counts must line up
+    with the tie structure at the boundary.
+    """
+    rng = random.Random(900 + seed)
+    codes = _corpus(rng, 100)
+    index = MIHIndex.build(codes)
+    query = rng.getrandbits(WIDTH)
+    k = rng.randrange(1, 15)
+    neighbors = index.knn_search(query, k)
+    d_k = neighbors[-1][1]
+    selected = set(index.search(query, d_k))
+    assert {tuple_id for tuple_id, _ in neighbors} <= selected
+    # Everything strictly inside the k-th distance is in the answer.
+    strictly_inside = set(index.search(query, d_k - 1)) if d_k else set()
+    assert strictly_inside <= {tuple_id for tuple_id, _ in neighbors}
