@@ -267,6 +267,23 @@ def build_parser() -> argparse.ArgumentParser:
                  "hashed codes; clustering is what Gray-range "
                  "pruning exploits)",
         )
+        sub.add_argument(
+            "--pool", choices=["serial", "thread", "process"],
+            default="serial",
+            help="scatter execution pool: in-thread loop, persistent "
+                 "thread pool, or spawned worker processes that "
+                 "warm-start each shard from its memmap snapshot "
+                 "(default serial)",
+        )
+        sub.add_argument(
+            "--pool-workers", type=int, default=None,
+            help="pool width (default min(shards, cores))",
+        )
+        sub.add_argument(
+            "--task-timeout", type=float, default=None,
+            help="per-scatter deadline in seconds before the "
+                 "coordinator falls back inline (default: wait)",
+        )
 
     serve_sharded = commands.add_parser(
         "serve-sharded",
@@ -713,6 +730,9 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
         queue_limit=len(queries) + 8,
         cache_capacity=args.cache,
         engine=args.engine,
+        pool=args.pool,
+        pool_workers=args.pool_workers,
+        task_timeout=args.task_timeout,
     )
     started = time.perf_counter()
     with service:
@@ -768,6 +788,9 @@ def _command_bench_shard(args: argparse.Namespace) -> int:
         max_batch=args.batch,
         cache_capacity=0,
         queue_limit=limit,
+        pool=args.pool,
+        pool_workers=args.pool_workers,
+        task_timeout=args.task_timeout,
     )
     broadcast = ShardedQueryService(codes, pruning=False, **shard_kwargs)
     with broadcast:
@@ -788,7 +811,8 @@ def _command_bench_shard(args: argparse.Namespace) -> int:
           f"{args.workload} queries, h={args.threshold}, "
           f"{args.shards} shards"
           + (f", {args.clusters} clusters" if args.clusters else "")
-          + f", batch {args.batch}:")
+          + f", batch {args.batch}, pool {shard_stats.pool} x "
+          f"{shard_stats.pool_workers}:")
     print(f"  single index:     {single_seconds * 1000:.1f} ms total")
     print(f"  sharded broadcast:{broadcast_seconds * 1000:.1f} ms total")
     print(f"  sharded pruned:   {sharded_seconds * 1000:.1f} ms total "

@@ -596,6 +596,15 @@ class DynamicHAIndex(HammingIndex):
         """
         return self.compile().search_batch(queries, threshold)
 
+    def search_batch_arrays(self, queries: Sequence[int], threshold: int):
+        """Batched H-Search returning per-query ``int64`` id arrays.
+
+        The scatter-gather coordinator's fast path: shard results stay
+        numpy until the cross-shard merge, avoiding a per-shard
+        array→list→array round trip.
+        """
+        return self.compile().search_batch_arrays(queries, threshold)
+
     def search_codes_batch(
         self, queries: Sequence[int], threshold: int
     ) -> list[list[int]]:

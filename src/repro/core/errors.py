@@ -100,3 +100,15 @@ class ReplicaUnavailableError(ServiceError):
     replica is always consulted, so this surfaces only when a shard is
     explicitly configured with zero replicas or torn down mid-flight.
     """
+
+
+class PoolTimeoutError(ServiceError):
+    """A shard-pool scatter exceeded its task timeout.
+
+    The parallel executor (:mod:`repro.service.executor`) raises this
+    when a worker neither answers nor dies within ``task_timeout`` —
+    the fail-fast guard that turns a deadlocked or wedged pool into an
+    actionable error instead of a hung serving thread.  Process-pool
+    scatters prefer degrading (inline fallback on the gather thread)
+    and only raise when the fallback path is unavailable too.
+    """

@@ -818,14 +818,45 @@ class FlatHAIndex(HammingIndex):
             )
             return self._batch_ids(qmat, nodes, owners, batch, threshold)
 
-    def _batch_ids(
+    def search_batch_arrays(
+        self, queries: Sequence[int], threshold: int
+    ) -> list[np.ndarray]:
+        """:meth:`search_batch` with per-query ids as ``int64`` arrays.
+
+        Same sweep, same spans, same ``last_search_ops`` — only the
+        final array→list materialization is skipped, so scatter-gather
+        coordinators can merge shard results at C speed and convert to
+        Python ints once, after the merge.
+        """
+        self._require_ids()
+        queries = list(queries)
+        for query in queries:
+            self._check_query(query, threshold)
+        if not queries:
+            return []
+        batch = len(queries)
+        with trace_span(
+            "h_search", engine="flat", batch=batch, threshold=threshold
+        ):
+            qmat = _pack_column(queries, self._words)
+            nodes, owners, ops = self._sweep_batch(qmat, threshold)
+            self.last_search_ops = ops + len(self._buf_codes) * batch
+            record_span(
+                "h_search.buffer", 0.0,
+                ops=len(self._buf_codes) * batch,
+            )
+            return self._batch_id_chunks(
+                qmat, nodes, owners, batch, threshold
+            )
+
+    def _batch_id_chunks(
         self,
         qmat: np.ndarray,
         nodes: np.ndarray,
         owners: np.ndarray,
         batch: int,
         threshold: int,
-    ) -> list[list[int]]:
+    ) -> list[np.ndarray]:
         note_search("flat", self.last_search_ops, queries=batch)
         id_lo = self._id_offsets[self._leaf_lo[nodes]]
         counts = self._id_offsets[self._leaf_hi[nodes]] - id_lo
@@ -836,9 +867,21 @@ class FlatHAIndex(HammingIndex):
             buf_rows, buf_cols = np.nonzero(near)
             all_ids = np.concatenate([all_ids, self._buf_ids[buf_rows]])
             id_owners = np.concatenate([id_owners, buf_cols])
+        return self._split_by_owner(all_ids, id_owners, batch)
+
+    def _batch_ids(
+        self,
+        qmat: np.ndarray,
+        nodes: np.ndarray,
+        owners: np.ndarray,
+        batch: int,
+        threshold: int,
+    ) -> list[list[int]]:
         return [
             chunk.tolist()
-            for chunk in self._split_by_owner(all_ids, id_owners, batch)
+            for chunk in self._batch_id_chunks(
+                qmat, nodes, owners, batch, threshold
+            )
         ]
 
     def search_codes_batch(

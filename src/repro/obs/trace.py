@@ -29,6 +29,8 @@ __all__ = [
     "Span",
     "trace",
     "trace_span",
+    "capture_span",
+    "attach_span",
     "record_span",
     "tracing",
     "current_span",
@@ -100,6 +102,23 @@ class Span:
             "attrs": dict(self.attrs),
             "children": [child.as_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a subtree serialized by :meth:`as_dict`.
+
+        The process-pool scatter path ships spans across the worker
+        pipe as plain dicts (spans hold no picklable guarantees beyond
+        their data) and the parent reattaches the rebuilt subtree to
+        its own open trace.
+        """
+        span = cls(str(data["name"]), dict(data.get("attrs") or {}))
+        span.ops = int(data.get("ops", 0))
+        span.seconds = float(data.get("seconds", 0.0))
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -221,6 +240,38 @@ def trace_span(name: str, ops: int = 0, **attrs: object):
     span.ops = ops
     stack[-1].children.append(span)
     return _TraceContext(span, root=False)
+
+
+def capture_span(name: str, **attrs: object):
+    """Root a *detached* span on the current thread.
+
+    Unlike :func:`trace`, the finished span is neither attached to any
+    parent nor published as the last trace — the caller re-attaches it
+    explicitly (:func:`attach_span`).  This is the collection primitive
+    of the parallel scatter executors: a pool thread (or a worker
+    process) captures its ``shard.dispatch`` subtree locally, and the
+    gather side attaches the completed subtrees to the parent trace in
+    deterministic task order, so concurrent completion order can never
+    interleave or corrupt the trace tree.
+
+    While the capture is open, :func:`tracing` is True on this thread,
+    so engine instrumentation attributes ops into the subtree exactly
+    as it would under a directly-open trace.
+    """
+    return _TraceContext(Span(name, dict(attrs) if attrs else None), root=False)
+
+
+def attach_span(span: Span) -> bool:
+    """Attach a completed (captured) subtree to the innermost open span.
+
+    Returns False (and drops nothing but the attachment) when no trace
+    is open on the current thread.
+    """
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        return False
+    stack[-1].children.append(span)
+    return True
 
 
 def record_span(

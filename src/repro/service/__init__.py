@@ -9,6 +9,7 @@ refresh, and admission control with explicit backpressure.  See
 """
 
 from repro.core.errors import (
+    PoolTimeoutError,
     ReplicaUnavailableError,
     ServiceClosedError,
     ServiceError,
@@ -16,6 +17,15 @@ from repro.core.errors import (
     ServiceTimeoutError,
 )
 from repro.service.admission import AdmissionQueue
+from repro.service.executor import (
+    POOL_KINDS,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ShardTask,
+    ThreadShardExecutor,
+    make_executor,
+)
 from repro.service.batching import (
     MicroBatchScheduler,
     QueryRequest,
@@ -45,6 +55,9 @@ __all__ = [
     "HammingQueryService",
     "MISS",
     "MicroBatchScheduler",
+    "POOL_KINDS",
+    "PoolTimeoutError",
+    "ProcessShardExecutor",
     "QUERY_KINDS",
     "QueryRequest",
     "QueryTicket",
@@ -52,8 +65,11 @@ __all__ = [
     "ReplicaUnavailableError",
     "ResultCache",
     "ScatterGatherPlanner",
+    "SerialExecutor",
+    "ShardExecutor",
     "ShardPlan",
     "ShardStats",
+    "ShardTask",
     "ShardedQueryService",
     "ServedResult",
     "ServiceAccounting",
@@ -62,5 +78,7 @@ __all__ = [
     "ServiceOverloadError",
     "ServiceStats",
     "ServiceTimeoutError",
+    "ThreadShardExecutor",
+    "make_executor",
     "min_hamming_to_gray_range",
 ]

@@ -303,3 +303,21 @@ class ScatterGatherPlanner:
             self._plan_memo.clear()
         self._plan_memo[memo_key] = plan
         return plan
+
+    def plan_batch(
+        self, queries: Sequence[int], threshold: int
+    ) -> tuple[list[ShardPlan], dict[int, list[int]]]:
+        """Plan many queries at one threshold in one pass.
+
+        Returns the per-query plans plus the scatter's transpose —
+        ``{shard: [query positions]}`` with positions ascending — which
+        is exactly the shape the batched scatter sites (``join``, the
+        micro-batch ``select`` path) need to issue one ``search_batch``
+        per shard.  Shares the per-query memo with :meth:`plan`.
+        """
+        plans = [self.plan(query, threshold) for query in queries]
+        by_shard: dict[int, list[int]] = {}
+        for position, plan in enumerate(plans):
+            for sid in plan.contacted:
+                by_shard.setdefault(sid, []).append(position)
+        return plans, by_shard

@@ -14,14 +14,22 @@ optional replicas, and every query runs through a scatter-gather plan:
    the shard's Gray-rank range).  Shards whose bound exceeds the
    threshold are skipped; when nothing can be skipped the plan falls
    back to a broadcast.
-2. **Scatter.**  The surviving shards are queried — primary first, with
-   seeded replica failover and hedged dispatch reusing the PR 1 chaos
-   machinery (:class:`~repro.mapreduce.faults.ChaosPolicy`).
-3. **Gather.**  Partial results merge deterministically: ``select``
-   unions and id-sorts, ``probe`` short-circuits on the first hit,
-   ``knn`` runs the paper's expanding-threshold loop over the pruned
-   scatter and keeps the global top-``k``, and :meth:`join` streams an
-   outer code set through per-shard batch probes.
+2. **Scatter.**  The surviving shard operations run through a pluggable
+   executor (:mod:`repro.service.executor`): inline (``pool="serial"``),
+   a persistent thread pool exploiting GIL release in the kernel sweeps
+   (``pool="thread"``), or spawn-once worker processes that warm-start
+   each shard zero-copy from memory-mapped snapshots
+   (``pool="process"``).  Replica choice is load-balanced
+   (least-outstanding-requests) with seeded failover and hedged
+   dispatch reusing the PR 1 chaos machinery
+   (:class:`~repro.mapreduce.faults.ChaosPolicy`).
+3. **Gather.**  Partial results merge deterministically in shard order
+   regardless of completion order: ``select`` unions and id-sorts,
+   ``probe`` ORs the per-shard membership answers, ``knn`` runs the
+   paper's expanding-threshold loop over the pruned scatter and keeps
+   the global top-``k``, and :meth:`join` streams an outer code set
+   through per-shard batch probes.  Every pool backend returns results
+   *and op accounting* byte-identical to the serial walk.
 
 Because every code lives in exactly one shard, gathered results equal
 the single-index answers *exactly* (asserted across shard counts by
@@ -37,10 +45,12 @@ match for a cached query, it necessarily widens the owning shard's
 occupied Gray range until the planner stops pruning it, which changes
 the key and forces a miss.
 
-Observability: per-shard ``shard.search`` spans under a
-``shard.scatter`` root, and ``shard_pruned_total`` /
-``shards_contacted_total`` / ``shards_contacted`` metrics (plus
-failover/hedge counters) in the process registry.
+Observability: per-shard ``shard.dispatch``/``shard.search`` spans
+under a ``shard.scatter`` root (captured detached on pool threads and
+worker processes, re-attached in deterministic task order), a
+``shard.gather`` span over each merge, and ``shard_pruned_total`` /
+``shards_contacted_total`` / ``shards_contacted`` / ``shard_pool_*``
+metrics (plus failover/hedge counters) in the process registry.
 """
 
 from __future__ import annotations
@@ -73,6 +83,12 @@ from repro.service.batching import (
     QueryTicket,
 )
 from repro.service.cache import MISS, ResultCache
+from repro.service.executor import (
+    POOL_KINDS,
+    ShardTask,
+    default_pool_workers,
+    make_executor,
+)
 from repro.service.planner import ScatterGatherPlanner, ShardPlan
 from repro.service.server import (
     DEFAULT_CACHE_CAPACITY,
@@ -84,6 +100,53 @@ from repro.service.server import (
     _deadline_error,
 )
 from repro.service.stats import ServiceAccounting, ServiceStats
+
+import numpy as np
+
+_NUMPY_SORT_CUTOVER = 64
+
+
+def _sorted_ids(ids) -> tuple[int, ...]:
+    """Ascending tuple of ``ids`` — numpy-sorted past a small cutover.
+
+    The gather merge is the one cost the sharded read path pays that a
+    single index never does: per-shard hits arrive in shard-local order
+    and must fold into one canonical ascending tuple.  For the large
+    result sets that make sharding worthwhile, sorting an ``int64``
+    buffer is several times faster than ``sorted`` on a Python list and
+    yields the exact same tuple of Python ints (``tolist`` converts
+    back), so cached and differential values are unchanged.
+    """
+    if len(ids) < _NUMPY_SORT_CUTOVER:
+        return tuple(sorted(ids))
+    buffer = np.asarray(ids, dtype=np.int64)
+    buffer.sort()
+    return tuple(buffer.tolist())
+
+
+def _merge_sorted_ids(chunks) -> tuple[int, ...]:
+    """Merge per-shard id chunks into one ascending tuple.
+
+    Chunks may be ``int64`` arrays (the dha engine's
+    ``search_batch_arrays`` fast path) or plain id lists (every other
+    engine); both merge through one C-speed concatenate + sort, with
+    Python ints materialized exactly once, after the merge.
+    """
+    total = sum(len(chunk) for chunk in chunks)
+    if total < _NUMPY_SORT_CUTOVER:
+        merged: list[int] = []
+        for chunk in chunks:
+            if isinstance(chunk, np.ndarray):
+                merged.extend(chunk.tolist())
+            else:
+                merged.extend(chunk)
+        return tuple(sorted(merged))
+    arrays = [np.asarray(chunk, dtype=np.int64) for chunk in chunks]
+    buffer = (
+        np.concatenate(arrays) if len(arrays) > 1 else arrays[0].copy()
+    )
+    buffer.sort()
+    return tuple(buffer.tolist())
 
 
 class ReplicaFaultPlan:
@@ -167,6 +230,13 @@ class ShardStats:
     hedges: int
     shard_sizes: tuple[int, ...]
     shard_epochs: tuple[int, ...]
+    pool: str = "serial"
+    pool_workers: int = 0
+    pool_tasks: int = 0
+    pool_fallbacks: int = 0
+    pool_timeouts: int = 0
+    pool_busy_seconds: float = 0.0
+    pool_critical_seconds: float = 0.0
 
     @property
     def mean_contacted(self) -> float:
@@ -193,6 +263,12 @@ class ShardStats:
                 f"{self.planned * self.num_shards})",
                 f"  replicas: {self.failovers} failovers, "
                 f"{self.hedges} hedged dispatches",
+                f"  pool:     {self.pool} x {self.pool_workers}, "
+                f"{self.pool_tasks} tasks, "
+                f"{self.pool_fallbacks} fallbacks, "
+                f"{self.pool_timeouts} timeouts",
+                f"  seconds:  {self.pool_busy_seconds:.3f} busy, "
+                f"{self.pool_critical_seconds:.3f} critical path",
                 f"  epochs:   {list(self.shard_epochs)}",
             ]
         )
@@ -212,6 +288,12 @@ class ShardStats:
             "shard_service_broadcasts": self.broadcasts,
             "shard_service_failovers": self.failovers,
             "shard_service_hedges": self.hedges,
+            "shard_pool_workers": self.pool_workers,
+            "shard_pool_tasks": self.pool_tasks,
+            "shard_pool_fallbacks": self.pool_fallbacks,
+            "shard_pool_timeouts": self.pool_timeouts,
+            "shard_pool_busy_seconds": self.pool_busy_seconds,
+            "shard_pool_critical_seconds": self.pool_critical_seconds,
         }
         for name, value in totals.items():
             registry.gauge(name).set(value)
@@ -254,6 +336,7 @@ class _ShardAccounting:
         replication: int,
         sizes: tuple[int, ...],
         epochs: tuple[int, ...],
+        pool: tuple = ("serial", 0, 0, 0, 0, 0.0, 0.0),
     ) -> ShardStats:
         with self._lock:
             return ShardStats(
@@ -267,6 +350,13 @@ class _ShardAccounting:
                 hedges=self.hedges,
                 shard_sizes=sizes,
                 shard_epochs=epochs,
+                pool=pool[0],
+                pool_workers=pool[1],
+                pool_tasks=pool[2],
+                pool_fallbacks=pool[3],
+                pool_timeouts=pool[4],
+                pool_busy_seconds=pool[5],
+                pool_critical_seconds=pool[6],
             )
 
 
@@ -295,6 +385,18 @@ class ShardedQueryService:
         pruning: when ``False`` every query is broadcast to all
             non-empty shards — the ablation baseline the shard bench
             compares against to isolate what the Gray-range bound buys.
+        pool: scatter backend — ``"serial"`` (inline), ``"thread"``
+            (persistent thread pool), or ``"process"`` (spawn-once
+            worker processes warm-started from memory-mapped
+            snapshots).  All three return byte-identical results; see
+            :mod:`repro.service.executor`.
+        pool_workers: scatter pool width (defaults to
+            ``min(num_shards, cpu_count)``); independent of ``workers``,
+            the micro-batching thread count.
+        task_timeout: per-scatter deadline for the parallel pools.  A
+            process pool past it terminates the suspect workers and
+            re-runs the missing tasks inline; a thread pool raises
+            :class:`~repro.core.errors.PoolTimeoutError`.
         workers / max_batch / queue_limit / cache_capacity /
         batch_kernel / default_timeout / linger_seconds / start /
         trace_batches: as in
@@ -326,6 +428,9 @@ class ShardedQueryService:
         engine: str = "dha",
         index_params: dict | None = None,
         pruning: bool = True,
+        pool: str = "serial",
+        pool_workers: int | None = None,
+        task_timeout: float | None = None,
         workers: int = DEFAULT_WORKERS,
         max_batch: int = DEFAULT_MAX_BATCH,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
@@ -381,6 +486,9 @@ class ShardedQueryService:
             linger_seconds=linger_seconds,
             start=start,
             trace_batches=trace_batches,
+            pool=pool,
+            pool_workers=pool_workers,
+            task_timeout=task_timeout,
         )
 
     def _finish_setup(
@@ -394,8 +502,15 @@ class ShardedQueryService:
         linger_seconds: float,
         start: bool,
         trace_batches: bool,
+        pool: str = "serial",
+        pool_workers: int | None = None,
+        task_timeout: float | None = None,
     ) -> None:
         """Serving-stack construction shared by ``__init__`` / ``open``."""
+        if pool not in POOL_KINDS:
+            raise InvalidParameterError(
+                f"unknown pool {pool!r}; expected one of {POOL_KINDS}"
+            )
         self._lock = threading.Lock()
         self._trace_batches = trace_batches
         self._default_timeout = default_timeout
@@ -403,6 +518,17 @@ class ShardedQueryService:
         self._cache = ResultCache(cache_capacity)
         self._accounting = ServiceAccounting()
         self._shard_accounting = _ShardAccounting()
+        self._replica_lock = threading.Lock()
+        self._outstanding = {
+            shard.sid: [0] * len(shard.replicas)
+            for shard in self._shards
+        }
+        self._pool_kind = pool
+        self._pool_workers = pool_workers or default_pool_workers(
+            len(self._shards)
+        )
+        self._task_timeout = task_timeout
+        self._executor = self._build_executor()
         self._queue: AdmissionQueue[QueryRequest] = AdmissionQueue(
             queue_limit, workers_hint=workers
         )
@@ -415,6 +541,118 @@ class ShardedQueryService:
         )
         if start:
             self.start()
+
+    # -- scatter pool ------------------------------------------------------
+
+    def _build_executor(self):
+        return make_executor(
+            self._pool_kind,
+            workers=self._pool_workers,
+            spec_factory=self._worker_shard_specs,
+            task_timeout=self._task_timeout,
+            faults=self._faults,
+            accounting=self._shard_accounting,
+        )
+
+    def _worker_shard_specs(self) -> tuple[dict, str | None]:
+        """Per-shard warm-start specs for process-pool workers.
+
+        Durable services hand out their store directories — workers
+        recover read-only (memory-mapped snapshot + WAL replay) and
+        never re-pickle an index.  In-memory ``dha`` services write
+        one snapshot per shard into a scratch directory the executor
+        owns; other engines ship one pickled copy per worker, or raise
+        :class:`~repro.core.errors.StoreError` when the engine cannot
+        be pickled.
+        """
+        if self._stores is not None:
+            specs = {
+                shard.sid: (
+                    "store",
+                    str(store.data_dir),
+                    shard.epoch,
+                    store.last_seq,
+                )
+                for shard, store in zip(self._shards, self._stores)
+            }
+            return specs, None
+        if self._engine == "dha":
+            import tempfile
+            from pathlib import Path
+
+            from repro.store.snapshot import write_snapshot
+
+            scratch = tempfile.mkdtemp(prefix="repro-shard-pool-")
+            specs = {}
+            for shard in self._shards:
+                path = Path(scratch) / f"shard-{shard.sid:04d}.ha"
+                write_snapshot(
+                    path,
+                    shard.primary,
+                    last_seq=shard.epoch,
+                    fsync=False,
+                )
+                specs[shard.sid] = ("snap", str(path), shard.epoch)
+            return specs, scratch
+        import pickle
+
+        specs = {}
+        for shard in self._shards:
+            try:
+                data = pickle.dumps(
+                    shard.primary, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception as error:  # noqa: BLE001 - explicit refusal
+                raise StoreError(
+                    f"engine {self._engine!r} index for shard "
+                    f"{shard.sid} cannot be shared with worker "
+                    f"processes (pickle failed: {error}); use "
+                    "pool='thread' or pool='serial'"
+                ) from error
+            specs[shard.sid] = ("pickle", data, shard.epoch)
+        return specs, None
+
+    @property
+    def pool(self) -> str:
+        """Active scatter backend (``serial``/``thread``/``process``)."""
+        return self._executor.kind
+
+    @property
+    def pool_workers(self) -> int:
+        return self._pool_workers
+
+    def set_pool(
+        self,
+        pool: str,
+        pool_workers: int | None = None,
+        task_timeout: float | None = None,
+        model_width: int | None = None,
+    ) -> None:
+        """Swap the scatter backend in place (no index rebuild).
+
+        The swap happens under the shard mutex, so no scatter is ever
+        split across backends; the old pool's processes/threads are
+        released after the swap.  ``task_timeout=None`` keeps the
+        current deadline.  ``model_width`` sets the width at which the
+        new executor's critical-path seconds are scheduled (the
+        modelled-cluster-time accounting; defaults to the pool's real
+        width).
+        """
+        self._check_open()
+        if pool not in POOL_KINDS:
+            raise InvalidParameterError(
+                f"unknown pool {pool!r}; expected one of {POOL_KINDS}"
+            )
+        with self._lock:
+            old = self._executor
+            self._pool_kind = pool
+            if pool_workers is not None:
+                self._pool_workers = pool_workers
+            if task_timeout is not None:
+                self._task_timeout = task_timeout
+            self._executor = self._build_executor()
+            self._executor.model_width = model_width
+        old.close()
 
     # -- durability --------------------------------------------------------
 
@@ -464,6 +702,9 @@ class ShardedQueryService:
         fsync: bool = True,
         chaos: ChaosPolicy | None = None,
         pruning: bool = True,
+        pool: str = "serial",
+        pool_workers: int | None = None,
+        task_timeout: float | None = None,
         workers: int = DEFAULT_WORKERS,
         max_batch: int = DEFAULT_MAX_BATCH,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
@@ -548,6 +789,9 @@ class ShardedQueryService:
             linger_seconds=linger_seconds,
             start=start,
             trace_batches=trace_batches,
+            pool=pool,
+            pool_workers=pool_workers,
+            task_timeout=task_timeout,
         )
         return self
 
@@ -590,6 +834,7 @@ class ShardedQueryService:
         self._scheduler.start()
         self._queue.close()
         self._scheduler.join()
+        self._executor.close()
         if self._stores is not None:
             for shard, store in zip(self._shards, self._stores):
                 try:
@@ -735,26 +980,31 @@ class ShardedQueryService:
             raise InvalidParameterError("threshold must be non-negative")
         pairs: list[tuple[int, int]] = []
         with self._lock:
-            by_shard: dict[int, list[int]] = {}
-            for position, code in enumerate(outer.codes):
-                plan = self._plan_locked(code, threshold)
-                for sid in plan.contacted:
-                    by_shard.setdefault(sid, []).append(position)
+            _, by_shard = self._plan_batch_locked(
+                list(outer.codes), threshold
+            )
+            shard_positions = sorted(by_shard.items())
+            tasks = [
+                self._task(
+                    sid,
+                    "search_batch",
+                    ([outer.codes[p] for p in positions], threshold),
+                    ("join", threshold, len(positions)),
+                )
+                for sid, positions in shard_positions
+            ]
+            values = self._scatter("join", tasks, shards=len(tasks))
             with trace_span(
-                "shard.scatter", kind="join", shards=len(by_shard)
+                "shard.gather", kind="join", shards=len(tasks)
             ):
-                for sid, positions in sorted(by_shard.items()):
-                    shard = self._shards[sid]
-                    probe_codes = [outer.codes[p] for p in positions]
-                    id_lists = self._dispatch(
-                        shard,
-                        "search_batch",
-                        (probe_codes, threshold),
-                        ("join", threshold, len(probe_codes)),
-                    )
+                for (sid, positions), id_lists in zip(
+                    shard_positions, values
+                ):
                     for position, ids in zip(positions, id_lists):
                         outer_id = outer.ids[position]
-                        pairs.extend((outer_id, inner) for inner in ids)
+                        pairs.extend(
+                            (outer_id, inner) for inner in ids
+                        )
         pairs.sort()
         return pairs
 
@@ -777,6 +1027,7 @@ class ShardedQueryService:
             self._planner.observe(sid, code)
             shard.epoch += 1
             self._global_epoch += 1
+            self._executor.mutate(sid, "insert", code, tuple_id, shard.epoch)
             return self._global_epoch
 
     def delete(self, code: int, tuple_id: int) -> int:
@@ -799,6 +1050,7 @@ class ShardedQueryService:
                 replica.delete(code, tuple_id)
             shard.epoch += 1
             self._global_epoch += 1
+            self._executor.mutate(sid, "delete", code, tuple_id, shard.epoch)
             return self._global_epoch
 
     @staticmethod
@@ -839,6 +1091,7 @@ class ShardedQueryService:
             self._shards = replacement
             self._global_epoch += 1
             epoch = self._global_epoch
+            self._executor.reload()
         self._accounting.record_refresh()
         self._cache.clear()
         return epoch
@@ -859,6 +1112,19 @@ class ShardedQueryService:
         if not self._pruning:
             return self._broadcast_plan()
         return self._planner.plan(query, threshold)
+
+    def _plan_batch_locked(
+        self, queries: list[int], threshold: int
+    ) -> tuple[list[ShardPlan], dict[int, list[int]]]:
+        """Plan a batch and transpose it into ``{shard: positions}``."""
+        if self._pruning:
+            return self._planner.plan_batch(queries, threshold)
+        plans = [self._broadcast_plan() for _ in queries]
+        by_shard: dict[int, list[int]] = {}
+        for position, plan in enumerate(plans):
+            for sid in plan.contacted:
+                by_shard.setdefault(sid, []).append(position)
+        return plans, by_shard
 
     def _broadcast_plan(self) -> ShardPlan:
         """Contact every non-empty shard (``pruning=False`` ablation)."""
@@ -906,13 +1172,26 @@ class ShardedQueryService:
     ):
         """Run one shard operation with hedging and replica failover.
 
-        Replica order starts at the primary unless the fault plan marks
-        it a straggler for this dispatch (hedged dispatch: the request
-        is satisfied by the first replica instead).  Unavailable
-        replicas fail over to the next; the final candidate is always
-        consulted, so injected faults never change results.
+        Replica candidates are ordered by least outstanding requests
+        (ties by index, so an idle service visits the primary first,
+        exactly as before the parallel executors existed; under a
+        concurrent thread-pool scatter the load spreads).  The fault
+        plan may hedge the dispatch away from the first candidate
+        (straggler) or skip unavailable replicas (failover); the final
+        candidate is always consulted, so injected faults never change
+        results.  Thread-safe: accounting and the outstanding counts
+        take their own locks, never the shard mutex.
         """
-        order = list(range(len(shard.replicas)))
+        replicas = shard.replicas
+        if len(replicas) == 1:
+            order = [0]
+        else:
+            with self._replica_lock:
+                counts = self._outstanding[shard.sid]
+                order = sorted(
+                    range(len(replicas)),
+                    key=lambda ridx: (counts[ridx], ridx),
+                )
         faults = self._faults
         if faults is not None and len(order) > 1:
             if faults.primary_straggles(shard.sid, op_name, *context):
@@ -939,16 +1218,49 @@ class ShardedQueryService:
                         "dispatches failed over to another replica",
                     ).inc()
                 continue
-            replica = shard.replicas[ridx]
-            with trace_span(
-                "shard.search",
-                shard=shard.sid,
-                replica=ridx,
-                op=op_name,
-            ):
-                return getattr(replica, op_name)(*args)
+            replica = replicas[ridx]
+            with self._replica_lock:
+                self._outstanding[shard.sid][ridx] += 1
+            try:
+                with trace_span(
+                    "shard.search",
+                    shard=shard.sid,
+                    replica=ridx,
+                    op=op_name,
+                ):
+                    return getattr(replica, op_name)(*args)
+            finally:
+                with self._replica_lock:
+                    self._outstanding[shard.sid][ridx] -= 1
         raise ReplicaUnavailableError(
             f"no replica of shard {shard.sid} available"
+        )
+
+    def _dispatch_task(self, task: ShardTask):
+        """Executor-facing adapter: one :class:`ShardTask`, inline."""
+        return self._dispatch(
+            self._shards[task.sid], task.op, task.args, task.context
+        )
+
+    def _scatter(self, kind: str, tasks: list[ShardTask], **attrs):
+        """Run one scatter through the active pool backend.
+
+        Returns per-task values in task order; the executor attaches
+        every task's ``shard.dispatch`` subtree to the open
+        ``shard.scatter`` span in that same order, whatever the
+        completion order was.
+        """
+        executor = self._executor
+        with trace_span(
+            "shard.scatter", kind=kind, pool=executor.kind, **attrs
+        ):
+            return executor.scatter(tasks, self._dispatch_task)
+
+    def _task(
+        self, sid: int, op: str, args: tuple, context: tuple
+    ) -> ShardTask:
+        return ShardTask(
+            sid, op, args, context, self._shards[sid].epoch
         )
 
     def _epoch_key(self, kind: str, plan: ShardPlan | None) -> tuple:
@@ -967,37 +1279,44 @@ class ShardedQueryService:
     def _run_select(self, query: int, threshold: int) -> tuple[int, ...]:
         plan = self._plan_locked(query, threshold)
         self._record_plan(plan)
-        matches: list[int] = []
-        with trace_span(
-            "shard.scatter", kind="select", shards=len(plan.contacted)
-        ):
-            for sid in plan.contacted:
-                matches.extend(
-                    self._dispatch(
-                        self._shards[sid],
-                        "search",
-                        (query, threshold),
-                        ("select", query, threshold),
-                    )
-                )
-        matches.sort()
-        return tuple(matches)
+        tasks = [
+            self._task(
+                sid,
+                "search",
+                (query, threshold),
+                ("select", query, threshold),
+            )
+            for sid in plan.contacted
+        ]
+        gathered = self._scatter("select", tasks, shards=len(tasks))
+        with trace_span("shard.gather", kind="select", shards=len(tasks)):
+            matches: list[int] = []
+            for ids in gathered:
+                matches.extend(ids)
+            return _sorted_ids(matches)
 
     def _run_probe(self, query: int, threshold: int) -> bool:
+        """Membership probe: OR over every contacted shard.
+
+        All planned shards are asked (no first-hit short-circuit) so
+        every pool backend — where the shards genuinely run
+        concurrently — performs the *same* work and reports the same
+        op counts as the serial walk.
+        """
         plan = self._plan_locked(query, threshold)
         self._record_plan(plan)
-        with trace_span(
-            "shard.scatter", kind="probe", shards=len(plan.contacted)
-        ):
-            for sid in plan.contacted:
-                if self._dispatch(
-                    self._shards[sid],
-                    "contains_within",
-                    (query, threshold),
-                    ("probe", query, threshold),
-                ):
-                    return True
-        return False
+        tasks = [
+            self._task(
+                sid,
+                "contains_within",
+                (query, threshold),
+                ("probe", query, threshold),
+            )
+            for sid in plan.contacted
+        ]
+        gathered = self._scatter("probe", tasks, shards=len(tasks))
+        with trace_span("shard.gather", kind="probe", shards=len(tasks)):
+            return any(gathered)
 
     def _run_knn(self, query: int, k: int) -> tuple[tuple[int, int], ...]:
         """Expanding-threshold kNN over the pruned scatter.
@@ -1016,22 +1335,24 @@ class ShardedQueryService:
         while True:
             plan = self._plan_locked(query, threshold)
             self._record_plan(plan)
-            matches: list[tuple[int, int]] = []
+            tasks = [
+                self._task(
+                    sid,
+                    "search_with_distances",
+                    (query, threshold),
+                    ("knn", query, threshold),
+                )
+                for sid in plan.contacted
+            ]
+            gathered = self._scatter(
+                "knn", tasks, threshold=threshold, shards=len(tasks)
+            )
             with trace_span(
-                "shard.scatter",
-                kind="knn",
-                threshold=threshold,
-                shards=len(plan.contacted),
+                "shard.gather", kind="knn", threshold=threshold
             ):
-                for sid in plan.contacted:
-                    matches.extend(
-                        self._dispatch(
-                            self._shards[sid],
-                            "search_with_distances",
-                            (query, threshold),
-                            ("knn", query, threshold),
-                        )
-                    )
+                matches: list[tuple[int, int]] = []
+                for chunk in gathered:
+                    matches.extend(chunk)
             if len(matches) >= target or threshold >= self._code_length:
                 matches.sort(key=lambda pair: (pair[1], pair[0]))
                 return tuple(matches[:k])
@@ -1182,35 +1503,54 @@ class ShardedQueryService:
         self, keys: list[tuple[str, int, int]], threshold: int
     ) -> list[tuple[tuple[str, int, int], object]]:
         """One shared scatter for select misses at one threshold."""
-        plans = {}
-        by_shard: dict[int, list[int]] = {}
-        for position, key in enumerate(keys):
-            plan = self._plan_locked(key[1], threshold)
-            plans[key] = plan
+        plan_list, by_shard = self._plan_batch_locked(
+            [key[1] for key in keys], threshold
+        )
+        for plan in plan_list:
             self._record_plan(plan)
-            for sid in plan.contacted:
-                by_shard.setdefault(sid, []).append(position)
-        gathered: list[list[int]] = [[] for _ in keys]
-        with trace_span(
-            "shard.scatter",
-            kind="select_batch",
-            queries=len(keys),
-            shards=len(by_shard),
-        ):
-            for sid, positions in sorted(by_shard.items()):
-                shard = self._shards[sid]
-                queries = [keys[p][1] for p in positions]
-                id_lists = self._dispatch(
-                    shard,
-                    "search_batch",
+        gathered: list[list] = [[] for _ in keys]
+        shard_positions = sorted(by_shard.items())
+        # dha shards hand back int64 arrays so the cross-shard merge
+        # stays numpy end-to-end; other engines return id lists and
+        # take the same merge path via asarray.
+        batch_op = (
+            "search_batch_arrays"
+            if self._engine == "dha"
+            else "search_batch"
+        )
+        tasks = []
+        for sid, positions in shard_positions:
+            queries = [keys[p][1] for p in positions]
+            tasks.append(
+                self._task(
+                    sid,
+                    batch_op,
                     (queries, threshold),
-                    ("select_batch", threshold, len(queries), queries[0]),
+                    (
+                        "select_batch",
+                        threshold,
+                        len(queries),
+                        queries[0],
+                    ),
                 )
+            )
+        values = self._scatter(
+            "select_batch",
+            tasks,
+            queries=len(keys),
+            shards=len(tasks),
+        )
+        with trace_span(
+            "shard.gather", kind="select_batch", shards=len(tasks)
+        ):
+            for (sid, positions), id_lists in zip(
+                shard_positions, values
+            ):
                 for position, ids in zip(positions, id_lists):
-                    gathered[position].extend(ids)
+                    gathered[position].append(ids)
         return [
-            (key, tuple(sorted(ids)))
-            for key, ids in zip(keys, gathered)
+            (key, _merge_sorted_ids(chunks))
+            for key, chunks in zip(keys, gathered)
         ]
 
     # -- observability -----------------------------------------------------
@@ -1265,8 +1605,23 @@ class ShardedQueryService:
         with self._lock:
             sizes = tuple(len(shard.primary) for shard in self._shards)
             epochs = tuple(shard.epoch for shard in self._shards)
+            executor = self._executor
+        tasks, fallbacks, timeouts = executor.counters()
+        busy, critical = executor.seconds()
         return self._shard_accounting.snapshot(
-            self.num_shards, self._replication, sizes, epochs
+            self.num_shards,
+            self._replication,
+            sizes,
+            epochs,
+            pool=(
+                executor.kind,
+                executor.workers,
+                tasks,
+                fallbacks,
+                timeouts,
+                busy,
+                critical,
+            ),
         )
 
     def publish_metrics(self) -> tuple[ServiceStats, ShardStats]:

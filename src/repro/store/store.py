@@ -229,8 +229,34 @@ class DurableIndexStore:
         with trace_span("store.recover", dir=str(self.data_dir)):
             return self._recover()
 
-    def _recover(self) -> DynamicHAIndex:
-        if self.data_dir.is_dir():
+    def open_readonly(self) -> DynamicHAIndex:
+        """Recover the index without acquiring the log: a reader's open.
+
+        Same newest-valid-snapshot + WAL-replay recovery as
+        :meth:`open`, but the store never writes — no WAL resume, no
+        repair generation after a fallback, no stray-tmp cleanup.  That
+        makes it safe to call from *another process* while a writer
+        owns the directory: the parallel shard executor's worker
+        processes warm-start each shard this way (the snapshot arrays
+        arrive as a zero-copy memory map, so spawning a worker never
+        re-pickles an index), and the WAL writer flushes every record
+        before the owning service applies the mutation, so a reader
+        that replays up to a sequence number the writer announced is
+        guaranteed to see it.
+
+        The returned index is a plain in-memory recovery — mutations
+        applied to it affect neither the store nor the writer.  Calling
+        :meth:`append_insert` / :meth:`append_delete` on a read-only
+        open raises :class:`~repro.core.errors.StoreError` (there is no
+        active WAL).
+        """
+        with trace_span(
+            "store.recover", dir=str(self.data_dir), readonly=True
+        ):
+            return self._recover(readonly=True)
+
+    def _recover(self, readonly: bool = False) -> DynamicHAIndex:
+        if self.data_dir.is_dir() and not readonly:
             remove_stray_tmp(self.data_dir)
         generations = self._snapshot_generations()
         if not generations:
@@ -274,7 +300,12 @@ class DurableIndexStore:
         applied = self._replay(index, chosen, applied)
         self._last_seq = applied
         fell_back = chosen != newest
-        if fell_back:
+        if readonly:
+            # A reader never mutates the directory: no repair
+            # generation after a fallback and no WAL resume.  The
+            # writer that owns the store repairs on its own next open.
+            self._generation = chosen
+        elif fell_back:
             # The newest artifacts are not trustworthy: supersede them
             # with a repair generation reflecting the recovered state.
             self._write_generation(index, max(generations) + 1)

@@ -1,0 +1,450 @@
+"""Differential and failure-path tests for the parallel scatter layer.
+
+The contract under test: every pool backend — in-thread serial loop,
+persistent thread pool, spawn-based process pool with memmap warm
+starts — must be *observationally identical* to ``pool="serial"``:
+byte-identical select/probe/knn/join answers, identical per-query op
+counts, identical replica failover/hedge accounting under chaos, and
+well-formed trace trees whose ``shard.dispatch`` children sit under
+the scatter span in deterministic shard order.  On top of that, the
+process pool's degradation paths (worker death, task timeout, stale
+epochs, unpicklable engines) must fall back inline or raise typed
+errors — never hang and never return wrong answers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.engines import ENGINES
+from repro.core.errors import StoreError
+from repro.data.workloads import cluster_codes
+from repro.mapreduce.faults import ChaosPolicy
+from repro.obs import reset
+from repro.obs.trace import last_trace
+from repro.service import (
+    PoolTimeoutError,
+    ShardedQueryService,
+)
+from repro.service.executor import (
+    _TEST_SLEEP_OP,
+    POOL_KINDS,
+    ProcessShardExecutor,
+    ShardTask,
+    ThreadShardExecutor,
+    default_pool_workers,
+    make_executor,
+    modelled_wall,
+)
+
+LENGTH = 16
+PARALLEL_POOLS = ("thread", "process")
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset()
+    yield
+    reset()
+
+
+def make_codes(n=240, clusters=4, seed=2) -> CodeSet:
+    rng = random.Random(seed)
+    base = CodeSet([rng.getrandbits(LENGTH) for _ in range(n)], LENGTH)
+    return cluster_codes(base, clusters)
+
+
+def make_queries(codes: CodeSet, count=24, seed=5) -> list[int]:
+    rng = random.Random(seed)
+    members = [codes[rng.randrange(len(codes))] for _ in range(count)]
+    return members + [
+        query ^ (1 << rng.randrange(LENGTH)) for query in members[: count // 2]
+    ]
+
+
+def make_outer(codes: CodeSet, stride=23) -> CodeSet:
+    outer_codes = codes.codes[::stride]
+    return CodeSet(
+        outer_codes,
+        LENGTH,
+        ids=[10_000 + i for i in range(len(outer_codes))],
+    )
+
+
+def pooled_service(codes, pool, **kwargs) -> ShardedQueryService:
+    kwargs.setdefault("num_shards", 4)
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("cache_capacity", 0)
+    kwargs.setdefault("pool_workers", 2)
+    kwargs.setdefault("task_timeout", 60.0)
+    return ShardedQueryService(codes, pool=pool, **kwargs)
+
+
+def run_all_kinds(svc, codes, queries, outer):
+    """One transcript of every query kind, as comparable values."""
+    select = [svc.select(q, 3).value for q in queries]
+    probe = [svc.probe(q ^ 1, 2).value for q in queries[::3]]
+    knn = [svc.knn(q ^ 5, 5).value for q in queries[::5]]
+    join = svc.join(outer, 2)
+    return select, probe, knn, join
+
+
+class TestPoolDifferential:
+    """Parallel backends are byte-identical to the serial loop."""
+
+    @pytest.mark.parametrize("pool", PARALLEL_POOLS)
+    def test_all_query_kinds_match_serial(self, pool):
+        codes = make_codes()
+        queries = make_queries(codes)
+        outer = make_outer(codes)
+        with pooled_service(codes, "serial") as serial:
+            expected = run_all_kinds(serial, codes, queries, outer)
+        with pooled_service(codes, pool) as svc:
+            got = run_all_kinds(svc, codes, queries, outer)
+            stats = svc.shard_stats()
+        assert got == expected
+        assert stats.pool == pool
+        assert stats.pool_workers == 2
+        assert stats.pool_tasks > 0
+        assert stats.pool_fallbacks == 0
+        assert stats.pool_timeouts == 0
+
+    @pytest.mark.parametrize("pool", PARALLEL_POOLS)
+    def test_op_counts_match_serial(self, pool):
+        """The pruning/op accounting story survives parallel dispatch:
+        each backend performs exactly the same distance computations."""
+        codes = make_codes()
+        queries = make_queries(codes, count=12)
+
+        def op_transcript(svc):
+            transcript = []
+            for query in queries:
+                svc.select(query ^ 3, 3)
+                transcript.append(last_trace().total_ops)
+                svc.probe(query ^ 1, 2)
+                transcript.append(last_trace().total_ops)
+            return transcript
+
+        with pooled_service(codes, "serial", trace_batches=True) as serial:
+            expected = op_transcript(serial)
+        with pooled_service(codes, pool, trace_batches=True) as svc:
+            assert op_transcript(svc) == expected
+
+    @pytest.mark.parametrize("pool", PARALLEL_POOLS)
+    def test_chaos_failover_and_hedging_match_serial(self, pool):
+        """Chaos-injected replication never changes answers, only
+        routing.  The thread pool runs the exact serial replica walk,
+        so its failover/hedge tallies must match the serial backend
+        bit-for-bit; the process pool applies the same seeded seams to
+        *worker* placement, where least-outstanding ordering legitimately
+        reshuffles which candidates get probed — there we require the
+        seams to fire without perturbing results."""
+        codes = make_codes()
+        queries = make_queries(codes)
+        chaos = ChaosPolicy(seed=13, crash_prob=0.3, straggler_prob=0.3)
+        with pooled_service(
+            codes, "serial", replication=3, chaos=chaos
+        ) as serial:
+            expected = [serial.select(q ^ 1, 3).value for q in queries]
+            ref = serial.shard_stats()
+        assert ref.failovers > 0 and ref.hedges > 0
+        with pooled_service(
+            codes, pool, replication=3, chaos=chaos, pool_workers=3
+        ) as svc:
+            got = [svc.select(q ^ 1, 3).value for q in queries]
+            stats = svc.shard_stats()
+        assert got == expected
+        if pool == "thread":
+            assert (stats.failovers, stats.hedges) == (
+                ref.failovers,
+                ref.hedges,
+            )
+        else:
+            assert stats.failovers > 0 and stats.hedges > 0
+
+    @pytest.mark.parametrize("pool", PARALLEL_POOLS)
+    def test_mutations_visible_through_pool(self, pool):
+        """Epoch-tagged mutate broadcasts keep worker replicas exactly
+        as fresh as the coordinator requires — an insert or delete is
+        visible to the very next pooled scatter."""
+        codes = make_codes()
+        probe_code = codes[0] ^ 3
+        with pooled_service(codes, pool) as svc:
+            svc.insert(probe_code, 99_999)
+            assert 99_999 in svc.select(probe_code, 0).value
+            svc.delete(probe_code, 99_999)
+            assert 99_999 not in svc.select(probe_code, 0).value
+            svc.refresh(codes)
+            assert 99_999 not in svc.select(probe_code, 0).value
+
+    @pytest.mark.parametrize("pool", PARALLEL_POOLS)
+    def test_set_pool_swaps_backend_live(self, pool):
+        codes = make_codes()
+        queries = make_queries(codes, count=8)
+        outer = make_outer(codes)
+        with pooled_service(codes, "serial") as svc:
+            expected = run_all_kinds(svc, codes, queries, outer)
+            svc.set_pool(pool, pool_workers=2, task_timeout=60.0)
+            assert svc.pool == pool
+            assert run_all_kinds(svc, codes, queries, outer) == expected
+            svc.set_pool("serial")
+            assert svc.pool == "serial"
+            assert run_all_kinds(svc, codes, queries, outer) == expected
+
+    def test_durable_store_process_warm_start(self, tmp_path):
+        """Process workers warm-start each shard straight off the
+        durable store's memmap snapshot + WAL tail (no pickling), and
+        live mutations stay visible via epoch-tagged broadcasts."""
+        codes = make_codes()
+        data_dir = str(tmp_path / "shards")
+        svc = ShardedQueryService(
+            codes, num_shards=4, data_dir=data_dir, fsync=False,
+            workers=1, cache_capacity=0,
+        )
+        queries = make_queries(codes, count=10)
+        expected = [svc.select(q, 2).value for q in queries]
+        svc.insert(codes[5] ^ 7, 77_777)
+        svc.close()
+
+        svc = ShardedQueryService.open(
+            data_dir, fsync=False, pool="process", pool_workers=2,
+            task_timeout=60.0, workers=1, cache_capacity=0,
+        )
+        try:
+            assert [svc.select(q, 2).value for q in queries] == expected
+            assert 77_777 in svc.select(codes[5] ^ 7, 0).value
+            svc.insert(codes[9] ^ 9, 88_888)
+            assert 88_888 in svc.select(codes[9] ^ 9, 0).value
+            stats = svc.shard_stats()
+            assert stats.pool == "process"
+            assert stats.pool_fallbacks == 0
+        finally:
+            svc.close()
+
+
+class TestEnginePickling:
+    """Every registry engine either round-trips through pickle (so the
+    process pool can ship it to workers) or the service refuses the
+    process pool with a typed ``StoreError`` naming the engine."""
+
+    @pytest.mark.parametrize("name", sorted(ENGINES))
+    def test_engine_spec_pickle_round_trip(self, name):
+        spec = ENGINES[name]
+        codes = make_codes(n=120, clusters=3, seed=9)
+        index = spec.builder(codes)
+        queries = make_queries(codes, count=8, seed=11)
+        try:
+            payload = pickle.dumps(index, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            svc = ShardedQueryService(
+                codes, num_shards=2, engine=name, workers=1,
+                cache_capacity=0,
+            )
+            with svc:
+                with pytest.raises(StoreError, match=name):
+                    svc._worker_shard_specs()
+            return
+        clone = pickle.loads(payload)
+        for query in queries:
+            for threshold in (0, 2, 4):
+                assert sorted(clone.search(query, threshold)) == sorted(
+                    index.search(query, threshold)
+                )
+
+    @pytest.mark.parametrize("name", ["mih", "flat"])
+    def test_non_dha_engine_serves_through_process_pool(self, name):
+        """Pickle-mode shard shipping: non-DHA engines still answer
+        byte-identically through spawned workers."""
+        codes = make_codes()
+        queries = make_queries(codes, count=10)
+        with pooled_service(codes, "serial", engine=name) as serial:
+            expected = [serial.select(q, 3).value for q in queries]
+        with pooled_service(codes, "process", engine=name) as svc:
+            assert [svc.select(q, 3).value for q in queries] == expected
+            assert svc.shard_stats().pool_fallbacks == 0
+
+
+class TestFailurePaths:
+    """Timeouts, dead workers, and stale epochs degrade loudly."""
+
+    def test_process_timeout_falls_back_inline(self):
+        executor = ProcessShardExecutor(
+            lambda: ({}, None), 2, task_timeout=0.5
+        )
+        try:
+            tasks = [ShardTask(0, _TEST_SLEEP_OP, (30.0,), ())]
+            values = executor.scatter(tasks, lambda task: "fell-back")
+            assert values == ["fell-back"]
+            tasks_n, fallbacks, timeouts = executor.counters()
+            assert timeouts == 1
+            assert fallbacks == 1
+        finally:
+            executor.close()
+
+    def test_process_timeout_raises_without_fallback(self):
+        executor = ProcessShardExecutor(
+            lambda: ({}, None), 2, task_timeout=0.5, fallback=False
+        )
+        try:
+            tasks = [ShardTask(0, _TEST_SLEEP_OP, (30.0,), ())]
+            with pytest.raises(PoolTimeoutError):
+                executor.scatter(tasks, lambda task: "unused")
+        finally:
+            executor.close()
+
+    def test_thread_timeout_raises(self):
+        executor = ThreadShardExecutor(2, task_timeout=0.3)
+        try:
+            tasks = [ShardTask(0, "noop", (), ())]
+            with pytest.raises(PoolTimeoutError):
+                executor.scatter(tasks, lambda task: time.sleep(30))
+            assert executor.counters()[2] == 1
+        finally:
+            executor.close()
+
+    def test_dead_worker_falls_back_inline(self):
+        """A worker that dies mid-scatter is detected via EOF on its
+        pipe; its tasks re-run inline and the answer is still right."""
+        codes = make_codes()
+        queries = make_queries(codes, count=6)
+        with pooled_service(codes, "serial") as serial:
+            expected = [serial.select(q, 3).value for q in queries]
+        with pooled_service(codes, "process") as svc:
+            executor = svc._executor
+            for worker in executor._pool:
+                worker.process.terminate()
+                worker.process.join(timeout=10)
+            got = [svc.select(q, 3).value for q in queries]
+            stats = svc.shard_stats()
+        assert got == expected
+        assert stats.pool_fallbacks > 0
+
+
+class TestSpanIntegrity:
+    """Trace trees stay well-formed when the gather is concurrent."""
+
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    def test_dispatch_spans_attach_in_shard_order(self, pool):
+        codes = make_codes()
+        queries = make_queries(codes, count=10)
+        with pooled_service(codes, pool, trace_batches=True) as svc:
+            for query in queries:
+                svc.select(query ^ 3, 3)
+                trace = last_trace()
+                scatters = trace.find("shard.scatter")
+                assert scatters, "select must emit a scatter span"
+                for scatter in scatters:
+                    assert scatter.attrs["pool"] == pool
+                    dispatches = [
+                        child
+                        for child in scatter.children
+                        if child.name == "shard.dispatch"
+                    ]
+                    shards = [d.attrs["shard"] for d in dispatches]
+                    assert shards == sorted(shards)
+                    for dispatch in dispatches:
+                        assert dispatch.attrs["pool"] == pool
+                assert trace.find("shard.gather")
+
+    def test_counters_atomic_under_concurrent_batches(self):
+        """Hammer one thread-pooled service from many client threads;
+        the pool task counter must equal the sum of per-scatter task
+        counts (no lost updates) and latency stats must stay sane."""
+        codes = make_codes()
+        queries = make_queries(codes)
+        svc = pooled_service(codes, "thread", workers=4)
+        errors: list[Exception] = []
+
+        def client(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(20):
+                    query = queries[rng.randrange(len(queries))]
+                    svc.select(query, rng.choice((1, 2, 3)))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(seed,))
+            for seed in range(6)
+        ]
+        with svc:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = svc.shard_stats()
+            service = svc.stats()
+        assert not errors
+        # Micro-batching may coalesce several queries into one shard
+        # task, so tasks is bounded by (never exceeds) contacted visits;
+        # a lost counter update would break the lower bound of 1/visit
+        # per scatter.
+        assert 0 < stats.pool_tasks <= stats.shards_contacted
+        assert service.executed > 0
+        assert service.latency["p50_ms"] <= service.latency["p99_ms"]
+
+
+class TestExecutorConstruction:
+    def test_default_pool_workers_bounds(self):
+        assert default_pool_workers(1) == 1
+        assert default_pool_workers(0) == 1
+        cores = max(1, __import__("os").cpu_count() or 1)
+        assert default_pool_workers(64) == min(64, cores)
+
+    def test_make_executor_rejects_unknown_pool(self):
+        with pytest.raises(Exception):
+            make_executor("fiber", workers=2)
+
+    def test_process_pool_requires_spec_factory(self):
+        with pytest.raises(Exception):
+            make_executor("process", workers=2)
+
+    def test_stats_render_includes_pool_line(self):
+        codes = make_codes()
+        with pooled_service(codes, "thread") as svc:
+            svc.select(codes[0], 2)
+            rendered = svc.shard_stats().render()
+        assert "pool:" in rendered
+        assert "thread x 2" in rendered
+
+
+class TestPoolSeconds:
+    """Busy/critical-path accounting behind the modelled-wall metric."""
+
+    def test_modelled_wall_schedule(self):
+        assert modelled_wall([], 4) == 0.0
+        assert modelled_wall([2.0, 3.0], 1) == 5.0
+        # Submission order, earliest-free worker: the long task pins one
+        # worker while the four short ones chain on the other.
+        assert modelled_wall([4.0, 1.0, 1.0, 1.0, 1.0], 2) == 4.0
+        assert modelled_wall([1.0, 1.0, 1.0, 1.0], 4) == 1.0
+
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    def test_seconds_accumulate(self, pool):
+        codes = make_codes()
+        queries = make_queries(codes, count=12)
+        with pooled_service(codes, pool) as svc:
+            for query in queries:
+                svc.select(query, 3)
+            stats = svc.shard_stats()
+        assert stats.pool_busy_seconds > 0.0
+        assert stats.pool_critical_seconds > 0.0
+        # The schedule can never beat perfect speedup or lose to serial.
+        width = max(1, stats.pool_workers)
+        assert stats.pool_critical_seconds <= stats.pool_busy_seconds + 1e-9
+        assert (
+            stats.pool_critical_seconds
+            >= stats.pool_busy_seconds / width - 1e-9
+        )
+        if pool == "serial":
+            assert stats.pool_critical_seconds == pytest.approx(
+                stats.pool_busy_seconds
+            )
+        assert "busy" in stats.render()

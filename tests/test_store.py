@@ -361,6 +361,82 @@ class TestDurableIndexStore:
         assert StoreStats.merge([]).generation == 0
 
 
+class TestOpenReadonly:
+    """A reader's recovery: full fidelity, zero directory writes."""
+
+    def test_sees_writer_state_including_wal_tail(
+        self, built_index, tmp_path
+    ):
+        index, _ = built_index
+        writer = DurableIndexStore(tmp_path / "d")
+        writer.initialize(index)
+        writer.append_insert(0x101010, 900)
+        writer.append_insert(0x101011, 901)
+        reader = DurableIndexStore(tmp_path / "d")
+        recovered = reader.open_readonly()
+        assert reader.last_seq == 2
+        assert 900 in recovered.search(0x101010, 0)
+        assert 901 in recovered.search(0x101011, 0)
+        writer.close()
+
+    def test_never_writes_to_the_directory(self, built_index, tmp_path):
+        index, _ = built_index
+        store = DurableIndexStore(tmp_path / "d")
+        store.initialize(index)
+        store.append_insert(0xBEEF, 42)
+        store.close()
+        stray = tmp_path / "d" / "snap-00000009.ha.tmp"
+        stray.write_bytes(b"partial")
+        listing = sorted(p.name for p in (tmp_path / "d").iterdir())
+        DurableIndexStore(tmp_path / "d").open_readonly()
+        after = sorted(p.name for p in (tmp_path / "d").iterdir())
+        assert after == listing  # stray tmp untouched, no WAL resume
+
+    def test_fallback_writes_no_repair_generation(
+        self, built_index, tmp_path
+    ):
+        index, _ = built_index
+        store = DurableIndexStore(tmp_path / "d")
+        store.initialize(index)
+        index.insert(0xF00D, 7000)
+        store.append_insert(0xF00D, 7000)
+        assert store.snapshot(index) == 2
+        store.close()
+        snap2 = tmp_path / "d" / "snap-00000002.ha"
+        payload = bytearray(snap2.read_bytes())
+        payload[-1] ^= 0xFF
+        snap2.write_bytes(payload)
+        listing = sorted(p.name for p in (tmp_path / "d").iterdir())
+
+        reader = DurableIndexStore(tmp_path / "d")
+        recovered = reader.open_readonly()
+        assert reader.recovery_fallbacks == 1
+        # Fell back to generation 1 + its WAL: state still exact.
+        assert 7000 in recovered.search(0xF00D, 0)
+        after = sorted(p.name for p in (tmp_path / "d").iterdir())
+        assert after == listing  # a writer would add snap-00000003.ha
+
+        writer = DurableIndexStore(tmp_path / "d")
+        writer.open()
+        repaired = sorted(
+            p.name for p in (tmp_path / "d").glob("snap-*.ha")
+        )
+        assert "snap-00000003.ha" in repaired
+        writer.close()
+
+    def test_readonly_store_rejects_appends(self, built_index, tmp_path):
+        index, _ = built_index
+        store = DurableIndexStore(tmp_path / "d")
+        store.initialize(index)
+        store.close()
+        reader = DurableIndexStore(tmp_path / "d")
+        reader.open_readonly()
+        with pytest.raises(StoreError):
+            reader.append_insert(0x1, 1)
+        with pytest.raises(StoreError):
+            reader.append_delete(0x1, 1)
+
+
 class TestFormatCompatibility:
     """The committed v1 fixture must stay loadable forever.
 
