@@ -40,6 +40,7 @@ from repro.core.engines import (
     ENGINES,
     build_index,
     engine_choices,
+    engine_names,
     get_engine,
 )
 from repro.core.knn import knn_select
@@ -359,9 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
              "nonzero on any mismatch",
     )
     bench_kernel.add_argument(
-        "--engine", choices=engine_choices(), default="flat",
+        "--engine", choices=[*engine_choices(), "all"], default="flat",
         help="rival engine timed (or verified) against the node walk "
-             "(default flat)",
+             "(default flat); 'all' verifies every engine in the "
+             "central registry (requires --verify)",
     )
 
     verify = commands.add_parser(
@@ -380,8 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-id", type=int, default=0, help="tuple used as the query"
     )
     trace.add_argument(
-        "--engine", choices=["nodes", "flat", "both"], default="both",
-        help="which H-Search plane(s) to trace (default both)",
+        "--engine",
+        choices=["nodes", "flat", "native", "both", "all"],
+        default="both",
+        help="which H-Search plane(s) to trace (default both; 'all' "
+             "adds the native plane)",
     )
 
     metrics = commands.add_parser(
@@ -623,14 +628,18 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         queue_limit=len(queries) + 2 * args.updates + 8,
         cache_capacity=args.cache,
         batch_kernel=canonical == "flat" or spec.batched,
+        # The read-only compiled planes serve through a mutable
+        # DHA-Index: batched misses route through the chosen kernel,
+        # single queries and live updates through the node walk.
+        kernel="native" if canonical == "native" else "auto",
     )
     if args.data_dir is not None:
         from repro.store import DurableIndexStore
 
-        if canonical not in ("dha", "flat"):
-            print(f"error: --data-dir needs the dha or flat engine, "
-                  f"not {canonical!r} (durable stores persist the "
-                  f"DHA-Index)", file=sys.stderr)
+        if canonical not in ("dha", "flat", "native"):
+            print(f"error: --data-dir needs the dha, flat, or native "
+                  f"engine, not {canonical!r} (durable stores persist "
+                  f"the DHA-Index)", file=sys.stderr)
             return 2
 
         if DurableIndexStore.exists(args.data_dir):
@@ -646,7 +655,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
                 **service_kwargs,
             )
             print(f"initialized durable store at {args.data_dir}")
-    elif canonical in ("dha", "flat"):
+    elif canonical in ("dha", "flat", "native"):
         service = HammingQueryService(
             DynamicHAIndex.build(codes), **service_kwargs
         )
@@ -826,49 +835,29 @@ def _command_bench_shard(args: argparse.Namespace) -> int:
 
 
 def _command_bench_kernel(args: argparse.Namespace) -> int:
-    import random
-
     _, codes = _encoded_workload(args)
+    if args.engine == "all":
+        if not args.verify:
+            print("--engine all requires --verify")
+            return 2
+        names = engine_names()
+        failed = [
+            name for name in names
+            if _verify_engine(args, name, codes) != 0
+        ]
+        if failed:
+            print(f"kernel equivalence FAILED for: {', '.join(failed)}")
+            return 1
+        print(f"kernel equivalence OK for all {len(names)} registered "
+              f"engines")
+        return 0
     canonical = get_engine(args.engine).name
+    if args.verify:
+        return _verify_engine(args, canonical, codes)
     if canonical != "flat":
         return _bench_engine(args, canonical, codes)
     index = DynamicHAIndex.build(codes)
     flat = index.compile()
-
-    if args.verify:
-        rng = random.Random(args.seed)
-        probes = [codes[rng.randrange(len(codes))] for _ in range(12)]
-        probes += [rng.getrandbits(args.bits) for _ in range(12)]
-        # Buffered H-Inserts so the smoke covers the buffer scan too.
-        for offset in range(8):
-            index.insert(rng.getrandbits(args.bits), len(codes) + offset)
-        flat = index.compile()
-        mismatches = 0
-        for threshold in range(9):
-            batched = flat.search_batch(probes, threshold)
-            for query, batch_ids in zip(probes, batched):
-                expected = sorted(index.search(query, threshold))
-                node_ops = index.last_search_ops
-                got = sorted(flat.search(query, threshold))
-                same = (
-                    expected == got == sorted(batch_ids)
-                    and node_ops == flat.last_search_ops
-                    and index.count_within(query, threshold)
-                    == flat.count_within(query, threshold)
-                )
-                if not same:
-                    mismatches += 1
-                    print(f"MISMATCH h={threshold} query={query:#x}: "
-                          f"nodes={expected} flat={got} "
-                          f"batch={sorted(batch_ids)}")
-        if mismatches:
-            print(f"kernel equivalence FAILED: {mismatches} mismatches")
-            return 1
-        print(f"kernel equivalence OK: {len(probes)} queries x "
-              f"thresholds 0..8 over {len(codes)} codes "
-              f"(search, search_batch, count_within, ops; "
-              f"8 buffered inserts)")
-        return 0
 
     queries = [codes[i * 31 % len(codes)] for i in range(args.queries)]
     batches = [
@@ -909,49 +898,111 @@ def _command_bench_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_engine(
+def _verify_engine(
     args: argparse.Namespace, canonical: str, codes: CodeSet
 ) -> int:
-    """``bench-kernel`` for any non-flat registry engine.
+    """Equivalence smoke: one registry engine vs the DHA node walk.
 
-    Same shape as the flat path: ``--verify`` runs an equivalence smoke
-    against the DHA node walk over thresholds 0..8, otherwise the
-    engine's ``search`` (and ``search_batch`` when offered) is timed
-    against the node walk.
+    Every registered engine gets the same probe plane (seeded member +
+    random queries, thresholds 0..8).  Engines built on the flat kernel
+    (``FlatHAIndex`` subclasses: flat, native) are held to the stricter
+    contract — buffered H-Inserts, ``count_within``, and exact
+    ``last_search_ops`` agreement — and the native plane is replayed a
+    second time with the compiled backend force-disabled, proving the
+    numpy fallback produces identical answers.
     """
     import random
 
+    from repro.core.flat_ha import FlatHAIndex
+
+    index = DynamicHAIndex.build(codes)
+    rng = random.Random(args.seed)
+    probes = [codes[rng.randrange(len(codes))] for _ in range(12)]
+    probes += [rng.getrandbits(args.bits) for _ in range(12)]
+    rival = build_index(canonical, codes)
+    strict = isinstance(rival, FlatHAIndex)
+    if strict:
+        # Buffered H-Inserts so the smoke covers the buffer scan too;
+        # recompile from the mutated tree so both planes see them.
+        for offset in range(8):
+            index.insert(rng.getrandbits(args.bits), len(codes) + offset)
+        compile_native = getattr(index, "compile_native", None)
+        rival = (
+            compile_native() if canonical == "native"
+            and compile_native is not None else index.compile()
+        )
+    mismatches = _verify_sweep(index, rival, probes, canonical, strict)
+    detail = ""
+    if canonical == "native":
+        from repro.core import native as native_backends
+
+        detail = f"; backend {rival.backend}"
+        with native_backends.force_backend("numpy"):
+            mismatches += _verify_sweep(
+                index, rival, probes, f"{canonical}[numpy]", strict
+            )
+        detail += " + numpy fallback"
+    if mismatches:
+        print(f"kernel equivalence FAILED: {canonical}: "
+              f"{mismatches} mismatches")
+        return 1
+    extras = (
+        " (search, search_batch, count_within, ops; 8 buffered inserts)"
+        if strict else ""
+    )
+    print(f"kernel equivalence OK: {canonical} vs node walk, "
+          f"{len(probes)} queries x thresholds 0..8 over "
+          f"{len(codes)} codes{extras}{detail}")
+    return 0
+
+
+def _verify_sweep(
+    index: DynamicHAIndex,
+    rival,
+    probes: list[int],
+    label: str,
+    strict: bool,
+) -> int:
+    """Mismatch count of ``rival`` vs the node walk over the probes."""
+    batched = getattr(rival, "search_batch", None)
+    mismatches = 0
+    for threshold in range(9):
+        batch_results = (
+            batched(probes, threshold) if batched is not None
+            else [None] * len(probes)
+        )
+        for query, batch_ids in zip(probes, batch_results):
+            expected = sorted(index.search(query, threshold))
+            node_ops = index.last_search_ops
+            got = sorted(rival.search(query, threshold))
+            same = expected == got and (
+                batch_ids is None or expected == sorted(batch_ids)
+            )
+            if strict:
+                same = (
+                    same
+                    and node_ops == rival.last_search_ops
+                    and index.count_within(query, threshold)
+                    == rival.count_within(query, threshold)
+                )
+            if not same:
+                mismatches += 1
+                print(f"MISMATCH h={threshold} query={query:#x}: "
+                      f"nodes={expected} {label}={got}")
+    return mismatches
+
+
+def _bench_engine(
+    args: argparse.Namespace, canonical: str, codes: CodeSet
+) -> int:
+    """``bench-kernel`` timing for any non-flat registry engine.
+
+    Same shape as the flat path: the engine's ``search`` (and
+    ``search_batch`` when offered) is timed against the node walk.
+    Verification lives in :func:`_verify_engine`.
+    """
     index = DynamicHAIndex.build(codes)
     rival = build_index(canonical, codes)
-
-    if args.verify:
-        rng = random.Random(args.seed)
-        probes = [codes[rng.randrange(len(codes))] for _ in range(12)]
-        probes += [rng.getrandbits(args.bits) for _ in range(12)]
-        batched = getattr(rival, "search_batch", None)
-        mismatches = 0
-        for threshold in range(9):
-            batch_results = (
-                batched(probes, threshold) if batched is not None
-                else [None] * len(probes)
-            )
-            for query, batch_ids in zip(probes, batch_results):
-                expected = sorted(index.search(query, threshold))
-                got = sorted(rival.search(query, threshold))
-                same = expected == got and (
-                    batch_ids is None or expected == sorted(batch_ids)
-                )
-                if not same:
-                    mismatches += 1
-                    print(f"MISMATCH h={threshold} query={query:#x}: "
-                          f"nodes={expected} {canonical}={got}")
-        if mismatches:
-            print(f"kernel equivalence FAILED: {mismatches} mismatches")
-            return 1
-        print(f"kernel equivalence OK: {canonical} vs node walk, "
-              f"{len(probes)} queries x thresholds 0..8 over "
-              f"{len(codes)} codes")
-        return 0
 
     queries = [codes[i * 31 % len(codes)] for i in range(args.queries)]
     batches = [
@@ -975,9 +1026,12 @@ def _bench_engine(
         lambda: [rival.search(q, args.threshold) for q in queries]
     )
     per = len(queries)
+    backend = getattr(rival, "backend", None)
     print(f"H-Search over {len(codes)} x {args.bits}-bit codes, "
           f"h={args.threshold}, {per} queries "
-          f"(best of {args.repeats}):")
+          f"(best of {args.repeats})"
+          + (f", {canonical} backend {backend}" if backend else "")
+          + ":")
     print(f"  node walk:          {node_s / per * 1000:8.3f} ms/query")
     print(f"  {canonical + ':':19s} {rival_s / per * 1000:8.3f} ms/query "
           f"({node_s / rival_s:5.1f}x)")
@@ -999,14 +1053,22 @@ def _command_trace(args: argparse.Namespace) -> int:
     _, codes = _encoded_workload(args)
     index = DynamicHAIndex.build(codes)
     query = codes[args.query_id % len(codes)]
-    engines = (
-        ["nodes", "flat"] if args.engine == "both" else [args.engine]
-    )
+    if args.engine == "both":
+        engines = ["nodes", "flat"]
+    elif args.engine == "all":
+        engines = ["nodes", "flat", "native"]
+    else:
+        engines = [args.engine]
     print(f"h-select(h={args.threshold}) over {len(codes)} x "
           f"{args.bits}-bit codes, query tuple {args.query_id}:\n")
     failures = 0
     for engine_name in engines:
-        engine = index if engine_name == "nodes" else index.compile()
+        if engine_name == "nodes":
+            engine = index
+        elif engine_name == "native":
+            engine = index.compile_native()
+        else:
+            engine = index.compile()
         with trace("h_select", engine=engine_name,
                    threshold=args.threshold):
             matches = engine.search(query, args.threshold)

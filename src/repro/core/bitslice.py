@@ -1,0 +1,229 @@
+"""Bit-sliced (transposed) layout for batches of binary codes.
+
+The packed layouts in :mod:`repro.core.bitvector` store one code per
+row: ``packed[i]`` holds code ``i``'s bits.  This module stores the
+*transpose*: ``planes[b]`` is a ``uint64`` lane array whose bit ``j``
+(lane ``j``) is bit ``b`` of code ``j``.  A batch of up to 64 codes then
+occupies one machine word per bit position, so a single XOR against a
+broadcast query bit operates on the whole batch at once — verification
+runs *word-parallel across the batch dimension* instead of per
+(code, query) pair.
+
+Distances are accumulated bit-serially with ripple-carry adders over
+counter planes: per bit position, one XOR produces the per-lane
+mismatch mask, and ``O(log width)`` AND/XOR word operations add it into
+the per-lane counters.  No popcount is needed anywhere, which is why
+this layout is the preferred verification plane when
+``np.bitwise_count`` is unavailable (numpy < 2) and per-word popcounts
+fall back to the byte-table kernel — and the natural layout for SIMD
+kernels, where the same counter network runs over full vector
+registers.
+
+Bit position 0 is the most significant bit, matching
+:func:`repro.core.bitvector.bit_at` and the paper's left-to-right code
+strings.  Lane ``j`` of word ``w`` (i.e. bit ``1 << j`` of
+``planes[b, w]``) belongs to code ``64 * w + j``; ragged tails (batch
+sizes not divisible by 64) leave the padding lanes zero.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bitvector import _check_code
+from repro.core.errors import InvalidParameterError
+
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+
+
+def _lane_words(n: int) -> int:
+    return (n + 63) // 64
+
+
+def _tail_mask(n: int) -> np.ndarray:
+    """Per-word mask clearing the padding lanes beyond ``n`` codes."""
+    words = _lane_words(n)
+    mask = np.full(words, _FULL, dtype=np.uint64)
+    tail = n % 64
+    if words and tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_bitplanes(codes: Sequence[int], length: int) -> np.ndarray:
+    """Transpose ``codes`` into a ``(length, ceil(n / 64))`` plane matrix.
+
+    Plane ``b`` holds bit ``b`` (MSB first) of every code, one lane per
+    code.  Works for any code length; codes are length-checked exactly
+    like :func:`repro.core.bitvector.pack_codes`.
+    """
+    if length < 1:
+        raise InvalidParameterError("length must be positive")
+    values = list(codes)
+    for value in values:
+        _check_code(value, length)
+    n = len(values)
+    words = _lane_words(n)
+    planes = np.zeros((length, words), dtype=np.uint64)
+    if not n:
+        return planes
+    # One row of the (n, length) bit matrix per plane, packed into
+    # lanes little-bit-first so lane j is code j.
+    column = np.array(values, dtype=object)
+    for b in range(length):
+        shift = length - 1 - b
+        bits = ((column >> shift) & 1).astype(np.uint8)
+        packed = np.packbits(bits, bitorder="little")
+        lanes = np.zeros(words * 8, dtype=np.uint8)
+        lanes[: packed.size] = packed
+        planes[b] = lanes.view(np.uint64)
+    return planes
+
+
+def unpack_bitplanes(planes: np.ndarray, n: int, length: int) -> list[int]:
+    """Invert :func:`pack_bitplanes`: the first ``n`` codes as ints."""
+    if planes.shape[0] != length:
+        raise InvalidParameterError(
+            f"{planes.shape[0]} planes for length {length}"
+        )
+    if n > planes.shape[1] * 64:
+        raise InvalidParameterError(
+            f"{n} codes do not fit in {planes.shape[1]} lane words"
+        )
+    values = [0] * n
+    for b in range(length):
+        shift = length - 1 - b
+        lanes = np.unpackbits(
+            planes[b].view(np.uint8), bitorder="little"
+        )[:n]
+        for j in np.flatnonzero(lanes).tolist():
+            values[j] |= 1 << shift
+    return values
+
+
+def transpose_packed(packed: np.ndarray, length: int) -> np.ndarray:
+    """Bit-planes from an ``(n, words)`` row-major packed matrix.
+
+    Equivalent to ``pack_bitplanes`` on the unpacked codes, but
+    operates on the packed ``uint64`` words directly (no Python-int
+    round trip), so flat-kernel arrays can be resliced cheaply.
+    """
+    if packed.ndim == 1:
+        packed = packed[:, None]
+    n = packed.shape[0]
+    if length > packed.shape[1] * 64:
+        raise InvalidParameterError(
+            f"length {length} exceeds {packed.shape[1]} packed words"
+        )
+    words = _lane_words(n)
+    planes = np.zeros((length, words), dtype=np.uint64)
+    if not n:
+        return planes
+    lanes = np.zeros(words * 8, dtype=np.uint8)
+    for b in range(length):
+        pos = length - 1 - b  # word 0 holds the least-significant bits
+        bits = (
+            (packed[:, pos // 64] >> np.uint64(pos % 64)) & _ONE
+        ).astype(np.uint8)
+        packed_bits = np.packbits(bits, bitorder="little")
+        lanes[:] = 0
+        lanes[: packed_bits.size] = packed_bits
+        planes[b] = lanes.view(np.uint64)
+    return planes
+
+
+def bitsliced_distances(
+    planes: np.ndarray, n: int, query: int
+) -> np.ndarray:
+    """Exact Hamming distances of the ``n`` sliced codes to ``query``.
+
+    One XOR per bit plane produces the per-lane mismatch mask; a
+    ripple-carry adder over counter planes accumulates it, so the whole
+    batch is scored with pure AND/XOR word operations — no popcount.
+    Returns an ``int64`` array of length ``n``.
+    """
+    length = planes.shape[0]
+    _check_code(query, length)
+    keep = _tail_mask(n)
+    counters: list[np.ndarray] = []
+    for b in range(length):
+        if (query >> (length - 1 - b)) & 1:
+            carry = (planes[b] ^ _FULL) & keep
+        else:
+            carry = planes[b] & keep
+        for counter in counters:
+            if not carry.any():
+                break
+            lower = counter & carry
+            np.bitwise_xor(counter, carry, out=counter)
+            carry = lower
+        else:
+            if carry.any():
+                counters.append(carry.copy())
+    distances = np.zeros(n, dtype=np.int64)
+    for k, counter in enumerate(counters):
+        lanes = np.unpackbits(
+            counter.view(np.uint8), bitorder="little"
+        )[:n]
+        distances += lanes.astype(np.int64) << k
+    return distances
+
+
+def bitsliced_within(
+    planes: np.ndarray, n: int, query: int, threshold: int
+) -> np.ndarray:
+    """Boolean mask of the sliced codes within ``threshold`` of ``query``."""
+    return bitsliced_distances(planes, n, query) <= threshold
+
+
+class BitSlicedBatch:
+    """A query batch sliced for word-parallel candidate verification.
+
+    Slicing the *queries* (one lane per query) turns "verify candidate
+    ``c`` against every query of the batch" into one
+    :func:`bitsliced_distances` pass: all ``B`` per-query distances to
+    ``c`` come out of ``width`` XORs plus the counter network, however
+    large the batch.  This is the verification orientation the service
+    micro-batch and the batched flat kernel need — candidates arrive
+    one at a time (buffered inserts, probe hits), queries arrive 64 at
+    a time.
+    """
+
+    __slots__ = ("_planes", "_n", "_length")
+
+    def __init__(self, queries: Sequence[int], length: int) -> None:
+        values = list(queries)
+        self._planes = pack_bitplanes(values, length)
+        self._n = len(values)
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def distances(self, candidate: int) -> np.ndarray:
+        """Per-query distances to ``candidate`` (``int64``, length B)."""
+        return bitsliced_distances(self._planes, self._n, candidate)
+
+    def matches(
+        self, candidates: Sequence[int], threshold: int
+    ) -> np.ndarray:
+        """Boolean (candidates, B) matrix of pairs within ``threshold``.
+
+        Row ``i`` is candidate ``i``'s per-query verification mask —
+        the same shape :meth:`FlatHAIndex._batch_buffer_matches`
+        produces from the broadcast popcount kernel.
+        """
+        out = np.empty((len(candidates), self._n), dtype=bool)
+        for row, candidate in enumerate(candidates):
+            out[row] = (
+                bitsliced_distances(self._planes, self._n, candidate)
+                <= threshold
+            )
+        return out

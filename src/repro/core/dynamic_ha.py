@@ -152,6 +152,9 @@ class DynamicHAIndex(HammingIndex):
         self._compiled = None
         self._compiled_mutations = -1
         self._compiled_tree_version = -1
+        self._compiled_native = None
+        self._compiled_native_mutations = -1
+        self._compiled_native_tree_version = -1
         self._tree_version = 0
 
     @property
@@ -184,6 +187,8 @@ class DynamicHAIndex(HammingIndex):
         """(Re)run H-Build over distinct codes and their id lists."""
         self._compiled = None
         self._compiled_mutations = -1
+        self._compiled_native = None
+        self._compiled_native_mutations = -1
         self._tree_version += 1
         self._top = []
         self._leaf_by_code = {}
@@ -263,9 +268,18 @@ class DynamicHAIndex(HammingIndex):
         ops = 0
         for node in self._top:
             ops += 1
-            if ((node.bits ^ query) & node.mask).bit_count() <= threshold:
+            distance = ((node.bits ^ query) & node.mask).bit_count()
+            if distance <= threshold:
                 node.epoch = epoch
-                queue.append(node)
+                if distance + length - node.mask.bit_count() <= threshold:
+                    # The cover shortcut applies at every level, the
+                    # top included (deep tuple chains surface heavily
+                    # masked patterns here): collect without testing
+                    # the subtree.  Keeps the op accounting identical
+                    # to the flat kernel's uniform per-level test.
+                    self._collect_leaves(node, epoch, leaves)
+                else:
+                    queue.append(node)
         head = 0
         while head < len(queue):
             node = queue[head]
@@ -317,10 +331,19 @@ class DynamicHAIndex(HammingIndex):
             ops = 0
             for node in self._top:
                 ops += 1
-                if ((node.bits ^ query) & node.mask).bit_count() \
-                        <= threshold:
+                distance = (
+                    (node.bits ^ query) & node.mask
+                ).bit_count()
+                if distance <= threshold:
                     node.epoch = epoch
-                    if node.children:
+                    if (
+                        distance + length - node.mask.bit_count()
+                        <= threshold
+                    ):
+                        # Same top-level cover shortcut as the untraced
+                        # walk; a covered top never joins the frontier.
+                        self._collect_leaves(node, epoch, leaves)
+                    elif node.children:
                         expanded.append(node)
                     else:
                         leaves.append(node)
@@ -566,23 +589,50 @@ class DynamicHAIndex(HammingIndex):
         """
         from repro.core.flat_ha import FlatHAIndex
 
-        cached = self._compiled
+        return self._compile_plane(FlatHAIndex, "_compiled", force)
+
+    def compile_native(self, force: bool = False):
+        """The native-executed query kernel for this index state.
+
+        Same flattening and caching as :meth:`compile`, but the result
+        is a :class:`~repro.core.native_ha.NativeHAIndex`, whose sweeps
+        run through the tiered compiled backends
+        (:mod:`repro.core.native`) with the numpy path as automatic
+        fallback.  Cached independently of the flat kernel.
+        """
+        from repro.core.native_ha import NativeHAIndex
+
+        return self._compile_plane(NativeHAIndex, "_compiled_native", force)
+
+    def _compile_plane(self, kernel_cls, cache_attr: str, force: bool):
+        """Shared compile cache for the flat and native planes.
+
+        Keyed by ``mutation_count``: any H-Insert/H-Delete (and any
+        rebuild, including buffer merges) invalidates the cache.  When
+        only the insert buffer changed since the cached compile, the
+        flattened tree arrays are reused and just the buffer is
+        re-snapshotted — the cheap path that keeps batched serving
+        viable under buffered-write traffic.
+        """
+        cached = getattr(self, cache_attr, None)
         if not force and cached is not None:
-            if self._compiled_mutations == self.mutation_count:
+            if getattr(self, cache_attr + "_mutations", -1) == (
+                self.mutation_count
+            ):
                 return cached
-            if self._compiled_tree_version == self._tree_version:
-                # Only the insert buffer changed since the cached
-                # compile: reuse the flattened tree arrays and just
-                # re-snapshot the buffer — the cheap path that keeps
-                # batched serving viable under buffered-write traffic.
-                compiled = FlatHAIndex.rebuffered(cached, self)
-                self._compiled = compiled
-                self._compiled_mutations = self.mutation_count
+            if getattr(self, cache_attr + "_tree_version", -1) == (
+                self._tree_version
+            ):
+                compiled = kernel_cls.rebuffered(cached, self)
+                setattr(self, cache_attr, compiled)
+                setattr(
+                    self, cache_attr + "_mutations", self.mutation_count
+                )
                 return compiled
-        compiled = FlatHAIndex(self)
-        self._compiled = compiled
-        self._compiled_mutations = self.mutation_count
-        self._compiled_tree_version = self._tree_version
+        compiled = kernel_cls(self)
+        setattr(self, cache_attr, compiled)
+        setattr(self, cache_attr + "_mutations", self.mutation_count)
+        setattr(self, cache_attr + "_tree_version", self._tree_version)
         return compiled
 
     def search_batch(
@@ -935,6 +985,9 @@ class DynamicHAIndex(HammingIndex):
         self._compiled = None
         self._compiled_mutations = -1
         self._compiled_tree_version = -1
+        self._compiled_native = None
+        self._compiled_native_mutations = -1
+        self._compiled_native_tree_version = -1
         self._tree_version = 0
         self._window = state["window"]
         self._max_depth = state["max_depth"]

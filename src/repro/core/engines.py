@@ -101,6 +101,12 @@ def _build_flat(codes: CodeSet, **params) -> HammingIndex:
     return DynamicHAIndex.build(codes, **params).compile()
 
 
+def _build_native(codes: CodeSet, **params) -> HammingIndex:
+    from repro.core.dynamic_ha import DynamicHAIndex
+
+    return DynamicHAIndex.build(codes, **params).compile_native()
+
+
 def _build_mih(codes: CodeSet, **params) -> HammingIndex:
     from repro.engines.mih import MIHIndex
 
@@ -158,6 +164,14 @@ ENGINES: dict[str, EngineSpec] = {
             "flat",
             "Dynamic HA-Index compiled to the vectorized flat kernel",
             _build_flat,
+            batched=True,
+        ),
+        EngineSpec(
+            "native",
+            "flat kernel swept by compiled backends (numba/cc, "
+            "numpy fallback)",
+            _build_native,
+            aliases=("jit", "compiled"),
             batched=True,
         ),
         EngineSpec(

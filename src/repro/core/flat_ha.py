@@ -109,6 +109,11 @@ class FlatHAIndex(HammingIndex):
     and recompile.
     """
 
+    #: Engine name used in trace spans and ``note_search`` metrics;
+    #: subclasses (the native plane) override it so observability
+    #: attributes work to the engine that actually answered.
+    ENGINE_LABEL = "flat"
+
     def __init__(self, source: "DynamicHAIndex") -> None:
         super().__init__(source.code_length)
         self._keep_ids = source.keeps_ids
@@ -528,7 +533,7 @@ class FlatHAIndex(HammingIndex):
         """Exact Hamming-select; same answer multiset as the node walk."""
         self._require_ids()
         self._check_query(query, threshold)
-        with trace_span("h_search", engine="flat", threshold=threshold):
+        with trace_span("h_search", engine=self.ENGINE_LABEL, threshold=threshold):
             qwords = self._query_words(query)
             taken, ops = self._sweep(qwords, threshold)
             self.last_search_ops = ops + len(self._buf_codes)
@@ -537,28 +542,38 @@ class FlatHAIndex(HammingIndex):
             if self._buf_ids.size:
                 near = self._buffer_distances(qwords) <= threshold
                 results.extend(self._buf_ids[near].tolist())
-        note_search("flat", self.last_search_ops)
+        note_search(self.ENGINE_LABEL, self.last_search_ops)
         return results
 
     def search_codes(self, query: int, threshold: int) -> list[int]:
         """Distinct qualifying codes (Option B of the MapReduce join)."""
         self._check_query(query, threshold)
-        with trace_span("h_search", engine="flat", threshold=threshold):
+        with trace_span("h_search", engine=self.ENGINE_LABEL, threshold=threshold):
             qwords = self._query_words(query)
             taken, ops = self._sweep(qwords, threshold)
             self.last_search_ops = ops + len(self._buf_codes)
             record_span("h_search.buffer", 0.0, ops=len(self._buf_codes))
             lo = self._leaf_lo[taken]
             positions = _expand_ranges(lo, self._leaf_hi[taken] - lo)
-            codes = [self._leaf_codes[i] for i in positions.tolist()]
-            if self._buf_ids.size:
-                near = self._buffer_distances(qwords) <= threshold
-                buffered = {
-                    self._buf_codes[i]
-                    for i in np.flatnonzero(near).tolist()
-                }
-                codes.extend(buffered - set(codes))
-        note_search("flat", self.last_search_ops)
+            codes = self._codes_from_positions(qwords, positions, threshold)
+        note_search(self.ENGINE_LABEL, self.last_search_ops)
+        return codes
+
+    def _codes_from_positions(
+        self,
+        qwords: np.ndarray,
+        leaf_positions: np.ndarray,
+        threshold: int,
+    ) -> list[int]:
+        """Distinct qualifying codes for swept leaf positions + buffer."""
+        codes = [self._leaf_codes[i] for i in leaf_positions.tolist()]
+        if self._buf_ids.size:
+            near = self._buffer_distances(qwords) <= threshold
+            buffered = {
+                self._buf_codes[i]
+                for i in np.flatnonzero(near).tolist()
+            }
+            codes.extend(buffered - set(codes))
         return codes
 
     def search_with_distances(
@@ -567,7 +582,7 @@ class FlatHAIndex(HammingIndex):
         """(tuple id, exact distance) pairs; used by the kNN front-end."""
         self._require_ids()
         self._check_query(query, threshold)
-        with trace_span("h_search", engine="flat", threshold=threshold):
+        with trace_span("h_search", engine=self.ENGINE_LABEL, threshold=threshold):
             return self._search_with_distances_body(query, threshold)
 
     def _search_with_distances_body(
@@ -577,9 +592,23 @@ class FlatHAIndex(HammingIndex):
         taken, ops = self._sweep(qwords, threshold)
         self.last_search_ops = ops + len(self._buf_codes)
         record_span("h_search.buffer", 0.0, ops=len(self._buf_codes))
-        note_search("flat", self.last_search_ops)
+        note_search(self.ENGINE_LABEL, self.last_search_ops)
         lo = self._leaf_lo[taken]
         leaf_positions = _expand_ranges(lo, self._leaf_hi[taken] - lo)
+        return self._pairs_from_positions(qwords, leaf_positions, threshold)
+
+    def _pairs_from_positions(
+        self,
+        qwords: np.ndarray,
+        leaf_positions: np.ndarray,
+        threshold: int,
+    ) -> list[tuple[int, int]]:
+        """(id, distance) pairs for swept leaf positions + the buffer.
+
+        Shared tail of :meth:`search_with_distances`: the native plane
+        feeds it the leaf positions its compiled sweep emitted, so both
+        planes rank candidates through identical numpy code.
+        """
         results: list[tuple[int, int]] = []
         if leaf_positions.size:
             dists = popcount64(
@@ -807,7 +836,7 @@ class FlatHAIndex(HammingIndex):
             return []
         batch = len(queries)
         with trace_span(
-            "h_search", engine="flat", batch=batch, threshold=threshold
+            "h_search", engine=self.ENGINE_LABEL, batch=batch, threshold=threshold
         ):
             qmat = _pack_column(queries, self._words)
             nodes, owners, ops = self._sweep_batch(qmat, threshold)
@@ -836,7 +865,7 @@ class FlatHAIndex(HammingIndex):
             return []
         batch = len(queries)
         with trace_span(
-            "h_search", engine="flat", batch=batch, threshold=threshold
+            "h_search", engine=self.ENGINE_LABEL, batch=batch, threshold=threshold
         ):
             qmat = _pack_column(queries, self._words)
             nodes, owners, ops = self._sweep_batch(qmat, threshold)
@@ -857,7 +886,7 @@ class FlatHAIndex(HammingIndex):
         batch: int,
         threshold: int,
     ) -> list[np.ndarray]:
-        note_search("flat", self.last_search_ops, queries=batch)
+        note_search(self.ENGINE_LABEL, self.last_search_ops, queries=batch)
         id_lo = self._id_offsets[self._leaf_lo[nodes]]
         counts = self._id_offsets[self._leaf_hi[nodes]] - id_lo
         all_ids = self._ids_flat[_expand_ranges(id_lo, counts)]
@@ -895,7 +924,7 @@ class FlatHAIndex(HammingIndex):
             return []
         batch = len(queries)
         with trace_span(
-            "h_search", engine="flat", batch=batch, threshold=threshold
+            "h_search", engine=self.ENGINE_LABEL, batch=batch, threshold=threshold
         ):
             qmat = _pack_column(queries, self._words)
             nodes, owners, ops = self._sweep_batch(qmat, threshold)
@@ -914,13 +943,21 @@ class FlatHAIndex(HammingIndex):
         batch: int,
         threshold: int,
     ) -> list[list[int]]:
-        note_search("flat", self.last_search_ops, queries=batch)
+        note_search(self.ENGINE_LABEL, self.last_search_ops, queries=batch)
         lo = self._leaf_lo[nodes]
         spans = self._leaf_hi[nodes] - lo
         leaf_positions = _expand_ranges(lo, spans)
         leaf_owners = np.repeat(owners, spans)
         per_query = self._split_by_owner(leaf_positions, leaf_owners, batch)
         near = self._batch_buffer_matches(qmat, threshold)
+        return self._batch_codes_from_positions(per_query, near)
+
+    def _batch_codes_from_positions(
+        self,
+        per_query: Sequence[np.ndarray],
+        near: np.ndarray | None,
+    ) -> list[list[int]]:
+        """Per-query distinct codes from per-query leaf positions."""
         results: list[list[int]] = []
         for column, positions in enumerate(per_query):
             codes = [self._leaf_codes[i] for i in positions.tolist()]
@@ -932,6 +969,97 @@ class FlatHAIndex(HammingIndex):
                 codes.extend(buffered - set(codes))
             results.append(codes)
         return results
+
+    def search_with_distances_batch(
+        self, queries: Sequence[int], threshold: int
+    ) -> list[list[tuple[int, int]]]:
+        """Batched :meth:`search_with_distances` through one shared sweep.
+
+        One frontier pass scores the whole batch, then candidate
+        distances are computed in a single vectorized pass over the
+        collected leaf positions — this is what lets the kNN front-end
+        expand thresholds for a whole batch at once instead of
+        rebuilding pair lists per query per round.  Each returned pair
+        list equals ``search_with_distances(query, threshold)``.
+        """
+        self._require_ids()
+        queries = list(queries)
+        for query in queries:
+            self._check_query(query, threshold)
+        if not queries:
+            return []
+        batch = len(queries)
+        with trace_span(
+            "h_search", engine=self.ENGINE_LABEL,
+            batch=batch, threshold=threshold,
+        ):
+            qmat = _pack_column(queries, self._words)
+            nodes, owners, ops = self._sweep_batch(qmat, threshold)
+            self.last_search_ops = ops + len(self._buf_codes) * batch
+            record_span(
+                "h_search.buffer", 0.0,
+                ops=len(self._buf_codes) * batch,
+            )
+            lo = self._leaf_lo[nodes]
+            spans = self._leaf_hi[nodes] - lo
+            positions = _expand_ranges(lo, spans)
+            position_owners = np.repeat(owners, spans)
+            return self._batch_pairs(
+                qmat, positions, position_owners, batch, threshold
+            )
+
+    def _batch_pairs(
+        self,
+        qmat: np.ndarray,
+        leaf_positions: np.ndarray,
+        position_owners: np.ndarray,
+        batch: int,
+        threshold: int,
+    ) -> list[list[tuple[int, int]]]:
+        """Per-query (id, distance) lists from swept (position, owner) pairs."""
+        note_search(self.ENGINE_LABEL, self.last_search_ops, queries=batch)
+        if leaf_positions.size:
+            dists = popcount64(
+                self._leaf_words[leaf_positions] ^ qmat[position_owners]
+            ).sum(axis=1, dtype=np.int64)
+            counts = (
+                self._id_offsets[leaf_positions + 1]
+                - self._id_offsets[leaf_positions]
+            )
+            ids = self._ids_flat[
+                _expand_ranges(self._id_offsets[leaf_positions], counts)
+            ]
+            id_owners = np.repeat(position_owners, counts)
+            id_dists = np.repeat(dists, counts)
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            id_owners = np.empty(0, dtype=np.int64)
+            id_dists = np.empty(0, dtype=np.int64)
+        if self._buf_ids.size:
+            buf_dist = popcount64(
+                self._buf_words[:, None, :] ^ qmat[None, :, :]
+            ).sum(axis=2, dtype=np.int64)
+            rows, cols = np.nonzero(buf_dist <= threshold)
+            ids = np.concatenate([ids, self._buf_ids[rows]])
+            id_owners = np.concatenate(
+                [id_owners, cols.astype(np.int64)]
+            )
+            id_dists = np.concatenate([id_dists, buf_dist[rows, cols]])
+        order = np.argsort(id_owners, kind="stable")
+        ids = ids[order]
+        id_dists = id_dists[order]
+        bounds = np.searchsorted(
+            id_owners[order], np.arange(batch + 1, dtype=np.int64)
+        )
+        return [
+            list(
+                zip(
+                    ids[bounds[i]:bounds[i + 1]].tolist(),
+                    id_dists[bounds[i]:bounds[i + 1]].tolist(),
+                )
+            )
+            for i in range(batch)
+        ]
 
     def _batch_buffer_matches(
         self, qmat: np.ndarray, threshold: int

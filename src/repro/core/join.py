@@ -16,6 +16,8 @@ The probe engine is any name from the central registry
 * ``engine="flat"`` compiles the index (:class:`FlatHAIndex`) and
   probes it in chunks through ``search_batch``, one vectorized frontier
   sweep per chunk;
+* ``engine="native"`` does the same through the compiled native plane
+  (:class:`NativeHAIndex`: numba or the cc kernel, numpy fallback);
 * ``engine="mih"`` indexes the build side with Multi-Index Hashing and
   probes through its batched substring sweeps;
 * any other registered engine (``mh4``, ``hengine``, ...) is probed
@@ -174,11 +176,11 @@ def _default_builder(
 ) -> Callable[[CodeSet], HammingIndex]:
     """Build-side index constructor for a canonical engine name.
 
-    ``flat`` builds the plain Dynamic HA-Index — the probe phase
-    compiles it once (the historical behavior); everything else builds
-    through its registry spec.
+    ``flat`` and ``native`` build the plain Dynamic HA-Index — the
+    probe phase compiles it once (the historical behavior); everything
+    else builds through its registry spec.
     """
-    if engine == "flat":
+    if engine in ("flat", "native"):
         return DynamicHAIndex.build
     return get_engine(engine).builder
 
@@ -194,6 +196,10 @@ def _probe_kernel(index: HammingIndex, engine: str, parallel: bool):
     """
     if engine in ("dha",) and not parallel:
         return None
+    if engine == "native":
+        compile_native = getattr(index, "compile_native", None)
+        if compile_native is not None:
+            return compile_native()
     compile_index = getattr(index, "compile", None)
     if compile_index is not None:
         return compile_index()

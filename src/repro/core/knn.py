@@ -80,6 +80,77 @@ def knn_select(
             )
 
 
+def knn_select_batch(
+    queries: Sequence[int],
+    index: HammingIndex,
+    k: int,
+    initial_threshold: int = DEFAULT_INITIAL_THRESHOLD,
+    threshold_step: int | None = None,
+    *,
+    profile: bool = False,
+) -> list[list[tuple[int, int]]]:
+    """Fused expanding-threshold kNN for a whole query batch.
+
+    Each returned pair list equals ``knn_select(query, index, k, ...)``:
+    every query sees exactly the same threshold schedule, but each
+    round answers all still-unsatisfied queries through one shared
+    ``search_with_distances_batch`` sweep instead of rebuilding the
+    frontier per query per round.  Queries that already have ``k``
+    matches drop out of later rounds.  Engines with a native exact kNN
+    (MIH) or without batched distance search fall back to the
+    per-query loop — results are identical either way.
+    """
+    if k < 1:
+        raise InvalidParameterError("k must be positive")
+    if threshold_step is None:
+        threshold_step = max(2, index.code_length // 8)
+    if initial_threshold < 0 or threshold_step < 1:
+        raise InvalidParameterError(
+            "need initial_threshold >= 0 and threshold_step >= 1"
+        )
+    queries = list(queries)
+    if not queries:
+        return []
+    batched = getattr(index, "search_with_distances_batch", None)
+    if batched is None or hasattr(index, "knn_search"):
+        return [
+            knn_select(
+                query, index, k,
+                initial_threshold=initial_threshold,
+                threshold_step=threshold_step,
+            )
+            for query in queries
+        ]
+    target = min(k, len(index))
+    results: list[list[tuple[int, int]] | None] = [None] * len(queries)
+    pending = list(range(len(queries)))
+    threshold = initial_threshold
+    with maybe_trace("knn", profile, k=k, batch=len(queries)):
+        while pending:
+            with trace_span(
+                "knn.round", threshold=threshold
+            ) as round_span:
+                match_lists = batched(
+                    [queries[i] for i in pending], threshold
+                )
+                round_span.annotate(queries=len(pending))
+            still: list[int] = []
+            for position, matches in zip(pending, match_lists):
+                if (
+                    len(matches) >= target
+                    or threshold >= index.code_length
+                ):
+                    matches.sort(key=lambda pair: (pair[1], pair[0]))
+                    results[position] = matches[:k]
+                else:
+                    still.append(position)
+            pending = still
+            threshold = min(
+                threshold + threshold_step, index.code_length
+            )
+    return results  # type: ignore[return-value]
+
+
 def _matches_with_distances(
     index: HammingIndex, query: int, threshold: int
 ) -> list[tuple[int, int]]:

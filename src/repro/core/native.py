@@ -1,0 +1,926 @@
+"""Tiered native backends for the H-Search frontier sweep.
+
+:class:`~repro.core.native_ha.NativeHAIndex` answers queries through a
+compiled sweep when one is available, and through the numpy flat kernel
+otherwise.  This module owns the backend tiers and the per-kernel
+execution state:
+
+* ``numba`` — ``@njit``-compiled mirrors of the sweep (optional
+  dependency; exercised by the CI numba leg).
+* ``cc`` — the same kernel as embedded C, compiled once per source
+  digest with the system compiler and loaded via ``ctypes``.  This is
+  the tier that exists on any box with a toolchain but no numba.
+* ``numpy`` — no native state at all; callers keep using the
+  vectorized :class:`~repro.core.flat_ha.FlatHAIndex` sweeps.
+
+Selection is ``numba > cc > numpy`` under ``auto``, overridable with
+the ``REPRO_NATIVE`` environment variable (``auto``/``numba``/``cc``/
+``numpy``; unknown values behave as ``auto``) or, in tests, the
+:func:`force_backend` context manager.  Both compiled tiers replay the
+*exact* run-based traversal of the numpy sweep — same visit order, same
+emissions, same distance-computation count — so results and
+``last_search_ops`` stay byte-identical across tiers; the differential
+suite enforces that.
+
+The frontier is kept as contiguous ``(first child, count)`` slot runs
+rather than materialized node lists: children of one node occupy one
+contiguous slot range in the next level, so each level walks sequential
+memory.  Scratch run buffers (and, for ``cc``, the bound kernel struct)
+live in a per-index :class:`NativeState` guarded by a lock — the
+compiled calls drop the GIL, and one kernel may be probed from several
+threads by the parallel-join thread fallback.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from contextlib import contextmanager
+from ctypes import POINTER, byref, c_int64, c_uint64, c_void_p
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.errors import IndexStateError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.flat_ha import FlatHAIndex
+
+__all__ = [
+    "active_backend",
+    "force_backend",
+    "make_state",
+    "requested_backend",
+]
+
+#: Environment variable naming the requested backend tier.
+ENV_VAR = "REPRO_NATIVE"
+
+_VALID_CHOICES = ("auto", "numba", "cc", "numpy")
+
+#: Probe order per requested tier; a missing tier falls through.
+_TIER_ORDER = {
+    "auto": ("numba", "cc"),
+    "numba": ("numba",),
+    "cc": ("cc",),
+    "numpy": (),
+}
+
+_FORCED: str | None = None
+_BACKENDS: dict[str, object | None] = {}
+_LOAD_LOCK = threading.Lock()
+
+
+def requested_backend() -> str:
+    """The requested tier: :func:`force_backend` > ``REPRO_NATIVE`` > auto."""
+    if _FORCED is not None:
+        return _FORCED
+    choice = os.environ.get(ENV_VAR, "auto").strip().lower()
+    return choice if choice in _VALID_CHOICES else "auto"
+
+
+@contextmanager
+def force_backend(name: str):
+    """Pin backend selection for a ``with`` block (tests and benches).
+
+    Accepts any :data:`ENV_VAR` value; ``numpy`` disables native
+    execution entirely, which is how the fallback lane proves the numpy
+    path byte-identical.
+    """
+    global _FORCED
+    if name not in _VALID_CHOICES:
+        raise ValueError(
+            f"unknown native backend {name!r}; expected one of "
+            f"{', '.join(_VALID_CHOICES)}"
+        )
+    previous = _FORCED
+    _FORCED = name
+    try:
+        yield name
+    finally:
+        _FORCED = previous
+
+
+def active_backend() -> str:
+    """The tier a new :class:`NativeState` would execute on right now."""
+    for name in _TIER_ORDER[requested_backend()]:
+        if _backend_impl(name) is not None:
+            return name
+    return "numpy"
+
+
+def make_state(flat: "FlatHAIndex"):
+    """Native execution state bound to ``flat``'s arrays, or ``None``.
+
+    ``None`` means "use the numpy sweeps": multi-word codes, a
+    ``numpy`` selection, or no working compiled tier.  The state holds
+    contiguous references to the kernel's tree arrays (never the insert
+    buffer — buffered comparisons stay in numpy), so it remains valid
+    for every :meth:`FlatHAIndex.rebuffered` clone of the same tree.
+    """
+    if flat._words != 1 or flat._bits1 is None:
+        return None
+    name = active_backend()
+    if name == "numba":
+        return _NumbaState(_backend_impl("numba"), flat)
+    if name == "cc":
+        return _CcState(_backend_impl("cc"), flat)
+    return None
+
+
+def _backend_impl(name: str):
+    if name not in _BACKENDS:
+        with _LOAD_LOCK:
+            if name not in _BACKENDS:
+                loader = _load_numba if name == "numba" else _load_cc
+                try:
+                    _BACKENDS[name] = loader()
+                except Exception:  # toolchain/dep missing: tier is off
+                    _BACKENDS[name] = None
+    return _BACKENDS[name]
+
+
+# -- the C tier -------------------------------------------------------------
+
+#: The H-Search sweep as C.  ``HsKernel`` binds one flat kernel's tree
+#: arrays plus scratch run buffers; every entry point replays the numpy
+#: sweep exactly (visit order, emissions, op counts).  ``mode`` selects
+#: the emission: 0 = tuple ids of taken nodes' leaf ranges, 1 = leaf
+#: positions of taken nodes.  Entry points return the emitted length,
+#: or -1 when ``cap`` would overflow (callers retry with a larger
+#: buffer).
+_C_SOURCE = r"""
+#include <stdint.h>
+
+typedef struct {
+    const uint64_t *bits;
+    const uint64_t *masks;
+    const int64_t *unc;
+    const uint8_t *is_leaf;
+    const int64_t *child_first;
+    const int64_t *child_count;
+    const int64_t *leaf_lo;
+    const int64_t *leaf_hi;
+    const int64_t *id_offsets;
+    const int64_t *ids_flat;
+    const int64_t *frequency;
+    int64_t top_count;
+    int64_t leaf_level_start;
+    int64_t simple;
+    int64_t *run_first;   /* scratch: run starts, capacity num_nodes + 1 */
+    int64_t *run_count;   /* scratch: run lengths */
+    int64_t *next_first;  /* scratch double-buffer */
+    int64_t *next_count;
+} HsKernel;
+
+static inline int64_t hs_emit(const HsKernel *k, int64_t mode, int64_t s,
+                              int64_t *out, int64_t cap, int64_t written)
+{
+    int64_t lo, hi, p;
+    if (mode == 0) {
+        lo = k->id_offsets[k->leaf_lo[s]];
+        hi = k->id_offsets[k->leaf_hi[s]];
+        if (written + (hi - lo) > cap) return -1;
+        for (p = lo; p < hi; p++) out[written++] = k->ids_flat[p];
+    } else {
+        lo = k->leaf_lo[s];
+        hi = k->leaf_hi[s];
+        if (written + (hi - lo) > cap) return -1;
+        for (p = lo; p < hi; p++) out[written++] = p;
+    }
+    return written;
+}
+
+/* Frontier kept as contiguous slot runs: every expansion appends one
+   (child_first, child_count) run, so each level walks sequential
+   memory instead of a gathered index list.  Empty runs are skipped so
+   run_first[0] is always the frontier's first live slot (the terminal
+   all-leaf level test depends on that). */
+int64_t hs_query64(const HsKernel *k, uint64_t query, int64_t threshold,
+                   int64_t mode, int64_t *out, int64_t cap,
+                   int64_t *ops_out)
+{
+    int64_t *rf = k->run_first, *rc = k->run_count;
+    int64_t *nf = k->next_first, *nc = k->next_count;
+    int64_t nruns = 0, ops = 0, written = 0, r, s, a, b, d, nnext;
+    int cover;
+    int simple = (int)k->simple;
+    if (k->top_count > 0) { rf[0] = 0; rc[0] = k->top_count; nruns = 1; }
+    while (nruns > 0) {
+        if (rf[0] >= k->leaf_level_start) {
+            /* Terminal all-leaf level: exact distances, nothing to
+               expand. */
+            for (r = 0; r < nruns; r++) {
+                a = rf[r]; b = a + rc[r]; ops += rc[r];
+                for (s = a; s < b; s++) {
+                    if (__builtin_popcountll(k->bits[s] ^ query)
+                            <= threshold) {
+                        written = hs_emit(k, mode, s, out, cap, written);
+                        if (written < 0) return -1;
+                    }
+                }
+            }
+            break;
+        }
+        nnext = 0;
+        for (r = 0; r < nruns; r++) {
+            a = rf[r]; b = a + rc[r]; ops += rc[r];
+            for (s = a; s < b; s++) {
+                d = __builtin_popcountll(
+                    (k->bits[s] ^ query) & k->masks[s]);
+                cover = (d + k->unc[s] <= threshold);
+                if (!simple && !cover)
+                    cover = (d <= threshold) && k->is_leaf[s];
+                if (cover) {
+                    written = hs_emit(k, mode, s, out, cap, written);
+                    if (written < 0) return -1;
+                } else if (d <= threshold && k->child_count[s] > 0) {
+                    nf[nnext] = k->child_first[s];
+                    nc[nnext++] = k->child_count[s];
+                }
+            }
+        }
+        { int64_t *t;
+          t = rf; rf = nf; nf = t;
+          t = rc; rc = nc; nc = t; }
+        nruns = nnext;
+    }
+    *ops_out = ops;
+    return written;
+}
+
+int64_t hs_query_batch64(const HsKernel *k, const uint64_t *queries,
+                         int64_t nq, int64_t threshold, int64_t mode,
+                         int64_t *out, int64_t cap, int64_t *counts,
+                         int64_t *ops_out)
+{
+    int64_t total = 0, ops = 0, i, w, o;
+    for (i = 0; i < nq; i++) {
+        o = 0;
+        w = hs_query64(k, queries[i], threshold, mode,
+                       out + total, cap - total, &o);
+        if (w < 0) return -1;
+        counts[i] = w;
+        total += w;
+        ops += o;
+    }
+    *ops_out = ops;
+    return total;
+}
+
+int64_t hs_count64(const HsKernel *k, uint64_t query, int64_t threshold)
+{
+    int64_t *rf = k->run_first, *rc = k->run_count;
+    int64_t *nf = k->next_first, *nc = k->next_count;
+    int64_t nruns = 0, total = 0, r, s, a, b, d, nnext;
+    int settle;
+    int simple = (int)k->simple;
+    if (k->top_count > 0) { rf[0] = 0; rc[0] = k->top_count; nruns = 1; }
+    while (nruns > 0) {
+        if (rf[0] >= k->leaf_level_start) {
+            for (r = 0; r < nruns; r++) {
+                a = rf[r]; b = a + rc[r];
+                for (s = a; s < b; s++)
+                    if (__builtin_popcountll(k->bits[s] ^ query)
+                            <= threshold)
+                        total += k->frequency[s];
+            }
+            break;
+        }
+        nnext = 0;
+        for (r = 0; r < nruns; r++) {
+            a = rf[r]; b = a + rc[r];
+            for (s = a; s < b; s++) {
+                d = __builtin_popcountll(
+                    (k->bits[s] ^ query) & k->masks[s]);
+                settle = (d + k->unc[s] <= threshold);
+                if (!simple && !settle)
+                    settle = (d <= threshold) && k->is_leaf[s];
+                if (settle) {
+                    total += k->frequency[s];
+                } else if (d <= threshold && k->child_count[s] > 0) {
+                    nf[nnext] = k->child_first[s];
+                    nc[nnext++] = k->child_count[s];
+                }
+            }
+        }
+        { int64_t *t;
+          t = rf; rf = nf; nf = t;
+          t = rc; rc = nc; nc = t; }
+        nruns = nnext;
+    }
+    return total;
+}
+
+int64_t hs_contains64(const HsKernel *k, uint64_t query, int64_t threshold)
+{
+    int64_t *rf = k->run_first, *rc = k->run_count;
+    int64_t *nf = k->next_first, *nc = k->next_count;
+    int64_t nruns = 0, r, s, a, b, d, nnext;
+    int hit;
+    int simple = (int)k->simple;
+    if (k->top_count > 0) { rf[0] = 0; rc[0] = k->top_count; nruns = 1; }
+    while (nruns > 0) {
+        if (rf[0] >= k->leaf_level_start) {
+            for (r = 0; r < nruns; r++) {
+                a = rf[r]; b = a + rc[r];
+                for (s = a; s < b; s++)
+                    if (__builtin_popcountll(k->bits[s] ^ query)
+                            <= threshold)
+                        return 1;
+            }
+            return 0;
+        }
+        nnext = 0;
+        for (r = 0; r < nruns; r++) {
+            a = rf[r]; b = a + rc[r];
+            for (s = a; s < b; s++) {
+                d = __builtin_popcountll(
+                    (k->bits[s] ^ query) & k->masks[s]);
+                hit = (d + k->unc[s] <= threshold);
+                if (!simple && !hit)
+                    hit = (d <= threshold) && k->is_leaf[s];
+                if (hit)
+                    return 1;
+                if (d <= threshold && k->child_count[s] > 0) {
+                    nf[nnext] = k->child_first[s];
+                    nc[nnext++] = k->child_count[s];
+                }
+            }
+        }
+        { int64_t *t;
+          t = rf; rf = nf; nf = t;
+          t = rc; rc = nc; nc = t; }
+        nruns = nnext;
+    }
+    return 0;
+}
+"""
+
+
+class _HsKernelStruct(ctypes.Structure):
+    """ctypes mirror of the C ``HsKernel`` struct (field order matters)."""
+
+    _fields_ = [
+        ("bits", c_void_p),
+        ("masks", c_void_p),
+        ("unc", c_void_p),
+        ("is_leaf", c_void_p),
+        ("child_first", c_void_p),
+        ("child_count", c_void_p),
+        ("leaf_lo", c_void_p),
+        ("leaf_hi", c_void_p),
+        ("id_offsets", c_void_p),
+        ("ids_flat", c_void_p),
+        ("frequency", c_void_p),
+        ("top_count", c_int64),
+        ("leaf_level_start", c_int64),
+        ("simple", c_int64),
+        ("run_first", c_void_p),
+        ("run_count", c_void_p),
+        ("next_first", c_void_p),
+        ("next_count", c_void_p),
+    ]
+
+
+def _cache_dirs() -> list[Path]:
+    dirs = []
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        dirs.append(Path(env))
+    dirs.append(Path.home() / ".cache" / "repro-native")
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    dirs.append(Path(tempfile.gettempdir()) / f"repro-native-{uid}")
+    return dirs
+
+
+def _compile_library() -> Path:
+    """Compile :data:`_C_SOURCE` to a shared library, once per digest."""
+    compiler = next(
+        (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
+    )
+    if compiler is None:
+        raise RuntimeError("no C compiler on PATH")
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    last_error: Exception | None = None
+    for cache_dir in _cache_dirs():
+        so_path = cache_dir / f"hs_kernel_{digest}.so"
+        if so_path.exists():
+            return so_path
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            c_path = cache_dir / f"hs_kernel_{digest}.c"
+            c_path.write_text(_C_SOURCE)
+            tmp = cache_dir / f".hs_kernel_{digest}.{os.getpid()}.so"
+            base = [compiler, "-O3", "-funroll-loops", "-shared", "-fPIC"]
+            for extra in (["-march=native"], []):
+                proc = subprocess.run(
+                    [*base, *extra, "-o", str(tmp), str(c_path)],
+                    capture_output=True,
+                    timeout=120,
+                )
+                if proc.returncode == 0:
+                    break
+            else:
+                raise RuntimeError(
+                    f"{compiler} failed: {proc.stderr.decode()[:500]}"
+                )
+            os.replace(tmp, so_path)  # atomic: concurrent builds race safely
+            return so_path
+        except Exception as exc:  # unwritable dir, compiler failure, ...
+            last_error = exc
+    raise RuntimeError(f"could not build native kernel: {last_error}")
+
+
+def _load_cc():
+    lib = ctypes.CDLL(str(_compile_library()))
+    lib.hs_query64.argtypes = [
+        POINTER(_HsKernelStruct), c_uint64, c_int64, c_int64,
+        c_void_p, c_int64, POINTER(c_int64),
+    ]
+    lib.hs_query64.restype = c_int64
+    lib.hs_query_batch64.argtypes = [
+        POINTER(_HsKernelStruct), c_void_p, c_int64, c_int64, c_int64,
+        c_void_p, c_int64, c_void_p, POINTER(c_int64),
+    ]
+    lib.hs_query_batch64.restype = c_int64
+    for name in ("hs_count64", "hs_contains64"):
+        fn = getattr(lib, name)
+        fn.argtypes = [POINTER(_HsKernelStruct), c_uint64, c_int64]
+        fn.restype = c_int64
+    _smoke_cc(lib)
+    return lib
+
+
+def _smoke_arrays():
+    """A one-leaf kernel (code 0b0, id 7) for backend validation."""
+    return {
+        "bits": np.zeros(1, dtype=np.uint64),
+        "masks": np.full(1, np.uint64(0xFFFFFFFFFFFFFFFF)),
+        "unc": np.zeros(1, dtype=np.int64),
+        "is_leaf": np.ones(1, dtype=np.uint8),
+        "child_first": np.zeros(1, dtype=np.int64),
+        "child_count": np.zeros(1, dtype=np.int64),
+        "leaf_lo": np.zeros(1, dtype=np.int64),
+        "leaf_hi": np.ones(1, dtype=np.int64),
+        "id_offsets": np.array([0, 1], dtype=np.int64),
+        "ids_flat": np.array([7], dtype=np.int64),
+        "frequency": np.ones(1, dtype=np.int64),
+    }
+
+
+def _smoke_cc(lib) -> None:
+    arrays = _smoke_arrays()
+    scratch = [np.zeros(2, dtype=np.int64) for _ in range(4)]
+    struct = _HsKernelStruct(
+        **{name: c_void_p(arr.ctypes.data) for name, arr in arrays.items()},
+        top_count=1,
+        leaf_level_start=0,
+        simple=1,
+        run_first=c_void_p(scratch[0].ctypes.data),
+        run_count=c_void_p(scratch[1].ctypes.data),
+        next_first=c_void_p(scratch[2].ctypes.data),
+        next_count=c_void_p(scratch[3].ctypes.data),
+    )
+    out = np.zeros(4, dtype=np.int64)
+    ops = c_int64(0)
+    written = lib.hs_query64(
+        byref(struct), 0, 0, 0, out.ctypes.data, out.size, byref(ops)
+    )
+    if written != 1 or out[0] != 7 or ops.value != 1:
+        raise RuntimeError("cc kernel smoke check failed")
+
+
+# -- the numba tier ---------------------------------------------------------
+
+
+def _load_numba():
+    """``@njit`` mirrors of the C entry points (lazy; optional dep).
+
+    The SWAR popcount uses explicit ``uint64`` constants so type
+    inference never widens; everything else is a line-for-line port of
+    the run-based C sweep, so visit order, emissions and op counts are
+    identical across all three tiers.
+    """
+    from numba import njit  # deliberate ImportError when absent
+
+    u64 = np.uint64
+    m1 = u64(0x5555555555555555)
+    m2 = u64(0x3333333333333333)
+    m4 = u64(0x0F0F0F0F0F0F0F0F)
+    h01 = u64(0x0101010101010101)
+    s1, s2, s4, s56 = u64(1), u64(2), u64(4), u64(56)
+
+    @njit(nogil=True)
+    def popcnt(x):
+        x = x - ((x >> s1) & m1)
+        x = (x & m2) + ((x >> s2) & m2)
+        x = (x + (x >> s4)) & m4
+        return np.int64((x * h01) >> s56)
+
+    @njit(nogil=True)
+    def query(bits, masks, unc, is_leaf, child_first, child_count,
+              leaf_lo, leaf_hi, id_offsets, ids_flat,
+              top_count, leaf_level_start, simple,
+              query_word, threshold, mode, rf, rc, nf, nc, out):
+        nruns = 0
+        if top_count > 0:
+            rf[0] = 0
+            rc[0] = top_count
+            nruns = 1
+        ops = 0
+        written = 0
+        cap = out.shape[0]
+        while nruns > 0:
+            if rf[0] >= leaf_level_start:
+                for r in range(nruns):
+                    a = rf[r]
+                    b = a + rc[r]
+                    ops += rc[r]
+                    for s in range(a, b):
+                        if popcnt(bits[s] ^ query_word) <= threshold:
+                            if mode == 0:
+                                lo = id_offsets[leaf_lo[s]]
+                                hi = id_offsets[leaf_hi[s]]
+                                if written + (hi - lo) > cap:
+                                    return (-1, 0)
+                                for p in range(lo, hi):
+                                    out[written] = ids_flat[p]
+                                    written += 1
+                            else:
+                                lo = leaf_lo[s]
+                                hi = leaf_hi[s]
+                                if written + (hi - lo) > cap:
+                                    return (-1, 0)
+                                for p in range(lo, hi):
+                                    out[written] = p
+                                    written += 1
+                break
+            nnext = 0
+            for r in range(nruns):
+                a = rf[r]
+                b = a + rc[r]
+                ops += rc[r]
+                for s in range(a, b):
+                    d = popcnt((bits[s] ^ query_word) & masks[s])
+                    cover = d + unc[s] <= threshold
+                    if simple == 0 and not cover:
+                        cover = d <= threshold and is_leaf[s] != 0
+                    if cover:
+                        if mode == 0:
+                            lo = id_offsets[leaf_lo[s]]
+                            hi = id_offsets[leaf_hi[s]]
+                            if written + (hi - lo) > cap:
+                                return (-1, 0)
+                            for p in range(lo, hi):
+                                out[written] = ids_flat[p]
+                                written += 1
+                        else:
+                            lo = leaf_lo[s]
+                            hi = leaf_hi[s]
+                            if written + (hi - lo) > cap:
+                                return (-1, 0)
+                            for p in range(lo, hi):
+                                out[written] = p
+                                written += 1
+                    elif d <= threshold and child_count[s] > 0:
+                        nf[nnext] = child_first[s]
+                        nc[nnext] = child_count[s]
+                        nnext += 1
+            t = rf
+            rf = nf
+            nf = t
+            t = rc
+            rc = nc
+            nc = t
+            nruns = nnext
+        return (written, ops)
+
+    @njit(nogil=True)
+    def query_batch(bits, masks, unc, is_leaf, child_first, child_count,
+                    leaf_lo, leaf_hi, id_offsets, ids_flat,
+                    top_count, leaf_level_start, simple,
+                    queries, threshold, mode, rf, rc, nf, nc,
+                    out, counts):
+        total = 0
+        ops_total = 0
+        for i in range(queries.shape[0]):
+            written, ops = query(
+                bits, masks, unc, is_leaf, child_first, child_count,
+                leaf_lo, leaf_hi, id_offsets, ids_flat,
+                top_count, leaf_level_start, simple,
+                queries[i], threshold, mode, rf, rc, nf, nc,
+                out[total:],
+            )
+            if written < 0:
+                return (-1, 0)
+            counts[i] = written
+            total += written
+            ops_total += ops
+        return (total, ops_total)
+
+    @njit(nogil=True)
+    def count(bits, masks, unc, is_leaf, child_first, child_count,
+              frequency, top_count, leaf_level_start, simple,
+              query_word, threshold, rf, rc, nf, nc):
+        nruns = 0
+        if top_count > 0:
+            rf[0] = 0
+            rc[0] = top_count
+            nruns = 1
+        total = 0
+        while nruns > 0:
+            if rf[0] >= leaf_level_start:
+                for r in range(nruns):
+                    a = rf[r]
+                    b = a + rc[r]
+                    for s in range(a, b):
+                        if popcnt(bits[s] ^ query_word) <= threshold:
+                            total += frequency[s]
+                break
+            nnext = 0
+            for r in range(nruns):
+                a = rf[r]
+                b = a + rc[r]
+                for s in range(a, b):
+                    d = popcnt((bits[s] ^ query_word) & masks[s])
+                    settle = d + unc[s] <= threshold
+                    if simple == 0 and not settle:
+                        settle = d <= threshold and is_leaf[s] != 0
+                    if settle:
+                        total += frequency[s]
+                    elif d <= threshold and child_count[s] > 0:
+                        nf[nnext] = child_first[s]
+                        nc[nnext] = child_count[s]
+                        nnext += 1
+            t = rf
+            rf = nf
+            nf = t
+            t = rc
+            rc = nc
+            nc = t
+            nruns = nnext
+        return total
+
+    @njit(nogil=True)
+    def contains(bits, masks, unc, is_leaf, child_first, child_count,
+                 top_count, leaf_level_start, simple,
+                 query_word, threshold, rf, rc, nf, nc):
+        nruns = 0
+        if top_count > 0:
+            rf[0] = 0
+            rc[0] = top_count
+            nruns = 1
+        while nruns > 0:
+            if rf[0] >= leaf_level_start:
+                for r in range(nruns):
+                    a = rf[r]
+                    b = a + rc[r]
+                    for s in range(a, b):
+                        if popcnt(bits[s] ^ query_word) <= threshold:
+                            return True
+                return False
+            nnext = 0
+            for r in range(nruns):
+                a = rf[r]
+                b = a + rc[r]
+                for s in range(a, b):
+                    d = popcnt((bits[s] ^ query_word) & masks[s])
+                    hit = d + unc[s] <= threshold
+                    if simple == 0 and not hit:
+                        hit = d <= threshold and is_leaf[s] != 0
+                    if hit:
+                        return True
+                    if d <= threshold and child_count[s] > 0:
+                        nf[nnext] = child_first[s]
+                        nc[nnext] = child_count[s]
+                        nnext += 1
+            t = rf
+            rf = nf
+            nf = t
+            t = rc
+            rc = nc
+            nc = t
+            nruns = nnext
+        return False
+
+    funcs = {
+        "query": query,
+        "query_batch": query_batch,
+        "count": count,
+        "contains": contains,
+    }
+    _smoke_numba(funcs)
+    return funcs
+
+
+def _smoke_numba(funcs) -> None:
+    arrays = _smoke_arrays()
+    scratch = [np.zeros(2, dtype=np.int64) for _ in range(4)]
+    out = np.zeros(4, dtype=np.int64)
+    written, ops = funcs["query"](
+        arrays["bits"], arrays["masks"], arrays["unc"],
+        arrays["is_leaf"], arrays["child_first"], arrays["child_count"],
+        arrays["leaf_lo"], arrays["leaf_hi"], arrays["id_offsets"],
+        arrays["ids_flat"], 1, 0, 1,
+        np.uint64(0), 0, 0, *scratch, out,
+    )
+    if written != 1 or out[0] != 7 or ops != 1:
+        raise RuntimeError("numba kernel smoke check failed")
+
+
+# -- per-index execution state ----------------------------------------------
+
+
+class _StateBase:
+    """Contiguous tree-array bindings shared by both compiled tiers.
+
+    Keeps its own references to every bound array so the memory can
+    never be collected while a raw pointer (or a numba call) is
+    outstanding.  ``lock`` serializes access to the scratch run
+    buffers — both tiers release the GIL while sweeping.
+    """
+
+    backend = "none"
+
+    def __init__(self, flat: "FlatHAIndex") -> None:
+        self.lock = threading.Lock()
+        self.bits = np.ascontiguousarray(flat._bits1)
+        self.masks = np.ascontiguousarray(flat._masks1)
+        self.unc = np.ascontiguousarray(flat._uncovered)
+        self.is_leaf = np.ascontiguousarray(flat._is_leaf).view(np.uint8)
+        self.child_first = np.ascontiguousarray(flat._child_first)
+        self.child_count = np.ascontiguousarray(flat._child_count)
+        self.leaf_lo = np.ascontiguousarray(flat._leaf_lo)
+        self.leaf_hi = np.ascontiguousarray(flat._leaf_hi)
+        self.id_offsets = np.ascontiguousarray(flat._id_offsets)
+        self.ids_flat = np.ascontiguousarray(flat._ids_flat)
+        self.frequency = np.ascontiguousarray(flat._frequency)
+        self.top_count = int(flat._top_slots.size)
+        self.leaf_level_start = int(flat._leaf_level_start)
+        self.simple = int(flat._cover_is_collect)
+        scratch_len = flat.num_nodes + 1
+        self.scratch = [
+            np.empty(scratch_len, dtype=np.int64) for _ in range(4)
+        ]
+        # Taken nodes have disjoint leaf ranges (a covered node is
+        # never expanded), so one query emits at most every id / leaf
+        # position once: this buffer provably never overflows for
+        # single-query calls.
+        self.out_cap = max(
+            int(self.ids_flat.size), int(self.id_offsets.size), 256
+        )
+        self.out = np.empty(self.out_cap, dtype=np.int64)
+
+    def _run_single(self, query: int, threshold: int, mode: int):
+        raise NotImplementedError
+
+    def _run_batch(self, queries, threshold, mode, out, counts):
+        raise NotImplementedError
+
+    def sweep(self, query: int, threshold: int, mode: int):
+        """One query; returns (emitted int64 array, ops)."""
+        with self.lock:
+            written, ops = self._run_single(query, threshold, mode)
+            if written < 0:  # pragma: no cover - capacity is provable
+                raise IndexStateError("native sweep output overflow")
+            return self.out[:written].copy(), ops
+
+    def sweep_batch(self, queries: np.ndarray, threshold: int, mode: int):
+        """A query batch; returns (emitted, per-query counts, ops)."""
+        nq = int(queries.size)
+        counts = np.empty(nq, dtype=np.int64)
+        cap = self.out_cap
+        hard_cap = max(self.out_cap * max(nq, 1), cap)
+        while True:
+            out = np.empty(cap, dtype=np.int64)
+            with self.lock:
+                total, ops = self._run_batch(
+                    queries, threshold, mode, out, counts
+                )
+            if total >= 0:
+                return out[:total], counts, ops
+            if cap >= hard_cap:  # pragma: no cover - capacity is provable
+                raise IndexStateError("native sweep output overflow")
+            cap = min(cap * 2, hard_cap)
+
+    def count(self, query: int, threshold: int) -> int:
+        raise NotImplementedError
+
+    def contains(self, query: int, threshold: int) -> bool:
+        raise NotImplementedError
+
+
+class _CcState(_StateBase):
+    backend = "cc"
+
+    def __init__(self, lib, flat: "FlatHAIndex") -> None:
+        super().__init__(flat)
+        self._lib = lib
+        self._struct = _HsKernelStruct(
+            bits=c_void_p(self.bits.ctypes.data),
+            masks=c_void_p(self.masks.ctypes.data),
+            unc=c_void_p(self.unc.ctypes.data),
+            is_leaf=c_void_p(self.is_leaf.ctypes.data),
+            child_first=c_void_p(self.child_first.ctypes.data),
+            child_count=c_void_p(self.child_count.ctypes.data),
+            leaf_lo=c_void_p(self.leaf_lo.ctypes.data),
+            leaf_hi=c_void_p(self.leaf_hi.ctypes.data),
+            id_offsets=c_void_p(self.id_offsets.ctypes.data),
+            ids_flat=c_void_p(self.ids_flat.ctypes.data),
+            frequency=c_void_p(self.frequency.ctypes.data),
+            top_count=self.top_count,
+            leaf_level_start=self.leaf_level_start,
+            simple=self.simple,
+            run_first=c_void_p(self.scratch[0].ctypes.data),
+            run_count=c_void_p(self.scratch[1].ctypes.data),
+            next_first=c_void_p(self.scratch[2].ctypes.data),
+            next_count=c_void_p(self.scratch[3].ctypes.data),
+        )
+
+    def _run_single(self, query: int, threshold: int, mode: int):
+        ops = c_int64(0)
+        written = self._lib.hs_query64(
+            byref(self._struct), query, threshold, mode,
+            self.out.ctypes.data, self.out_cap, byref(ops),
+        )
+        return written, int(ops.value)
+
+    def _run_batch(self, queries, threshold, mode, out, counts):
+        ops = c_int64(0)
+        total = self._lib.hs_query_batch64(
+            byref(self._struct), queries.ctypes.data, queries.size,
+            threshold, mode, out.ctypes.data, out.size,
+            counts.ctypes.data, byref(ops),
+        )
+        return total, int(ops.value)
+
+    def count(self, query: int, threshold: int) -> int:
+        with self.lock:
+            return int(
+                self._lib.hs_count64(byref(self._struct), query, threshold)
+            )
+
+    def contains(self, query: int, threshold: int) -> bool:
+        with self.lock:
+            return bool(
+                self._lib.hs_contains64(
+                    byref(self._struct), query, threshold
+                )
+            )
+
+
+class _NumbaState(_StateBase):
+    backend = "numba"
+
+    def __init__(self, funcs, flat: "FlatHAIndex") -> None:
+        super().__init__(flat)
+        self._funcs = funcs
+
+    def _tree_args(self):
+        return (
+            self.bits, self.masks, self.unc, self.is_leaf,
+            self.child_first, self.child_count, self.leaf_lo,
+            self.leaf_hi, self.id_offsets, self.ids_flat,
+            self.top_count, self.leaf_level_start, self.simple,
+        )
+
+    def _run_single(self, query: int, threshold: int, mode: int):
+        return self._funcs["query"](
+            *self._tree_args(), np.uint64(query), threshold, mode,
+            *self.scratch, self.out,
+        )
+
+    def _run_batch(self, queries, threshold, mode, out, counts):
+        return self._funcs["query_batch"](
+            *self._tree_args(), queries, threshold, mode,
+            *self.scratch, out, counts,
+        )
+
+    def count(self, query: int, threshold: int) -> int:
+        with self.lock:
+            return int(
+                self._funcs["count"](
+                    self.bits, self.masks, self.unc, self.is_leaf,
+                    self.child_first, self.child_count, self.frequency,
+                    self.top_count, self.leaf_level_start, self.simple,
+                    np.uint64(query), threshold, *self.scratch,
+                )
+            )
+
+    def contains(self, query: int, threshold: int) -> bool:
+        with self.lock:
+            return bool(
+                self._funcs["contains"](
+                    self.bits, self.masks, self.unc, self.is_leaf,
+                    self.child_first, self.child_count,
+                    self.top_count, self.leaf_level_start, self.simple,
+                    np.uint64(query), threshold, *self.scratch,
+                )
+            )

@@ -11,7 +11,7 @@ non-paper engines (``flat``, ``mih``).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.bitvector import CodeSet, batch_hamming_wide, batch_select
 from repro.core.engines import paper_families
@@ -52,6 +52,35 @@ def hamming_select(
             distances = batch_hamming_wide(target.packed_wide(), query)
             matches = (distances <= threshold).nonzero()[0]
         return [ids[i] for i in matches]
+
+
+def hamming_select_batch(
+    queries: Sequence[int],
+    target: HammingIndex | CodeSet,
+    threshold: int,
+    *,
+    profile: bool = False,
+) -> list[list[int]]:
+    """One id list per query, each equal to ``hamming_select(query, ...)``.
+
+    Batched engines (flat, native, MIH) answer the whole batch through
+    one shared sweep — frontier state is kept across the batch instead
+    of being rebuilt per query; engines without batched entry points
+    (and plain :class:`CodeSet` scans) fall back to a per-query loop
+    with identical results.
+    """
+    queries = list(queries)
+    with maybe_trace(
+        "h_select", profile, threshold=threshold, batch=len(queries)
+    ):
+        if isinstance(target, HammingIndex):
+            batched = getattr(target, "search_batch", None)
+            if batched is not None:
+                return batched(queries, threshold)
+            return [target.search(q, threshold) for q in queries]
+        return [
+            hamming_select(q, target, threshold) for q in queries
+        ]
 
 
 #: Builders for every approach of Table 4, keyed by the paper's names.

@@ -44,7 +44,7 @@ from repro.core.errors import (
     StoreError,
 )
 from repro.core.index_base import HammingIndex
-from repro.core.knn import knn_select
+from repro.core.knn import knn_select, knn_select_batch
 from repro.obs import REGISTRY
 from repro.obs.trace import trace
 from repro.service.admission import AdmissionQueue
@@ -106,6 +106,14 @@ class HammingQueryService:
             (one shared frontier sweep per distinct threshold) when the
             served index offers one; other kinds and indexes without a
             batch kernel run query-at-a-time as before.
+        kernel: which compiled plane answers the batched misses of a
+            Dynamic HA-Index: ``"auto"`` (the index's own
+            ``search_batch``, i.e. the flat kernel), ``"flat"``, or
+            ``"native"`` (``compile_native()``, the tiered compiled
+            backends).  The compile caches are keyed by mutation
+            count, so live :meth:`insert`/:meth:`delete` traffic stays
+            correct — a stale kernel is never consulted.  Ignored for
+            indexes without ``compile()``.
         default_timeout: server-side deadline in seconds applied to
             queries submitted without an explicit timeout (``None``
             means queries never expire).
@@ -140,6 +148,7 @@ class HammingQueryService:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         batch_kernel: bool = True,
+        kernel: str = "auto",
         default_timeout: float | None = None,
         linger_seconds: float = 0.0,
         start: bool = True,
@@ -150,6 +159,11 @@ class HammingQueryService:
     ) -> None:
         if default_timeout is not None and default_timeout <= 0:
             raise InvalidParameterError("default_timeout must be positive")
+        if kernel not in ("auto", "flat", "native"):
+            raise InvalidParameterError(
+                f"kernel must be 'auto', 'flat', or 'native', "
+                f"not {kernel!r}"
+            )
         if data_dir is not None and store is not None:
             raise InvalidParameterError(
                 "pass either data_dir or store, not both"
@@ -168,6 +182,7 @@ class HammingQueryService:
         self._index = index
         self._index_lock = threading.Lock()
         self._batch_kernel = batch_kernel
+        self._kernel = kernel
         self._trace_batches = trace_batches
         self._epoch = store.last_seq if store is not None else 0
         self._default_timeout = default_timeout
@@ -581,21 +596,38 @@ class HammingQueryService:
         When the served index exposes ``search_batch`` (duck-typed, so
         any conforming index qualifies), the ``select`` misses sharing
         a threshold are answered by one vectorized frontier sweep
-        instead of serially; remaining kinds fall through to
-        :func:`_run_query`.  Runs under the index mutex.
+        instead of serially; ``knn`` misses sharing a ``k`` likewise
+        fuse through :func:`knn_select_batch` when the index offers
+        batched distance search, so the expanding-threshold rounds run
+        once per batch instead of once per query.  Remaining kinds fall
+        through to :func:`_run_query`.  Runs under the index mutex.
         """
+        plane = index
+        if self._batch_kernel and self._kernel != "auto":
+            if self._kernel == "native" and hasattr(
+                index, "compile_native"
+            ):
+                plane = index.compile_native()
+            elif self._kernel == "flat" and hasattr(index, "compile"):
+                plane = index.compile()
         search_batch = (
-            getattr(index, "search_batch", None)
+            getattr(plane, "search_batch", None)
             if self._batch_kernel
             else None
+        )
+        knn_batchable = self._batch_kernel and hasattr(
+            plane, "search_with_distances_batch"
         )
         results: list[tuple[tuple[str, int, int], object]] = []
         rest: list[tuple[str, int, int]] = []
         if search_batch is not None:
             by_threshold: dict[int, list[tuple[str, int, int]]] = {}
+            by_k: dict[int, list[tuple[str, int, int]]] = {}
             for key in misses:
                 if key[0] == "select":
                     by_threshold.setdefault(key[2], []).append(key)
+                elif key[0] == "knn" and knn_batchable:
+                    by_k.setdefault(key[2], []).append(key)
                 else:
                     rest.append(key)
             for threshold, keys in by_threshold.items():
@@ -608,6 +640,17 @@ class HammingQueryService:
                 results.extend(
                     (key, tuple(ids))
                     for key, ids in zip(keys, id_lists)
+                )
+            for k, keys in by_k.items():
+                if len(keys) < 2:
+                    rest.extend(keys)
+                    continue
+                pair_lists = knn_select_batch(
+                    [key[1] for key in keys], plane, k
+                )
+                results.extend(
+                    (key, tuple(pairs))
+                    for key, pairs in zip(keys, pair_lists)
                 )
         else:
             rest = misses

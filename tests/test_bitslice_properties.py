@@ -1,0 +1,164 @@
+"""Property-based tests for the bit-sliced (transposed) code layout.
+
+Hypothesis drives :mod:`repro.core.bitslice` through the invariants
+the compiled verification plane depends on:
+
+* ``pack_bitplanes`` / ``unpack_bitplanes`` round-trip at widths
+  32/64/128 and every ragged tail (batch sizes straddling the 64-lane
+  word boundary);
+* ``transpose_packed`` over the row-major packed matrix equals
+  slicing the raw codes;
+* bit-serial ripple-carry distances equal the ``int.bit_count``
+  ground truth, hence also the packed popcount kernels;
+* everything holds on both popcount backends — numpy >= 2's
+  ``np.bitwise_count`` and the ``popcount64`` byte-table fallback —
+  so the layout is safe wherever the kernel falls back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitvector
+from repro.core.bitslice import (
+    BitSlicedBatch,
+    bitsliced_distances,
+    bitsliced_within,
+    pack_bitplanes,
+    transpose_packed,
+    unpack_bitplanes,
+)
+from repro.core.bitvector import pack_codes_wide, popcount64
+
+WIDTHS = (32, 64, 128)
+
+
+@contextmanager
+def _popcount_backend(name: str):
+    """Force one popcount dispatch path for the duration of a test.
+
+    The byte-table lane exists even on numpy >= 2 (it is the declared
+    numpy 1.24 floor's only kernel); forcing ``_HAS_BITWISE_COUNT``
+    off exercises it everywhere.  Used as a plain context manager
+    because hypothesis forbids function-scoped fixtures under
+    ``@given``.
+    """
+    if name == "bitwise_count" and not bitvector._HAS_BITWISE_COUNT:
+        pytest.skip("numpy < 2: no bitwise_count backend to test")
+    with pytest.MonkeyPatch.context() as patcher:
+        if name == "byte-table":
+            patcher.setattr(bitvector, "_HAS_BITWISE_COUNT", False)
+        yield name
+
+
+def codes_strategy(width: int):
+    return st.lists(
+        st.integers(min_value=0, max_value=(1 << width) - 1),
+        min_size=0,
+        max_size=130,  # spans 0, 1 and 2 lane words plus ragged tails
+    )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_pack_unpack_round_trip(width: int, data) -> None:
+    codes = data.draw(codes_strategy(width))
+    planes = pack_bitplanes(codes, width)
+    assert planes.shape == (width, (len(codes) + 63) // 64)
+    assert planes.dtype == np.uint64
+    assert unpack_bitplanes(planes, len(codes), width) == codes
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_padding_lanes_stay_zero(width: int, data) -> None:
+    """Ragged tails never leak set bits into the padding lanes."""
+    codes = data.draw(codes_strategy(width))
+    planes = pack_bitplanes(codes, width)
+    tail = len(codes) % 64
+    if planes.shape[1] and tail:
+        spill = planes[:, -1] >> np.uint64(tail)
+        assert not spill.any()
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_transpose_packed_matches_pack_bitplanes(
+    width: int, data
+) -> None:
+    codes = data.draw(codes_strategy(width))
+    packed = pack_codes_wide(codes, width)
+    expected = pack_bitplanes(codes, width)
+    assert np.array_equal(transpose_packed(packed, width), expected)
+
+
+@pytest.mark.parametrize("backend", ["bitwise_count", "byte-table"])
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_bitsliced_distances_exact(
+    width: int, backend: str, data
+) -> None:
+    """Ripple-carry distances equal both scalar and packed popcounts."""
+    codes = data.draw(codes_strategy(width))
+    query = data.draw(
+        st.integers(min_value=0, max_value=(1 << width) - 1)
+    )
+    with _popcount_backend(backend):
+        planes = pack_bitplanes(codes, width)
+        got = bitsliced_distances(planes, len(codes), query)
+        expected = [(code ^ query).bit_count() for code in codes]
+        assert got.tolist() == expected
+        packed = pack_codes_wide(codes, width)
+        qwords = np.array(
+            [(query >> (64 * w)) & 0xFFFFFFFFFFFFFFFF
+             for w in range(packed.shape[1])],
+            dtype=np.uint64,
+        )
+        via_popcount = popcount64(packed ^ qwords).sum(
+            axis=1, dtype=np.int64
+        )
+        assert got.tolist() == via_popcount.tolist()
+
+
+@pytest.mark.parametrize("backend", ["bitwise_count", "byte-table"])
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_threshold_mask_and_batch_matches(
+    width: int, backend: str, data
+) -> None:
+    """``within`` masks and the query-sliced batch agree with brute force."""
+    codes = data.draw(codes_strategy(width))
+    queries = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            min_size=1,
+            max_size=70,
+        )
+    )
+    threshold = data.draw(st.integers(min_value=0, max_value=width))
+    with _popcount_backend(backend):
+        planes = pack_bitplanes(codes, width)
+        for query in queries[:3]:
+            mask = bitsliced_within(planes, len(codes), query, threshold)
+            assert mask.tolist() == [
+                (code ^ query).bit_count() <= threshold for code in codes
+            ]
+        batch = BitSlicedBatch(queries, width)
+        candidates = codes[:5] or [0]
+        got = batch.matches(candidates, threshold)
+        assert got.shape == (len(candidates), len(queries))
+        for row, candidate in enumerate(candidates):
+            assert got[row].tolist() == [
+                (candidate ^ query).bit_count() <= threshold
+                for query in queries
+            ]

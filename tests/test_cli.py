@@ -118,6 +118,47 @@ class TestCommands:
         assert out.count("-> OK") == 1
         assert "engine=flat" in out
 
+    def test_trace_all_planes_includes_native(self, capsys):
+        assert main(
+            ["trace", "--n", "300", "--bits", "16", "--engine", "all"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("-> OK") == 3
+        assert "engine=native" in out
+
+    def test_bench_kernel_verify_iterates_registry(self, capsys):
+        from repro.core.engines import engine_names
+
+        assert main(
+            ["bench-kernel", "--n", "200", "--bits", "16",
+             "--verify", "--engine", "all"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Every registered engine must appear: a new engine cannot
+        # silently skip verification.
+        for name in engine_names():
+            assert f"kernel equivalence OK: {name} vs node walk" in out
+        assert (
+            f"OK for all {len(engine_names())} registered engines" in out
+        )
+        # The native plane is checked on both execution paths.
+        assert "numpy fallback" in out
+
+    def test_bench_kernel_verify_native_strict(self, capsys):
+        assert main(
+            ["bench-kernel", "--n", "200", "--bits", "16",
+             "--verify", "--engine", "native"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kernel equivalence OK: native vs node walk" in out
+        assert "ops" in out and "backend" in out
+
+    def test_bench_kernel_all_requires_verify(self, capsys):
+        assert main(
+            ["bench-kernel", "--n", "120", "--bits", "16",
+             "--engine", "all"]
+        ) == 2
+
     def test_metrics_command_prom(self, capsys):
         from repro.obs import metrics_enabled, registry
 

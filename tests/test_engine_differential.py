@@ -3,10 +3,13 @@
 Each seeded case draws a random corpus (varying code width, forced
 duplicate codes, a batch of buffered inserts and a batch of deletes)
 and checks that the node-walk Dynamic HA-Index, the compiled flat
-kernel, the Static HA-Index, the Multi-Index Hashing engine, and the
-nested-loops oracle return identical answers for h-select, h-join, and
-kNN — and that the two HA-Search planes account for exactly the same
-number of distance computations.  The Manku multi-hash baselines
+kernel, the native compiled-backend kernel, the Static HA-Index, the
+Multi-Index Hashing engine, and the nested-loops oracle return
+identical answers for h-select, h-join, and kNN — and that all three
+HA-Search planes account for exactly the same number of distance
+computations.  A dedicated lane replays the native plane with the
+compiled backend force-disabled, proving the numpy fallback
+byte-identical (order included).  The Manku multi-hash baselines
 (MH-4/MH-10) join the select sweep at thresholds beyond their design
 point, exercising the pigeonhole probing fallback against the oracle.
 The parametrization spans > 200 cases, so a regression in any engine's
@@ -25,8 +28,9 @@ from repro.baselines.nested_loops import NestedLoopsIndex
 from repro.core.bitvector import CodeSet
 from repro.core.dynamic_ha import DynamicHAIndex
 from repro.core.join import hamming_join, nested_loops_join, self_join
-from repro.core.knn import knn_select
-from repro.core.select import hamming_select
+from repro.core.knn import knn_select, knn_select_batch
+from repro.core.native import force_backend
+from repro.core.select import hamming_select, hamming_select_batch
 from repro.core.static_ha import StaticHAIndex
 from repro.engines.mih import MIHIndex
 
@@ -48,7 +52,7 @@ def _random_codes(
 
 
 def _mutated_engines(rng: random.Random, width: int):
-    """(logical (code, id) pairs, dha, flat, sha, mih) after random edits.
+    """(logical pairs, dha, flat, native, sha, mih) after random edits.
 
     Builds every engine over a base corpus, then applies the same
     insert and delete batches to each: inserts stay small enough to
@@ -79,7 +83,7 @@ def _mutated_engines(rng: random.Random, width: int):
         mih.delete(code, tuple_id)
         logical.remove((code, tuple_id))
 
-    return logical, dha, dha.compile(), sha, mih
+    return logical, dha, dha.compile(), dha.compile_native(), sha, mih
 
 
 def _oracle_select(
@@ -96,11 +100,20 @@ def _oracle_select(
 @pytest.mark.parametrize("seed", SELECT_SEEDS)
 def test_select_engines_agree(width: int, seed: int) -> None:
     rng = random.Random(seed * 1009 + width)
-    logical, dha, flat, sha, mih = _mutated_engines(rng, width)
+    logical, dha, flat, native, sha, mih = _mutated_engines(rng, width)
     queries = [code for code, _ in rng.sample(logical, k=3)]
     queries.append(rng.getrandbits(width))
-    for query in queries:
-        threshold = rng.randrange(0, max(2, width // 4))
+    # Low thresholds exercise pruning; width // 2 pushes deep into
+    # cover-shortcut territory (a top-level covered node once diverged
+    # only there, with identical answers but differing op counts).
+    cases = [
+        (query, threshold)
+        for query in queries
+        for threshold in (
+            rng.randrange(0, max(2, width // 4)), width // 2
+        )
+    ]
+    for query, threshold in cases:
         expected = _oracle_select(logical, query, threshold)
         assert sorted(dha.search(query, threshold)) == expected
         assert sorted(flat.search(query, threshold)) == expected
@@ -109,6 +122,21 @@ def test_select_engines_agree(width: int, seed: int) -> None:
         # The compiled kernel replays the node walk level by level, so
         # its op accounting must be *identical*, not merely similar.
         assert dha.last_search_ops == flat.last_search_ops
+        # The native sweep (compiled backend or numpy fallback alike)
+        # replays the same traversal, emissions and counts included.
+        assert native.search(query, threshold) == flat.search(
+            query, threshold
+        )
+        assert native.last_search_ops == flat.last_search_ops
+        assert native.count_within(query, threshold) == len(expected)
+        assert native.contains_within(query, threshold) == bool(expected)
+        assert (
+            native.search_batch([query], threshold)[0]
+            == flat.search_batch([query], threshold)[0]
+        )
+        assert native.search_with_distances(
+            query, threshold
+        ) == flat.search_with_distances(query, threshold)
         # The static index memoizes per-(layer, value) XORs, so each
         # layer charges at most one op per distinct segment value —
         # bounded by the corpus size per layer.
@@ -147,13 +175,13 @@ def test_multi_hash_baselines_agree(width: int, seed: int) -> None:
 @pytest.mark.parametrize("seed", KNN_SEEDS)
 def test_knn_engines_agree(width: int, seed: int) -> None:
     rng = random.Random(seed * 2003 + width)
-    logical, dha, flat, sha, mih = _mutated_engines(rng, width)
+    logical, dha, flat, native, sha, mih = _mutated_engines(rng, width)
     query = rng.getrandbits(width)
     k = rng.randrange(1, 12)
     exact = sorted(
         (code ^ query).bit_count() for code, _ in logical
     )[:k]
-    for engine in (dha, flat, sha, mih):
+    for engine in (dha, flat, native, sha, mih):
         got = knn_select(query, engine, k)
         assert len(got) == min(k, len(logical))
         # Ties at the cut-off distance make the id set ambiguous, so
@@ -166,6 +194,13 @@ def test_knn_engines_agree(width: int, seed: int) -> None:
     # loop over the DHA-Index rank by (distance, id), so their answers
     # are byte-identical, ties included.
     assert knn_select(query, mih, k) == knn_select(query, dha, k)
+    # The fused batch kNN runs the same threshold schedule through one
+    # shared sweep per round; answers are byte-identical per query.
+    batch_queries = [query, rng.getrandbits(width), query]
+    for engine in (flat, native):
+        assert knn_select_batch(batch_queries, engine, k) == [
+            knn_select(q, engine, k) for q in batch_queries
+        ]
 
 
 @pytest.mark.parametrize("width", WIDTHS)
@@ -176,7 +211,7 @@ def test_join_engines_agree(width: int, seed: int) -> None:
     right = CodeSet(_random_codes(rng, width, rng.randrange(30, 90)), width)
     threshold = rng.randrange(0, max(2, width // 6))
     expected = sorted(nested_loops_join(left, right, threshold))
-    for engine in ("nodes", "flat", "mih"):
+    for engine in ("nodes", "flat", "native", "mih"):
         got = sorted(hamming_join(left, right, threshold, engine=engine))
         assert got == expected, (
             f"h-join({engine}) diverged from the nested-loops oracle "
@@ -194,7 +229,7 @@ def test_self_join_engines_agree(width: int, seed: int) -> None:
     )
     threshold = rng.randrange(0, max(2, width // 6))
     expected = sorted(self_join(codes, threshold, engine="nodes"))
-    for engine in ("flat", "mih"):
+    for engine in ("flat", "native", "mih"):
         got = sorted(self_join(codes, threshold, engine=engine))
         assert got == expected, (
             f"self-join({engine}) diverged at width={width} "
@@ -216,6 +251,56 @@ def test_select_front_end_matches_index_planes(width: int) -> None:
         DynamicHAIndex.build,
         StaticHAIndex.build,
         MIHIndex.build,
+        lambda cs: DynamicHAIndex.build(cs).compile_native(),
     ):
         index = builder(codeset)
         assert sorted(hamming_select(query, index, threshold)) == expected
+    batch = [query, codes[0], rng.getrandbits(width)]
+    for target in (codeset, DynamicHAIndex.build(codeset).compile_native()):
+        assert hamming_select_batch(batch, target, threshold) == [
+            hamming_select(q, target, threshold) for q in batch
+        ]
+
+
+@pytest.mark.parametrize("width", (16, 32, 64))
+@pytest.mark.parametrize("seed", range(10))
+def test_native_numpy_fallback_byte_identical(
+    width: int, seed: int
+) -> None:
+    """Force-disabling the compiled backend changes nothing, byte for byte.
+
+    The native plane's numpy fallback must reproduce the compiled
+    sweep's answers *in order* — result lists, distances, codes, batch
+    splits, counts, and the exact op accounting — across a mutated
+    corpus (buffered inserts and deletes included).  Any divergence
+    pins a concrete (seed, width) pair to replay.
+    """
+    rng = random.Random(seed * 6011 + width)
+    logical, _, _, native, _, _ = _mutated_engines(rng, width)
+    queries = [code for code, _ in rng.sample(logical, k=2)]
+    queries.append(rng.getrandbits(width))
+    thresholds = sorted({0, 1, rng.randrange(0, max(2, width // 3))})
+
+    def snapshot() -> list:
+        observed = []
+        for threshold in thresholds:
+            observed.append(native.search_batch(queries, threshold))
+            observed.append(
+                native.search_with_distances_batch(queries, threshold)
+            )
+            observed.append(native.search_codes_batch(queries, threshold))
+            for query in queries:
+                observed.append(native.search(query, threshold))
+                observed.append(native.last_search_ops)
+                observed.append(
+                    native.search_with_distances(query, threshold)
+                )
+                observed.append(native.search_codes(query, threshold))
+                observed.append(native.count_within(query, threshold))
+                observed.append(native.contains_within(query, threshold))
+        return observed
+
+    compiled = snapshot()
+    with force_backend("numpy"):
+        assert native.backend == "numpy"
+        assert snapshot() == compiled

@@ -60,6 +60,8 @@ def test_threshold_monotonicity(seed: int, family) -> None:
     engines = [index]
     if hasattr(index, "compile"):
         engines.append(index.compile())
+    if hasattr(index, "compile_native"):
+        engines.append(index.compile_native())
     for engine in engines:
         for _ in range(4):
             query = rng.getrandbits(WIDTH)
@@ -74,7 +76,7 @@ def test_threshold_monotonicity(seed: int, family) -> None:
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-@pytest.mark.parametrize("engine", ["nodes", "flat", "mih"])
+@pytest.mark.parametrize("engine", ["nodes", "flat", "native", "mih"])
 def test_join_symmetry(seed: int, engine: str) -> None:
     """h-join(R, S) equals the transpose of h-join(S, R)."""
     rng = random.Random(500 + seed)
