@@ -1,0 +1,366 @@
+"""Extension bench: weighted Hamming — re-rank vs native crossover.
+
+The weighted engine answers one query through two plans.  **Re-rank**
+sweeps the unweighted flat kernel at the radius the weight floor
+implies (``floor(t / min(w))``) and re-scores candidates exactly;
+cheap when weights are near-uniform, because the implied radius stays
+close to the weighted threshold.  **Native** walks the HA-Index with
+per-mask weighted lower bounds; immune to the implied-radius blowup a
+spread-out weight vector causes (a tiny ``min(w)`` makes re-rank sweep
+almost the whole tree), at the price of heavier per-node arithmetic.
+
+This bench times both plans across weight profiles x thresholds on the
+same NUS-WIDE-like corpus, asserting byte-identical result sets per
+cell, and measures precision@k of *unweighted* kNN against the
+weighted ground truth — the gap is the reason the query plane exists.
+Machine-readable output goes to ``benchmarks/results/
+BENCH_weighted.json``; ``python benchmarks/bench_ext_weighted.py
+--verify`` runs the exactness sweep alone (the CI smoke lane).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.knn import knn_select
+from repro.core.weighted import (
+    SCALE,
+    WeightedHammingIndex,
+    Weights,
+)
+
+from benchmarks.harness import (
+    RESULTS_DIR,
+    paper_codes,
+    record,
+    render_table,
+    sample_queries,
+    scale,
+    scaled,
+)
+
+WORKLOAD_SIZE = 30_000
+NUM_QUERIES = 48
+BITS = 32
+THRESHOLDS = (1.0, 2.0, 3.0, 5.0)
+REPEATS = 3
+K = 10
+
+
+def _weight_profiles(bits: int) -> dict[str, Weights]:
+    """Weight vectors spanning the plan trade-off.
+
+    ``near-uniform`` keeps min(w) high, so re-rank's implied radius
+    barely exceeds the weighted threshold; ``spread`` drives min(w)
+    toward zero, which blows the implied radius up toward the full
+    code width and is where the native plan earns its keep.
+    """
+    rng = np.random.default_rng(17)
+    return {
+        "near-uniform": Weights(rng.uniform(0.8, 1.2, bits).tolist()),
+        "spread": Weights(rng.uniform(0.05, 4.0, bits).tolist()),
+    }
+
+
+def _best_of(run, repeats: int = REPEATS) -> float:
+    run()
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _per_query_ms(run, queries) -> float:
+    return _best_of(run) / len(queries) * 1000.0
+
+
+def _oracle_scaled(codes: CodeSet, weights: Weights) -> np.ndarray:
+    """n x bits int64 matrix of per-code bit lanes -> scaled distances."""
+    lanes = np.array(
+        [
+            [(code >> (codes.length - 1 - pos)) & 1
+             for pos in range(codes.length)]
+            for code in codes.codes
+        ],
+        dtype=np.int64,
+    )
+    return lanes, np.asarray(weights.scaled, dtype=np.int64)
+
+
+def _oracle_distances(lanes, scaled_weights, query, length) -> np.ndarray:
+    qbits = np.array(
+        [(query >> (length - 1 - pos)) & 1 for pos in range(length)],
+        dtype=np.int64,
+    )
+    return (lanes ^ qbits) @ scaled_weights
+
+
+def _build_pair(codes: CodeSet, weights: Weights):
+    native = WeightedHammingIndex(
+        DynamicHAIndex.build(codes), weights=weights, strategy="native"
+    )
+    rerank = WeightedHammingIndex(
+        DynamicHAIndex.build(codes), weights=weights, strategy="rerank"
+    )
+    return native, rerank
+
+
+def verify(n: int = 4_000, num_queries: int = 12) -> int:
+    """Exactness sweep: both plans vs the matrix oracle.  Returns cases."""
+    codes = paper_codes("NUS-WIDE", n, bits=BITS)
+    queries = sample_queries(codes, num_queries, seed=9)
+    lanes, _ = _oracle_scaled(codes, _weight_profiles(BITS)["spread"])
+    cases = 0
+    for profile, weights in _weight_profiles(BITS).items():
+        native, rerank = _build_pair(codes, weights)
+        scaled_w = np.asarray(weights.scaled, dtype=np.int64)
+        for query in queries:
+            oracle = _oracle_distances(lanes, scaled_w, query, BITS)
+            for threshold in THRESHOLDS:
+                t_scaled = int(round(threshold * SCALE))
+                want = sorted(
+                    int(i) for i in np.flatnonzero(oracle <= t_scaled)
+                )
+                for plan, index in (("native", native),
+                                    ("rerank", rerank)):
+                    got = sorted(index.search(query, threshold))
+                    assert got == want, (
+                        f"{profile}/{plan} h={threshold} q={query:#x}: "
+                        f"{len(got)} vs oracle {len(want)}"
+                    )
+                    cases += 1
+            order = np.lexsort((np.arange(oracle.size), oracle))[:K]
+            want_knn = [
+                (int(i), float(oracle[i]) / SCALE) for i in order
+            ]
+            for plan, index in (("native", native), ("rerank", rerank)):
+                got = index.knn_search(query, K)
+                assert got == want_knn, (
+                    f"{profile}/{plan} kNN q={query:#x}: {got[:3]}..."
+                )
+                cases += 1
+    return cases
+
+
+def test_weighted_plan_crossover(benchmark):
+    """Time native vs re-rank per (profile, threshold) cell."""
+    codes = paper_codes("NUS-WIDE", scaled(WORKLOAD_SIZE), bits=BITS)
+    queries = sample_queries(codes, NUM_QUERIES, seed=5)
+    profiles = _weight_profiles(BITS)
+    pairs = {
+        name: _build_pair(codes, weights)
+        for name, weights in profiles.items()
+    }
+
+    def run():
+        measured = {}
+        for name, (native, rerank) in pairs.items():
+            for threshold in THRESHOLDS:
+                for query in queries[:8]:
+                    assert sorted(native.search(query, threshold)) == (
+                        sorted(rerank.search(query, threshold))
+                    ), f"{name} h={threshold} q={query:#x}"
+                native_ms = _per_query_ms(
+                    lambda: [
+                        native.search(q, threshold) for q in queries
+                    ],
+                    queries,
+                )
+                rerank_ms = _per_query_ms(
+                    lambda: [
+                        rerank.search(q, threshold) for q in queries
+                    ],
+                    queries,
+                )
+                native.search(queries[0], threshold)
+                native_ops = native.last_search_ops
+                rerank.search(queries[0], threshold)
+                rerank_ops = rerank.last_search_ops
+                measured[(name, threshold)] = {
+                    "native_ms": native_ms,
+                    "rerank_ms": rerank_ms,
+                    "native_speedup": rerank_ms / native_ms,
+                    "native_ops": native_ops,
+                    "rerank_ops": rerank_ops,
+                    "implied_radius": profiles[name].implied_radius(
+                        threshold, BITS
+                    ),
+                }
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (name, threshold), cell in measured.items():
+        winner = (
+            "native" if cell["native_ms"] < cell["rerank_ms"]
+            else "rerank"
+        )
+        rows.append(
+            [
+                name,
+                f"t={threshold:g}",
+                f"r*={cell['implied_radius']}",
+                f"{cell['native_ms']:.3f}",
+                f"{cell['rerank_ms']:.3f}",
+                f"{cell['native_speedup']:.2f}x",
+                winner,
+            ]
+        )
+    n = scaled(WORKLOAD_SIZE)
+    table = render_table(
+        f"Extension: weighted Hamming, native sweep vs re-rank "
+        f"(NUS-WIDE-like, n={n}, q={BITS}, {NUM_QUERIES} queries, "
+        f"best of {REPEATS})",
+        ["weights", "threshold", "implied radius", "native ms",
+         "rerank ms", "native speedup", "winner"],
+        rows,
+        note=(
+            "Identical result sets per cell (asserted).  r* is the "
+            "unweighted radius re-rank must sweep (floor(t / min(w))); "
+            "a spread weight vector pushes r* toward the code width "
+            "and hands the cell to the native per-mask lower-bound "
+            "sweep, while near-uniform weights keep r* tight and let "
+            "the cheaper unweighted kernel win."
+        ),
+    )
+    record("ext_weighted_crossover", table)
+
+    payload = {
+        "workload": "NUS-WIDE-like",
+        "n": n,
+        "bits": BITS,
+        "thresholds": list(THRESHOLDS),
+        "num_queries": NUM_QUERIES,
+        "repeats": REPEATS,
+        "scale": scale(),
+        "cells": {
+            f"{name}@{threshold:g}": cell
+            for (name, threshold), cell in measured.items()
+        },
+        "native_wins": [
+            f"{name}@{threshold:g}"
+            for (name, threshold), cell in measured.items()
+            if cell["native_ms"] < cell["rerank_ms"]
+        ],
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_weighted.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # Acceptance only at full scale: tiny corpora time pure overhead.
+    if scale() >= 1.0:
+        spread_cells = {
+            f"t={t:g}": cell
+            for (name, t), cell in measured.items()
+            if name == "spread"
+        }
+        assert any(
+            cell["native_ms"] < cell["rerank_ms"]
+            for cell in spread_cells.values()
+        ), f"native must win a spread-weights cell: {spread_cells}"
+
+
+def test_weighted_knn_precision_of_unweighted_ranking(benchmark):
+    """Unweighted kNN vs weighted ground truth: the motivating gap."""
+    codes = paper_codes("NUS-WIDE", scaled(WORKLOAD_SIZE), bits=BITS)
+    queries = sample_queries(codes, 16, seed=7)
+    weights = _weight_profiles(BITS)["spread"]
+    native, rerank = _build_pair(codes, weights)
+    flat = DynamicHAIndex.build(codes).compile()
+    lanes, scaled_w = _oracle_scaled(codes, weights)
+
+    def run():
+        native_s = _best_of(
+            lambda: [native.knn_search(q, K) for q in queries]
+        )
+        rerank_s = _best_of(
+            lambda: [rerank.knn_search(q, K) for q in queries]
+        )
+        overlaps = []
+        for query in queries:
+            oracle = _oracle_distances(lanes, scaled_w, query, BITS)
+            truth = {
+                int(i)
+                for i in np.lexsort(
+                    (np.arange(oracle.size), oracle)
+                )[:K]
+            }
+            unweighted = {
+                pair[0] for pair in knn_select(query, flat, K)
+            }
+            overlaps.append(len(truth & unweighted) / K)
+        return native_s, rerank_s, overlaps
+
+    native_s, rerank_s, overlaps = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    precision = sum(overlaps) / len(overlaps)
+    # Exactness: the weighted kNN itself matches the oracle ranking.
+    for query in queries[:6]:
+        oracle = _oracle_distances(lanes, scaled_w, query, BITS)
+        order = np.lexsort((np.arange(oracle.size), oracle))[:K]
+        want = [(int(i), float(oracle[i]) / SCALE) for i in order]
+        assert native.knn_search(query, K) == want
+        assert rerank.knn_search(query, K) == want
+
+    table = render_table(
+        f"Extension: weighted kNN (n={len(codes)}, q={BITS}, k={K}, "
+        f"spread weights)",
+        ["metric", "value"],
+        [
+            ["native kNN ms/query",
+             f"{native_s / len(queries) * 1000:.3f}"],
+            ["rerank kNN ms/query",
+             f"{rerank_s / len(queries) * 1000:.3f}"],
+            ["precision@k of unweighted ranking", f"{precision:.2f}"],
+        ],
+        note=(
+            "precision@k is |top-k(unweighted) intersect "
+            "top-k(weighted)| / k against the exact weighted ground "
+            "truth — the fraction of weighted neighbors an unweighted "
+            "index would have returned.  Both weighted plans match "
+            "the ground-truth ranking exactly (asserted)."
+        ),
+    )
+    record("ext_weighted_knn", table)
+    payload_path = RESULTS_DIR / "BENCH_weighted.json"
+    payload = (
+        json.loads(payload_path.read_text())
+        if payload_path.exists()
+        else {}
+    )
+    payload["knn"] = {
+        "k": K,
+        "native_ms": native_s / len(queries) * 1000.0,
+        "rerank_ms": rerank_s / len(queries) * 1000.0,
+        "unweighted_precision_at_k": precision,
+    }
+    payload_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    if scale() >= 1.0:
+        assert precision < 1.0, (
+            "spread weights must reorder the neighborhood — otherwise "
+            "the weighted plane adds nothing over the unweighted kNN"
+        )
+
+
+if __name__ == "__main__":
+    if "--verify" in sys.argv:
+        cases = verify()
+        print(f"weighted verify OK ({cases} plan-vs-oracle cases)")
+    else:
+        print(
+            "run under pytest for timings, or pass --verify for the "
+            "exactness sweep"
+        )
+        raise SystemExit(2)

@@ -8,7 +8,10 @@ Public API highlights:
 * :class:`repro.core.DynamicHAIndex` / :class:`repro.core.StaticHAIndex`
   — the paper's indexes;
 * :func:`repro.core.hamming_select` / :func:`repro.core.hamming_join` /
-  :func:`repro.core.knn_select` — query front-ends;
+  :func:`repro.core.knn_select` — query front-ends (all take
+  ``weights=`` for weighted Hamming distance);
+* :func:`repro.core.weighted_select` / :func:`repro.core.weighted_knn`
+  — the weighted query plane (:mod:`repro.core.weighted`);
 * :mod:`repro.hashing` — Spectral Hashing and friends;
 * :mod:`repro.mapreduce` — the in-process MapReduce runtime;
 * :func:`repro.distributed.mapreduce_hamming_join` — the three-phase
@@ -34,6 +37,11 @@ from repro.core import (
     hamming_intersect,
     nested_loops_join,
     self_join,
+    WeightedHammingIndex,
+    Weights,
+    weighted_hamming,
+    weighted_knn,
+    weighted_select,
 )
 
 __version__ = "1.0.0"
@@ -57,5 +65,10 @@ __all__ = [
     "hamming_intersect",
     "nested_loops_join",
     "self_join",
+    "WeightedHammingIndex",
+    "Weights",
+    "weighted_hamming",
+    "weighted_knn",
+    "weighted_select",
     "__version__",
 ]

@@ -89,6 +89,34 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=1, help="dataset seed (default 1)"
         )
 
+    def add_weight_arguments(sub: argparse.ArgumentParser) -> None:
+        weighted = sub.add_argument_group(
+            "weighted",
+            "rank by weighted Hamming distance "
+            "(repro.core.weighted; docs/weighted.md)",
+        )
+        weighted.add_argument(
+            "--weights",
+            choices=["uniform", "learned", "random"],
+            default=None,
+            help="per-bit weight vector: uniform (reproduces the "
+                 "unweighted answer exactly), learned (bit-variance "
+                 "weights from the codes), or random (seeded, "
+                 "mean-1.0)",
+        )
+        weighted.add_argument(
+            "--weight-seed", type=int, default=0,
+            help="seed for --weights random (default 0)",
+        )
+        weighted.add_argument(
+            "--weight-strategy",
+            choices=["auto", "native", "rerank"],
+            default="auto",
+            help="weighted traversal: native per-mask lower-bound "
+                 "sweep or rerank over unweighted candidates "
+                 "(default auto)",
+        )
+
     select = commands.add_parser("select", help="Hamming-select demo")
     add_workload_arguments(select)
     select.add_argument("--threshold", type=int, default=3)
@@ -105,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="H-Search plane: nodes/flat run against --index; any "
              "other registry engine serves its own index",
     )
+    add_weight_arguments(select)
 
     join = commands.add_parser("join", help="Hamming self-join demo")
     add_workload_arguments(join)
@@ -122,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_arguments(knn)
     knn.add_argument("--k", type=int, default=10)
     knn.add_argument("--query-id", type=int, default=0)
+    add_weight_arguments(knn)
 
     mrjoin = commands.add_parser(
         "mrjoin", help="distributed Hamming-join demo"
@@ -409,6 +439,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from a durable store (created or recovered) so the "
              "store_* gauges appear in the exposition",
     )
+
+    docs_gen = commands.add_parser(
+        "docs-gen",
+        help="regenerate the generated docs: docs/cli.md from this "
+             "argparse tree, engine tables from the registry",
+    )
+    docs_gen.add_argument(
+        "--check", action="store_true",
+        help="drift check: exit 1 listing stale files instead of "
+             "rewriting them (CI runs this)",
+    )
+    docs_gen.add_argument(
+        "--root", default=None,
+        help="repository root holding docs/ (default: auto-detected "
+             "from the package location)",
+    )
     return parser
 
 
@@ -457,10 +503,39 @@ def _command_info() -> int:
     return 0
 
 
+def _weight_vector(args: argparse.Namespace, codes: CodeSet):
+    """The CLI-selected weight vector, or ``None`` when unweighted."""
+    if getattr(args, "weights", None) is None:
+        return None
+    from repro.core.weighted import (
+        learned_weights,
+        random_weights,
+        uniform_weights,
+    )
+
+    if args.weights == "uniform":
+        return uniform_weights(codes.length)
+    if args.weights == "learned":
+        return learned_weights(codes)
+    return random_weights(codes.length, seed=args.weight_seed)
+
+
 def _command_select(args: argparse.Namespace) -> int:
     _, codes = _encoded_workload(args)
     canonical = get_engine(args.engine).name
-    if canonical in ("dha", "flat"):
+    weights = _weight_vector(args, codes)
+    if weights is not None:
+        # Weighted plane: the registry's weighted engine wraps the DHA
+        # kernel; --index is ignored like for other registry engines.
+        canonical = "weighted"
+        label = f"weighted[{args.weights}]"
+
+        def builder(codes):
+            return build_index(
+                "weighted", codes,
+                weights=weights, strategy=args.weight_strategy,
+            )
+    elif canonical in ("dha", "flat"):
         builder = INDEX_FAMILIES[args.index]
         label = args.index
     else:
@@ -529,12 +604,24 @@ def _command_knn(args: argparse.Namespace) -> int:
     _, codes = _encoded_workload(args)
     index = DynamicHAIndex.build(codes)
     query = codes[args.query_id % len(codes)]
+    weights = _weight_vector(args, codes)
     started = time.perf_counter()
-    neighbors = knn_select(query, index, args.k)
+    if weights is not None:
+        neighbors = knn_select(
+            query, index, args.k,
+            weights=weights.values,
+            weight_strategy=args.weight_strategy,
+        )
+    else:
+        neighbors = knn_select(query, index, args.k)
     elapsed = (time.perf_counter() - started) * 1000.0
-    print(f"{args.k}-NN of tuple {args.query_id} in {elapsed:.2f} ms:")
+    ranking = f"weighted[{args.weights}] " if weights is not None else ""
+    print(f"{ranking}{args.k}-NN of tuple {args.query_id} "
+          f"in {elapsed:.2f} ms:")
     for tuple_id, distance in neighbors:
-        print(f"  tuple {tuple_id}  (distance {distance})")
+        print(f"  tuple {tuple_id}  (distance {distance:g})"
+              if weights is not None
+              else f"  tuple {tuple_id}  (distance {distance})")
     return 0
 
 
@@ -1173,6 +1260,24 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_docs_gen(args: argparse.Namespace) -> int:
+    from repro.docsgen import generate_docs, stale_docs
+
+    if args.check:
+        stale = stale_docs(root=args.root)
+        if stale:
+            print("generated docs out of date "
+                  "(run: python -m repro docs-gen):")
+            for path in stale:
+                print(f"  {path}")
+            return 1
+        print("generated docs are current")
+        return 0
+    for path in generate_docs(root=args.root):
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -1202,6 +1307,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_trace(args)
     if args.command == "metrics":
         return _command_metrics(args)
+    if args.command == "docs-gen":
+        return _command_docs_gen(args)
     if args.command == "index":
         if args.index_command == "save":
             return _command_index_save(args)

@@ -16,6 +16,13 @@ from repro.core.relational import (
 )
 from repro.core.select import INDEX_FAMILIES, hamming_select
 from repro.core.static_ha import StaticHAIndex
+from repro.core.weighted import (
+    WeightedHammingIndex,
+    Weights,
+    weighted_hamming,
+    weighted_knn,
+    weighted_select,
+)
 
 __all__ = [
     "CodeSet",
@@ -38,4 +45,9 @@ __all__ = [
     "INDEX_FAMILIES",
     "hamming_select",
     "StaticHAIndex",
+    "WeightedHammingIndex",
+    "Weights",
+    "weighted_hamming",
+    "weighted_knn",
+    "weighted_select",
 ]

@@ -179,15 +179,25 @@ class CodeSet:
     jobs (which shuffle them).  Tuple identifiers are positional: code ``i``
     belongs to tuple ``i`` of the originating dataset unless explicit
     ``ids`` are supplied.
+
+    ``weights`` optionally attaches a per-bit weight vector (one
+    non-negative float per bit position, position 0 = most significant)
+    for the weighted query plane (:mod:`repro.core.weighted`).  Weights
+    are carried metadata: they survive :meth:`subset`/:meth:`with_ids`
+    and pickling but do not participate in equality or hashing, so a
+    weighted set still compares equal to its unweighted twin.
     """
 
-    __slots__ = ("_codes", "_length", "_ids", "_packed", "_packed_wide")
+    __slots__ = (
+        "_codes", "_length", "_ids", "_weights", "_packed", "_packed_wide"
+    )
 
     def __init__(
         self,
         codes: Sequence[int],
         length: int,
         ids: Sequence[int] | None = None,
+        weights: Sequence[float] | None = None,
     ) -> None:
         if length < 1:
             raise InvalidParameterError("code length must be positive")
@@ -197,9 +207,21 @@ class CodeSet:
             raise InvalidParameterError(
                 f"{len(ids)} ids supplied for {len(codes)} codes"
             )
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != length:
+                raise InvalidParameterError(
+                    f"{len(weights)} weights supplied for "
+                    f"{length}-bit codes"
+                )
+            if any(w < 0 or w != w for w in weights):
+                raise InvalidParameterError(
+                    "bit weights must be non-negative and finite"
+                )
         self._codes = tuple(codes)
         self._length = length
         self._ids = tuple(ids) if ids is not None else None
+        self._weights = weights
         self._packed: np.ndarray | None = None
         self._packed_wide: np.ndarray | None = None
 
@@ -217,6 +239,11 @@ class CodeSet:
         if self._ids is not None:
             return self._ids
         return tuple(range(len(self._codes)))
+
+    @property
+    def weights(self) -> tuple[float, ...] | None:
+        """Attached per-bit weights, or ``None`` (uniform semantics)."""
+        return self._weights
 
     def __len__(self) -> int:
         return len(self._codes)
@@ -269,11 +296,24 @@ class CodeSet:
     def __reduce__(self):
         # Pickle the logical content only; packed caches are rebuilt
         # on demand instead of shipped across process boundaries.
-        return (type(self), (self._codes, self._length, self._ids))
+        return (
+            type(self),
+            (self._codes, self._length, self._ids, self._weights),
+        )
 
     def with_ids(self, ids: Sequence[int]) -> "CodeSet":
         """A copy of this set carrying explicit tuple identifiers."""
-        return CodeSet(self._codes, self._length, ids=ids)
+        return CodeSet(
+            self._codes, self._length, ids=ids, weights=self._weights
+        )
+
+    def with_weights(
+        self, weights: Sequence[float] | None
+    ) -> "CodeSet":
+        """A copy carrying the given per-bit weights (``None`` clears)."""
+        return CodeSet(
+            self._codes, self._length, ids=self._ids, weights=weights
+        )
 
     def subset(self, indices: Sequence[int]) -> "CodeSet":
         """A new ``CodeSet`` of the rows at ``indices`` (ids preserved)."""
@@ -282,6 +322,7 @@ class CodeSet:
             [self._codes[i] for i in indices],
             self._length,
             ids=[own_ids[i] for i in indices],
+            weights=self._weights,
         )
 
     @classmethod

@@ -7,12 +7,17 @@ previously ``core/select.py`` and ``cli.py`` each hard-coded their own
 builder tables.  ``INDEX_FAMILIES`` (the paper's Table 4 names) is now
 derived from the entries that carry a ``paper_name``.
 
-Engines fall into three groups:
+Engines fall into four groups:
 
 * the paper's seven Table 4 approaches (``nested-loops`` .. ``dha``);
 * ``flat`` — the compiled vectorized plane of the Dynamic HA-Index;
 * ``mih`` — Multi-Index Hashing (:mod:`repro.engines.mih`), the
-  substring-table competitor with native progressive-radius kNN.
+  substring-table competitor with native progressive-radius kNN;
+* ``weighted`` — the weighted Hamming plane
+  (:mod:`repro.core.weighted`): thresholds are weighted distances
+  under a per-bit weight vector (the codes' own, or ``weights=``
+  passed to the builder; uniform weights reproduce the unweighted
+  engines exactly).
 
 Builders import their index modules lazily so importing the registry
 stays cheap and cycle-free.
@@ -41,6 +46,16 @@ class EngineSpec:
         aliases: alternative names accepted wherever engines are named.
         batched: the built index offers ``search_batch`` /
             ``search_codes_batch`` multi-query entry points.
+        mutable: the built index supports ``insert``/``delete``
+            (the compiled kernels are read-only: mutate the source
+            DHA-Index and recompile).
+        weighted: thresholds are *weighted* Hamming distances under
+            the engine's per-bit weight vector
+            (:mod:`repro.core.weighted`).
+
+    The capability fields feed the generated engine tables in
+    ``docs/engines.md``/``docs/api.md`` (``repro docs-gen``), so a new
+    engine documents itself by registering here.
     """
 
     name: str
@@ -49,6 +64,8 @@ class EngineSpec:
     paper_name: str | None = None
     aliases: tuple[str, ...] = field(default=())
     batched: bool = False
+    mutable: bool = True
+    weighted: bool = False
 
 
 def _build_nested_loops(codes: CodeSet, **params) -> HammingIndex:
@@ -113,6 +130,12 @@ def _build_mih(codes: CodeSet, **params) -> HammingIndex:
     return MIHIndex.build(codes, **params)
 
 
+def _build_weighted(codes: CodeSet, **params) -> HammingIndex:
+    from repro.core.weighted import WeightedHammingIndex
+
+    return WeightedHammingIndex.build(codes, **params)
+
+
 #: Every registered engine, in Table 4 order first.
 ENGINES: dict[str, EngineSpec] = {
     spec.name: spec
@@ -165,6 +188,7 @@ ENGINES: dict[str, EngineSpec] = {
             "Dynamic HA-Index compiled to the vectorized flat kernel",
             _build_flat,
             batched=True,
+            mutable=False,
         ),
         EngineSpec(
             "native",
@@ -173,12 +197,22 @@ ENGINES: dict[str, EngineSpec] = {
             _build_native,
             aliases=("jit", "compiled"),
             batched=True,
+            mutable=False,
         ),
         EngineSpec(
             "mih",
             "Multi-Index Hashing: substring tables + progressive kNN",
             _build_mih,
             batched=True,
+        ),
+        EngineSpec(
+            "weighted",
+            "weighted Hamming plane over the DHA kernel "
+            "(native sweep + exact re-rank)",
+            _build_weighted,
+            aliases=("wha",),
+            batched=True,
+            weighted=True,
         ),
     )
 }

@@ -217,6 +217,7 @@ def hamming_join(
     engine: str = "nodes",
     parallel: bool = False,
     workers: int | None = None,
+    weights: Sequence[float] | None = None,
     profile: bool = False,
 ) -> list[tuple[int, int]]:
     """Index-based ``h-join``: index the smaller side, probe the larger.
@@ -231,8 +232,20 @@ def hamming_join(
     points fall back to the per-code walk.  ``profile=True`` runs the
     join under an ``h_join`` trace (build/probe phase spans;
     :func:`repro.obs.last_trace`).
+
+    With ``weights`` (one non-negative float per bit; the distance
+    measure is symmetric, so one vector covers both sides) the join
+    pairs every ``r`` and ``s`` within *weighted* Hamming distance
+    ``threshold``: the build side is wrapped in the weighted plane
+    (:class:`~repro.core.weighted.WeightedHammingIndex`) and probed
+    through its batched weighted sweeps.
     """
     engine = _check_engine(engine)
+    if weights is not None:
+        return _weighted_join(
+            left, right, threshold, weights,
+            engine=engine, profile=profile,
+        )
     if index_builder is None:
         index_builder = _default_builder(engine)
     with maybe_trace(
@@ -273,6 +286,57 @@ def hamming_join(
                         pairs.append((probe_id, build_id))
                     else:
                         pairs.append((build_id, probe_id))
+        return pairs
+
+
+def _weighted_join(
+    left: CodeSet,
+    right: CodeSet,
+    threshold: float,
+    weights: Sequence[float],
+    *,
+    engine: str,
+    profile: bool,
+) -> list[tuple[int, int]]:
+    """Weighted ``h-join``: weighted plane over the smaller side.
+
+    ``engine`` names the *inner* kernel the weighted plane compiles
+    (``weighted``/``nodes``/``flat``/``native`` all resolve to the
+    DHA kernel); probing runs through the plane's batched weighted
+    sweeps in the same chunks as the unweighted fast path.
+    """
+    from repro.core.weighted import WeightedHammingIndex, as_weights
+
+    resolved = as_weights(weights, left.length)
+    # Every engine name funnels to the DHA kernel here: the weighted
+    # plane sweeps the compiled flat arrays regardless of which
+    # spelling (nodes/flat/native/weighted) the caller asked for.
+    inner = "dha"
+    with maybe_trace(
+        "h_join", profile,
+        threshold=threshold, engine="weighted", parallel=False,
+    ):
+        swap = len(left) > len(right)
+        build_side, probe_side = (right, left) if swap else (left, right)
+        with trace_span("h_join.build", side_size=len(build_side)):
+            index = WeightedHammingIndex.build(
+                build_side, weights=resolved, engine=inner
+            )
+        pairs: list[tuple[int, int]] = []
+        with trace_span("h_join.probe", probes=len(probe_side)):
+            id_lists: list[list[int]] = []
+            for chunk in _chunked(list(probe_side.codes)):
+                id_lists.extend(index.search_batch(chunk, threshold))
+        with trace_span("h_join.expand"):
+            for probe_id, build_ids in zip(probe_side.ids, id_lists):
+                if swap:
+                    pairs.extend(
+                        zip(itertools.repeat(probe_id), build_ids)
+                    )
+                else:
+                    pairs.extend(
+                        zip(build_ids, itertools.repeat(probe_id))
+                    )
         return pairs
 
 

@@ -30,6 +30,8 @@ def knn_select(
     initial_threshold: int = DEFAULT_INITIAL_THRESHOLD,
     threshold_step: int | None = None,
     *,
+    weights: "Sequence[float] | None" = None,
+    weight_strategy: str = "auto",
     profile: bool = False,
 ) -> list[tuple[int, int]]:
     """The ``k`` Hamming-nearest tuples as (tuple id, distance) pairs.
@@ -43,6 +45,12 @@ def knn_select(
     ``profile=True`` traces each expansion round as a ``knn.round``
     span (:func:`repro.obs.last_trace`).
 
+    With ``weights`` the ranking is by *weighted* Hamming distance:
+    the query routes through
+    :func:`repro.core.weighted.weighted_knn` (distances come back as
+    exact fixed-point floats; uniform 1.0 weights reproduce the
+    unweighted ranking and tie breaks exactly).
+
     Indexes with a native exact kNN (``knn_search``, e.g. the MIH
     engine's progressive radius expansion) answer directly instead of
     running the expanding-threshold loop; both strategies return the
@@ -51,6 +59,13 @@ def knn_select(
     """
     if k < 1:
         raise InvalidParameterError("k must be positive")
+    if weights is not None:
+        from repro.core.weighted import weighted_knn
+
+        return weighted_knn(
+            query, index, k, weights,
+            strategy=weight_strategy, profile=profile,
+        )
     if threshold_step is None:
         threshold_step = max(2, index.code_length // 8)
     if initial_threshold < 0 or threshold_step < 1:

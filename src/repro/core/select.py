@@ -24,6 +24,8 @@ def hamming_select(
     target: HammingIndex | CodeSet,
     threshold: int,
     *,
+    weights: "Sequence[float] | None" = None,
+    weight_strategy: str = "auto",
     profile: bool = False,
 ) -> list[int]:
     """Tuple ids of ``target`` within Hamming distance ``threshold``.
@@ -37,11 +39,24 @@ def hamming_select(
     (The paper's Example 1: the query ``"101100010"`` with ``h = 3``
     selects tuples ``t0, t3, t4, t6`` of Table 2a.)
 
+    With ``weights`` (one non-negative float per bit) the threshold is
+    a *weighted* Hamming distance and the query routes through
+    :func:`repro.core.weighted.weighted_select` with the chosen
+    ``weight_strategy`` (``auto``/``native``/``rerank``); uniform
+    weights of 1.0 reproduce the unweighted result exactly.
+
     With ``profile=True`` the evaluation runs under an ``h_select``
     trace whose span tree (per-level op attribution when an HA-Index
     engine serves the query) is afterwards available from
     :func:`repro.obs.last_trace`.
     """
+    if weights is not None:
+        from repro.core.weighted import weighted_select
+
+        return weighted_select(
+            query, target, threshold, weights,
+            strategy=weight_strategy, profile=profile,
+        )
     with maybe_trace("h_select", profile, threshold=threshold):
         if isinstance(target, HammingIndex):
             return target.search(query, threshold)

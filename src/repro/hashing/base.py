@@ -56,6 +56,22 @@ class SimilarityHash(ABC):
         """Convenience: fit on ``data`` and encode the same rows."""
         return self.fit(data).encode(data)
 
+    def bit_weights(self, data: np.ndarray) -> tuple[float, ...]:
+        """Learned per-bit weights from this hash's bit balance.
+
+        Encodes ``data`` and derives one weight per bit position from
+        how evenly that bit splits the sample (balanced bits are the
+        most discriminative); see
+        :func:`repro.core.weighted.learned_weights`.  Attach the
+        result to a :class:`~repro.core.bitvector.CodeSet` (its
+        ``weights=`` argument) to serve weighted queries over the
+        hash's codes.
+        """
+        from repro.core.weighted import learned_weights
+
+        codes = self.encode(data)
+        return tuple(learned_weights(codes).values.tolist())
+
     @abstractmethod
     def _fit(self, matrix: np.ndarray) -> None:
         """Learn parameters from a 2-D sample matrix."""

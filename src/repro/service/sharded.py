@@ -1108,17 +1108,53 @@ class ShardedQueryService:
 
     # -- scatter-gather core (runs under the shard mutex) ------------------
 
+    def _plan_radius(self, threshold: int) -> int:
+        """Unweighted planning radius for a (possibly weighted) threshold.
+
+        The Gray-range shard bound prunes in *unweighted* Hamming
+        space.  Weighted engines expose ``implied_radius`` — the
+        largest unweighted distance a weighted match can sit at
+        (``floor(threshold / min_weight)``) — so planning at that
+        radius keeps pruning sound: a shard outside it provably holds
+        no weighted match.  Unweighted engines plan at the threshold
+        itself, unchanged.
+        """
+        if self._shards:
+            implied = getattr(
+                self._shards[0].primary, "implied_radius", None
+            )
+            if implied is not None:
+                return implied(threshold)
+        return threshold
+
+    def _knn_cap(self) -> int:
+        """Threshold that provably covers every stored code for kNN.
+
+        The code length for unweighted engines; weighted engines
+        report ``knn_threshold_cap`` (the ceiling of their total
+        weight), since their distances may exceed the code length.
+        """
+        if self._shards:
+            cap = getattr(
+                self._shards[0].primary, "knn_threshold_cap", None
+            )
+            if cap is not None:
+                return max(int(cap), self._code_length)
+        return self._code_length
+
     def _plan_locked(self, query: int, threshold: int) -> ShardPlan:
         if not self._pruning:
             return self._broadcast_plan()
-        return self._planner.plan(query, threshold)
+        return self._planner.plan(query, self._plan_radius(threshold))
 
     def _plan_batch_locked(
         self, queries: list[int], threshold: int
     ) -> tuple[list[ShardPlan], dict[int, list[int]]]:
         """Plan a batch and transpose it into ``{shard: positions}``."""
         if self._pruning:
-            return self._planner.plan_batch(queries, threshold)
+            return self._planner.plan_batch(
+                queries, self._plan_radius(threshold)
+            )
         plans = [self._broadcast_plan() for _ in queries]
         by_shard: dict[int, list[int]] = {}
         for position, plan in enumerate(plans):
@@ -1331,6 +1367,7 @@ class ShardedQueryService:
         """
         threshold = DEFAULT_INITIAL_THRESHOLD
         step = max(2, self._code_length // 8)
+        cap = self._knn_cap()
         target = min(k, sum(len(s.primary) for s in self._shards))
         while True:
             plan = self._plan_locked(query, threshold)
@@ -1353,10 +1390,10 @@ class ShardedQueryService:
                 matches: list[tuple[int, int]] = []
                 for chunk in gathered:
                     matches.extend(chunk)
-            if len(matches) >= target or threshold >= self._code_length:
+            if len(matches) >= target or threshold >= cap:
                 matches.sort(key=lambda pair: (pair[1], pair[0]))
                 return tuple(matches[:k])
-            threshold = min(threshold + step, self._code_length)
+            threshold = min(threshold + step, cap)
 
     def _run_query(self, kind: str, query: int, param: int) -> object:
         if kind == "select":

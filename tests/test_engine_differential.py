@@ -12,9 +12,14 @@ compiled backend force-disabled, proving the numpy fallback
 byte-identical (order included).  The Manku multi-hash baselines
 (MH-4/MH-10) join the select sweep at thresholds beyond their design
 point, exercising the pigeonhole probing fallback against the oracle.
-The parametrization spans > 200 cases, so a regression in any engine's
-traversal, buffer handling, or delete path surfaces as a concrete seed
-to replay.
+The weighted plane gets its own sweep of > 200 seeded cases: both
+weighted strategies (native lower-bound sweep and unweighted re-rank)
+against a pure-python integer-scaled weighted oracle — spread,
+continuous, and partially-zero weight vectors, mutations included —
+plus a lane proving uniform 1.0 weights degenerate byte-identically
+to the unweighted plane.  The parametrization spans > 400 cases in
+total, so a regression in any engine's traversal, buffer handling, or
+delete path surfaces as a concrete seed to replay.
 """
 
 from __future__ import annotations
@@ -32,12 +37,23 @@ from repro.core.knn import knn_select, knn_select_batch
 from repro.core.native import force_backend
 from repro.core.select import hamming_select, hamming_select_batch
 from repro.core.static_ha import StaticHAIndex
+from repro.core.weighted import (
+    SCALE,
+    WeightedHammingIndex,
+    Weights,
+    uniform_weights,
+    weighted_knn,
+    weighted_select,
+)
 from repro.engines.mih import MIHIndex
 
 WIDTHS = (16, 32, 64, 96)
 SELECT_SEEDS = range(25)
 KNN_SEEDS = range(13)
 JOIN_SEEDS = range(13)
+WEIGHTED_SELECT_SEEDS = range(26)
+WEIGHTED_KNN_SEEDS = range(13)
+UNIFORM_SEEDS = range(13)
 
 
 def _random_codes(
@@ -304,3 +320,174 @@ def test_native_numpy_fallback_byte_identical(
     with force_backend("numpy"):
         assert native.backend == "numpy"
         assert snapshot() == compiled
+
+
+# -- the weighted plane vs a pure-python integer oracle -----------------
+
+
+def _random_weight_values(rng: random.Random, width: int) -> list[float]:
+    """Spread, continuous, or partially-zero per-bit weight vectors."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        return [
+            rng.choice((0.25, 0.5, 1.0, 2.0, 4.0)) for _ in range(width)
+        ]
+    if kind == 1:
+        return [rng.uniform(0.05, 3.0) for _ in range(width)]
+    return [
+        0.0 if rng.random() < 0.2 else rng.uniform(0.1, 2.0)
+        for _ in range(width)
+    ]
+
+
+def _weighted_pair(rng: random.Random, width: int, weights: Weights):
+    """(logical pairs, native index, rerank index) after random edits.
+
+    Mutations go through the weighted wrapper (exercising its
+    delegation and the buffered-insert scan); the re-rank twin wraps
+    the same mutated DHA-Index afterwards, so both strategies answer
+    over an identical corpus.
+    """
+    n = rng.randrange(40, 161)
+    base = _random_codes(rng, width, n)
+    logical = list(zip(base, range(n)))
+    dha = DynamicHAIndex.build(CodeSet(base, width))
+    native = WeightedHammingIndex(dha, weights=weights, strategy="native")
+    for position in range(rng.randrange(0, 6)):
+        code, tuple_id = rng.getrandbits(width), n + position
+        native.insert(code, tuple_id)
+        logical.append((code, tuple_id))
+    victims = rng.sample(
+        logical, k=min(len(logical), rng.randrange(0, 6))
+    )
+    for code, tuple_id in victims:
+        native.delete(code, tuple_id)
+        logical.remove((code, tuple_id))
+    rerank = WeightedHammingIndex(dha, weights=weights, strategy="rerank")
+    return logical, native, rerank
+
+
+def _weighted_oracle_pairs(
+    logical: list[tuple[int, int]], weights: Weights, query: int
+) -> list[tuple[int, int]]:
+    """Every (tuple id, scaled weighted distance), the python bit loop."""
+    return [
+        (tuple_id, weights.distance_scaled(code, query))
+        for code, tuple_id in logical
+    ]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", WEIGHTED_SELECT_SEEDS)
+def test_weighted_select_matches_oracle(width: int, seed: int) -> None:
+    """Both weighted strategies are byte-identical to the oracle.
+
+    Result ids *and* reported distances must equal the pure-python
+    integer-scaled scan exactly — no float epsilon anywhere — across
+    random thresholds and thresholds pinned to an exact pairwise
+    distance (boundary inclusion).
+    """
+    rng = random.Random(seed * 7013 + width)
+    weights = Weights(_random_weight_values(rng, width))
+    logical, native, rerank = _weighted_pair(rng, width, weights)
+    queries = [code for code, _ in rng.sample(logical, k=2)]
+    queries.append(rng.getrandbits(width))
+    scan = CodeSet(
+        [code for code, _ in logical],
+        width,
+        ids=[tuple_id for _, tuple_id in logical],
+    )
+    for query in queries:
+        scored = _weighted_oracle_pairs(logical, weights, query)
+        boundary = rng.choice(scored)[1] / SCALE
+        thresholds = (
+            rng.uniform(0.0, max(1.0, width / 4)), boundary, 0.0
+        )
+        for threshold in thresholds:
+            t_scaled = int(round(threshold * SCALE))
+            expected = sorted(
+                (tuple_id, scaled / SCALE)
+                for tuple_id, scaled in scored
+                if scaled <= t_scaled
+            )
+            expected_ids = [tuple_id for tuple_id, _ in expected]
+            for index in (native, rerank):
+                assert sorted(index.search(query, threshold)) \
+                    == expected_ids
+                assert sorted(
+                    index.search_with_distances(query, threshold)
+                ) == expected
+                assert sorted(
+                    index.search_batch([query], threshold)[0]
+                ) == expected_ids
+                assert index.contains_within(query, threshold) \
+                    == bool(expected)
+            # The CodeSet scan front-end shares the same integers.
+            assert sorted(
+                weighted_select(query, scan, threshold, weights)
+            ) == expected_ids
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", WEIGHTED_KNN_SEEDS)
+def test_weighted_knn_matches_oracle(width: int, seed: int) -> None:
+    """Weighted kNN ranks by exact (distance, id) under both strategies."""
+    rng = random.Random(seed * 8017 + width)
+    weights = Weights(_random_weight_values(rng, width))
+    logical, native, rerank = _weighted_pair(rng, width, weights)
+    k = rng.randrange(1, 12)
+    for query in (logical[0][0], rng.getrandbits(width)):
+        scored = sorted(
+            (scaled, tuple_id)
+            for tuple_id, scaled
+            in _weighted_oracle_pairs(logical, weights, query)
+        )
+        expected = [
+            (tuple_id, scaled / SCALE)
+            for scaled, tuple_id in scored[:k]
+        ]
+        assert native.knn_search(query, k) == expected
+        assert rerank.knn_search(query, k) == expected
+        assert weighted_knn(query, native, k, weights) == expected
+        assert knn_select(
+            query, native.inner, k, weights=weights.values
+        ) == expected
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("seed", UNIFORM_SEEDS)
+def test_uniform_weights_degenerate_exactly(
+    width: int, seed: int
+) -> None:
+    """Uniform 1.0 weights reproduce the unweighted plane bit for bit.
+
+    1.0 quantizes to exactly ``SCALE``, so every weighted distance is
+    ``SCALE * hamming`` — same result sets, same distances (numeric
+    equality of the fixed-point floats against the integer answers),
+    same kNN ranking including tie-breaks.
+    """
+    rng = random.Random(seed * 9029 + width)
+    logical, dha, flat, native, _, _ = _mutated_engines(rng, width)
+    weighted = WeightedHammingIndex(
+        dha, weights=uniform_weights(width), strategy="native"
+    )
+    rerank = WeightedHammingIndex(
+        dha, weights=uniform_weights(width), strategy="rerank"
+    )
+    queries = [logical[0][0], rng.getrandbits(width)]
+    for query in queries:
+        for threshold in (0, 1, width // 4, width // 2):
+            expected = sorted(flat.search(query, threshold))
+            exact = sorted(flat.search_with_distances(query, threshold))
+            for index in (weighted, rerank):
+                assert sorted(index.search(query, threshold)) == expected
+                # (id, float) pairs compare numerically equal to the
+                # unweighted (id, int) pairs — 3.0 == 3 exactly.
+                assert sorted(
+                    index.search_with_distances(query, threshold)
+                ) == exact
+        k = rng.randrange(1, 8)
+        assert weighted.knn_search(query, k) \
+            == knn_select(query, dha, k)
+        assert rerank.knn_search(query, k) \
+            == knn_select(query, native, k)

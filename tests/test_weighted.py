@@ -1,0 +1,449 @@
+"""The weighted Hamming plane: quantization, bounds, and plumbing.
+
+The differential suite (``test_engine_differential.py``) owns the
+broad oracle sweep; this file pins the sharp edges:
+
+* 16.16 fixed-point quantization and ``Weights`` validation;
+* re-rank kNN completeness at the weighted-radius boundary — a nearer
+  code *outside* the swept radius, and an exact tie *at* the bound
+  ``min(w) * (radius + 1)``, must both survive (a naive
+  count-candidates stop returns the wrong neighbor on these corpora);
+* zero-weight and uniform-weight degeneration;
+* the CodeSet weight plumbing (subset / pickle / shard builders);
+* span-vs-ops accounting for weighted queries;
+* service and CLI integration smoke.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import CodeSet
+from repro.core.dynamic_ha import DynamicHAIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.join import hamming_join, nested_loops_join
+from repro.core.weighted import (
+    SCALE,
+    WeightedHammingIndex,
+    Weights,
+    as_weights,
+    learned_weights,
+    random_weights,
+    uniform_weights,
+    weighted_hamming,
+    weighted_select,
+)
+
+
+def _scaled_oracle(codes, weights, query):
+    return [weights.distance_scaled(code, query) for code in codes]
+
+
+# -- Weights: quantization and validation -------------------------------
+
+
+def test_weights_quantize_to_fixed_point():
+    w = Weights([1.0, 0.5, 0.25, 1.5])
+    assert w.scaled.tolist() == [SCALE, SCALE // 2, SCALE // 4,
+                                 3 * SCALE // 2]
+    assert w.values.tolist() == [1.0, 0.5, 0.25, 1.5]
+    assert w.min_scaled == SCALE // 4
+    assert w.total_scaled == sum(w.scaled.tolist())
+    assert w.length == 4
+
+
+def test_weights_distance_is_exact_integer_arithmetic():
+    w = Weights([2.0, 1.0, 0.5])
+    # codes are 3-bit; string position 0 is the most significant bit.
+    assert w.distance_scaled(0b100, 0b000) == 2 * SCALE
+    assert w.distance_scaled(0b001, 0b000) == SCALE // 2
+    assert w.distance_scaled(0b111, 0b000) == 7 * SCALE // 2
+    assert weighted_hamming(0b111, 0b000, [2.0, 1.0, 0.5]) == 3.5
+    assert w.distance(0b101, 0b000) == 2.5
+
+
+def test_weights_validation():
+    with pytest.raises(InvalidParameterError):
+        Weights([1.0, -0.5])
+    with pytest.raises(InvalidParameterError):
+        Weights([1.0, float("nan")])
+    with pytest.raises(InvalidParameterError):
+        Weights([1.0, float("inf")])
+    with pytest.raises(InvalidParameterError):
+        Weights([])
+    with pytest.raises(InvalidParameterError):
+        Weights([[1.0, 2.0]])
+    with pytest.raises(InvalidParameterError):
+        as_weights([1.0, 2.0], 3)  # length mismatch
+    assert as_weights(None, 3) == uniform_weights(3)
+
+
+def test_uniform_detection_and_implied_radius():
+    assert uniform_weights(8).is_uniform_unit
+    assert not Weights([1.0] * 7 + [1.5]).is_uniform_unit
+    w = Weights([0.5] * 8)
+    # wd <= 2.0 implies hd <= 4 when every weight is 0.5.
+    assert w.implied_radius(2.0, 8) == 4
+    assert w.implied_radius(100.0, 8) == 8  # capped at the width
+    zero_floor = Weights([0.0] + [1.0] * 7)
+    assert zero_floor.implied_radius(1.0, 8) == 8  # unbounded -> cap
+
+
+def test_weights_equality_pickle_and_helpers():
+    w = Weights([0.25, 1.0, 2.0])
+    assert pickle.loads(pickle.dumps(w)) == w
+    assert hash(Weights([0.25, 1.0, 2.0])) == hash(w)
+    assert random_weights(16, seed=3) == random_weights(16, seed=3)
+    assert random_weights(16, seed=3) != random_weights(16, seed=4)
+    codes = CodeSet([0b1100, 0b1010, 0b1001, 0b1111], 4)
+    learned = learned_weights(codes)
+    # Position 0 is constant across the corpus -> (near-)zero weight,
+    # floored at one fixed-point quantum to keep the vector positive.
+    assert learned.scaled[0] == 1
+    assert all(learned.scaled[1:] > 1)
+
+
+def test_hashing_bit_weights_surface():
+    from repro.data.synthetic import PAPER_DATASETS
+    from repro.hashing.spectral import SpectralHash
+
+    dataset = PAPER_DATASETS["NUS-WIDE"](300, seed=1)
+    hasher = SpectralHash(16).fit(dataset.vectors)
+    weights = hasher.bit_weights(dataset.vectors)
+    assert len(weights) == 16
+    assert all(w > 0 for w in weights)
+    assert weights == tuple(
+        learned_weights(dataset.encode(hasher)).values.tolist()
+    )
+
+
+# -- re-rank kNN at the weighted-radius boundary ------------------------
+
+
+def test_rerank_knn_finds_nearer_code_beyond_swept_radius():
+    """A code outside the unweighted radius can still be the 1-NN.
+
+    Weights: four heavy bits (4.0) then four light bits (0.5).  The
+    hd-1 code costs 4.0; the hd-4 code costs 2.0.  The first re-rank
+    round (radius 2) only sees the expensive code — stopping on
+    candidate *count* would return it.  The completeness bound
+    ``min(w) * (radius + 1) = 1.5`` admits no such stop, so the loop
+    widens and finds the true neighbor.
+    """
+    weights = Weights([4.0] * 4 + [0.5] * 4)
+    codes = [
+        0b10000000,  # id 0: hd 1, wd 4.0
+        0b00001111,  # id 1: hd 4, wd 2.0  <- true 1-NN
+        0b11111111,  # id 2: filler, wd 18.0
+        0b11110000,  # id 3: filler, hd 4, wd 16.0
+    ]
+    index = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet(codes, 8)),
+        weights=weights, strategy="rerank",
+    )
+    assert index.knn_search(0, 1) == [(1, 2.0)]
+    assert index.knn_search(0, 2) == [(1, 2.0), (0, 4.0)]
+
+
+def test_rerank_knn_tie_exactly_at_the_completeness_bound():
+    """An exact tie at ``min(w) * (radius + 1)`` forces another round.
+
+    The in-radius candidate and an out-of-radius code both cost 1.5 —
+    exactly the round's completeness bound.  Stopping on ``<=`` would
+    return the in-radius candidate (id 5); the strict ``<`` widens the
+    sweep, and (distance, id) ranking then prefers id 0.
+    """
+    weights = Weights([1.0, 1.0] + [0.5] * 6)
+    codes = [
+        0b00111000,  # id 0: three light bits, hd 3, wd 1.5 <- tie, lower id
+        0b11111111,  # id 1: filler, wd 5.0
+        0b11111110,  # id 2: filler, wd 4.5
+        0b11111101,  # id 3: filler, wd 4.5
+        0b11111011,  # id 4: filler, wd 4.5
+        0b10100000,  # id 5: heavy+light, hd 2, wd 1.5 <- tie, in radius 2
+    ]
+    index = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet(codes, 8)),
+        weights=weights, strategy="rerank",
+    )
+    assert index.knn_search(0, 1) == [(0, 1.5)]
+    assert index.knn_search(0, 2) == [(0, 1.5), (5, 1.5)]
+    # The native strategy agrees, ties included.
+    native = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet(codes, 8)),
+        weights=weights, strategy="native",
+    )
+    assert native.knn_search(0, 2) == [(0, 1.5), (5, 1.5)]
+
+
+def test_knn_shorter_corpus_and_buffered_inserts():
+    weights = Weights([0.5] * 8)
+    index = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet([0b1, 0b11], 8)),
+        weights=weights, strategy="rerank",
+    )
+    assert index.knn_search(0, 10) == [(0, 0.5), (1, 1.0)]
+    # Buffered inserts participate in every round with exact scores.
+    index.insert(0b0, 7)
+    assert index.knn_search(0, 1) == [(7, 0.0)]
+    assert len(index) == 3
+
+
+# -- degenerate weight vectors ------------------------------------------
+
+
+def test_zero_weight_bits_are_free():
+    # The two trailing bits cost nothing: codes differing only there
+    # are at weighted distance 0.
+    weights = Weights([1.0, 1.0, 0.0, 0.0])
+    codes = [0b0000, 0b0011, 0b0100, 0b1111]
+    index = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet(codes, 4)),
+        weights=weights, strategy="native",
+    )
+    assert sorted(index.search(0b0000, 0)) == [0, 1]
+    assert sorted(index.search(0b0000, 1)) == [0, 1, 2]
+    assert index.knn_search(0b0011, 2) == [(0, 0.0), (1, 0.0)]
+    rerank = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet(codes, 4)),
+        weights=weights, strategy="rerank",
+    )
+    assert sorted(rerank.search(0b0000, 0)) == [0, 1]
+    assert rerank.knn_search(0b0011, 2) == [(0, 0.0), (1, 0.0)]
+
+
+def test_all_zero_weights_collapse_every_distance():
+    weights = Weights([0.0] * 4)
+    codes = [0b0000, 0b1111, 0b1010]
+    for strategy in ("native", "rerank"):
+        index = WeightedHammingIndex(
+            DynamicHAIndex.build(CodeSet(codes, 4)),
+            weights=weights, strategy=strategy,
+        )
+        assert sorted(index.search(0b0101, 0)) == [0, 1, 2]
+        assert index.knn_search(0b0101, 2) == [(0, 0.0), (1, 0.0)]
+
+
+def test_uniform_weights_threshold_cap_matches_code_length():
+    index = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet([0b1, 0b10], 8)),
+        weights=uniform_weights(8),
+    )
+    assert index.knn_threshold_cap == 8
+    assert index.max_distance == 8.0
+    assert index.implied_radius(3.0) == 3
+    heavy = WeightedHammingIndex(
+        DynamicHAIndex.build(CodeSet([0b1, 0b10], 8)),
+        weights=Weights([4.0] * 8),
+    )
+    assert heavy.knn_threshold_cap == 32  # total weight, not width
+
+
+# -- construction and parameter validation ------------------------------
+
+
+def test_builder_and_wrapper_validation():
+    codes = CodeSet([0b1, 0b10, 0b11], 8)
+    index = WeightedHammingIndex.build(codes)
+    assert index.weights == uniform_weights(8)  # default: codes/uniform
+    attached = WeightedHammingIndex.build(
+        codes.with_weights([0.5] * 8)
+    )
+    assert attached.weights == Weights([0.5] * 8)
+    with pytest.raises(InvalidParameterError):
+        WeightedHammingIndex.build(codes, strategy="quantum")
+    with pytest.raises(InvalidParameterError):
+        WeightedHammingIndex.build(codes, engine="weighted")  # no nesting
+    with pytest.raises(InvalidParameterError):
+        WeightedHammingIndex(index)  # no wrapping a weighted index
+    with pytest.raises(InvalidParameterError):
+        index.search(0b1, -0.5)
+    with pytest.raises(InvalidParameterError):
+        index.knn_search(0b1, 0)
+
+
+def test_weighted_front_end_conflicting_weights():
+    codes = CodeSet([0b1, 0b10], 8)
+    index = WeightedHammingIndex.build(codes, weights=[2.0] * 8)
+    # Re-passing the same weights is fine; different weights conflict.
+    assert weighted_select(0b1, index, 2.0, [2.0] * 8) == [0]
+    with pytest.raises(InvalidParameterError):
+        weighted_select(0b1, index, 2.0, [3.0] * 8)
+
+
+# -- CodeSet plumbing ---------------------------------------------------
+
+
+def test_codeset_weights_ride_subset_and_pickle():
+    codes = CodeSet(
+        [0b1, 0b10, 0b11, 0b100], 8
+    ).with_weights([0.5] * 8)
+    assert codes.weights == tuple([0.5] * 8)
+    sub = codes.subset([1, 3])
+    assert sub.weights == codes.weights
+    assert sub.ids == (1, 3)
+    clone = pickle.loads(pickle.dumps(codes))
+    assert clone.weights == codes.weights
+    assert clone == codes
+    with pytest.raises(InvalidParameterError):
+        codes.with_weights([0.5] * 7)
+    with pytest.raises(InvalidParameterError):
+        codes.with_weights([-1.0] * 8)
+
+
+def test_shard_split_carries_weights():
+    from repro.distributed.pivots import select_pivots, split_by_pivots
+
+    codes = CodeSet(
+        list(range(1, 33)), 8
+    ).with_weights([0.25] * 8)
+    pivots = select_pivots(codes.codes, 4)
+    shards = split_by_pivots(codes, pivots)
+    assert sum(len(shard) for shard in shards) == len(codes)
+    for shard in shards:
+        if len(shard):
+            assert shard.weights == codes.weights
+
+
+# -- observability: spans sum to last_search_ops ------------------------
+
+
+@pytest.mark.parametrize("strategy", ("native", "rerank"))
+def test_weighted_span_ops_sum_to_last_search_ops(strategy):
+    from repro.obs import last_trace, trace
+
+    rng = np.random.default_rng(7)
+    codes = [int(x) for x in rng.integers(0, 1 << 24, 400)]
+    dha = DynamicHAIndex.build(CodeSet(codes, 24))
+    index = WeightedHammingIndex(
+        dha, weights=random_weights(24, seed=2), strategy=strategy,
+    )
+    index.insert(codes[0] ^ 0b1, 997)  # buffered: weighted.buffer > 0
+    with trace("h_select", engine="weighted"):
+        index.search(codes[0], 2.5)
+    tree = last_trace()
+    assert tree.total_ops == index.last_search_ops > 0
+    ops_by_name = {}
+    stack = list(tree.children)
+    while stack:
+        span = stack.pop()
+        ops_by_name[span.name] = (
+            ops_by_name.get(span.name, 0) + (span.ops or 0)
+        )
+        stack.extend(span.children)
+    assert "weighted.sweep" in ops_by_name
+    assert "weighted.buffer" in ops_by_name
+
+
+# -- join and service integration ---------------------------------------
+
+def test_weighted_join_matches_pairwise_oracle():
+    rng = np.random.default_rng(11)
+    left = CodeSet([int(x) for x in rng.integers(0, 1 << 16, 40)], 16)
+    right = CodeSet([int(x) for x in rng.integers(0, 1 << 16, 50)], 16)
+    weights = random_weights(16, seed=9)
+    got = sorted(
+        hamming_join(left, right, 3.0, weights=weights.values)
+    )
+    t_scaled = 3 * SCALE
+    expected = sorted(
+        (left_id, right_id)
+        for lcode, left_id in zip(left.codes, left.ids)
+        for rcode, right_id in zip(right.codes, right.ids)
+        if weights.distance_scaled(lcode, rcode) <= t_scaled
+    )
+    assert got == expected
+    # Uniform weights match the unweighted join exactly.
+    assert sorted(
+        hamming_join(left, right, 3, weights=[1.0] * 16)
+    ) == sorted(nested_loops_join(left, right, 3))
+
+
+def test_single_node_service_serves_weighted_index():
+    from repro.service import HammingQueryService
+
+    rng = np.random.default_rng(3)
+    codes = [int(x) for x in rng.integers(0, 1 << 20, 300)]
+    weights = random_weights(20, seed=1)
+    index = WeightedHammingIndex.build(
+        CodeSet(codes, 20), weights=weights
+    )
+    query = codes[5]
+    oracle = _scaled_oracle(codes, weights, query)
+    with HammingQueryService(index, workers=1) as service:
+        got = sorted(service.select(query, 2.5).value)
+        assert got == sorted(
+            i for i, d in enumerate(oracle) if d <= int(2.5 * SCALE)
+        )
+        knn = service.knn(query, 3).value
+    expected = sorted((d, i) for i, d in enumerate(oracle))[:3]
+    assert list(knn) == [(i, d / SCALE) for d, i in expected]
+
+
+def test_sharded_service_weighted_engine_end_to_end():
+    from repro.service import ShardedQueryService
+
+    rng = np.random.default_rng(5)
+    codes = [int(x) for x in rng.integers(0, 1 << 16, 400)]
+    weights = random_weights(16, seed=4)
+    codeset = CodeSet(codes, 16).with_weights(
+        weights.values.tolist()
+    )
+    query = codes[7]
+    oracle = _scaled_oracle(codes, weights, query)
+    with ShardedQueryService(
+        codeset, num_shards=4, engine="weighted", workers=1,
+        cache_capacity=0,
+    ) as service:
+        got = sorted(service.select(query, 3.0).value)
+        assert got == sorted(
+            i for i, d in enumerate(oracle) if d <= 3 * SCALE
+        )
+        knn = service.knn(query, 5).value
+        expected = sorted((d, i) for i, d in enumerate(oracle))[:5]
+        assert knn == tuple(
+            (i, d / SCALE) for d, i in expected
+        )
+        # Mutations flow through to the weighted shard indexes.
+        service.insert(query, 9999)
+        assert 9999 in service.select(query, 0.0).value
+
+
+def test_weighted_index_pickles_with_node_cache_dropped():
+    codes = CodeSet([0b1, 0b10, 0b11, 0b101], 8)
+    index = WeightedHammingIndex.build(
+        codes, weights=[0.5] * 8, strategy="native"
+    )
+    before = sorted(index.search(0b1, 1.0))
+    clone = pickle.loads(pickle.dumps(index))
+    assert sorted(clone.search(0b1, 1.0)) == before
+    assert clone.weights == index.weights
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def test_cli_weighted_select_and_knn(capsys):
+    from repro.cli import main
+
+    assert main([
+        "select", "--n", "400", "--weights", "learned",
+        "--threshold", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "weighted[learned]" in out
+    assert main([
+        "knn", "--n", "400", "--weights", "random",
+        "--weight-seed", "3", "--weight-strategy", "rerank", "--k", "3",
+    ]) == 0
+    assert "weighted[random]" in capsys.readouterr().out
+
+
+def test_cli_docs_gen_check_is_clean(capsys):
+    from repro.cli import main
+
+    assert main(["docs-gen", "--check"]) == 0
+    assert "current" in capsys.readouterr().out
